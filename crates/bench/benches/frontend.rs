@@ -1,0 +1,105 @@
+//! Criterion benches for the Verilog front end: lexing, parsing, checking,
+//! linting, and simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pyranet_corpus::families::DesignFamily;
+use pyranet_corpus::gen::generate;
+use pyranet_corpus::style::StyleOptions;
+use pyranet_verilog::{check_source, parse, Lexer, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_sources() -> Vec<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    DesignFamily::catalog()
+        .into_iter()
+        .map(|f| generate(&f, &StyleOptions::clean(), &mut rng).source)
+        .collect()
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let sources = sample_sources();
+    let bytes: usize = sources.iter().map(|s| s.len()).sum();
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("lex_catalog", |b| {
+        b.iter(|| {
+            for s in &sources {
+                std::hint::black_box(Lexer::new(s).tokenize().expect("lex"));
+            }
+        })
+    });
+    g.bench_function("parse_catalog", |b| {
+        b.iter(|| {
+            for s in &sources {
+                std::hint::black_box(parse(s).expect("parse"));
+            }
+        })
+    });
+    g.bench_function("check_catalog", |b| {
+        b.iter(|| {
+            for s in &sources {
+                std::hint::black_box(check_source(s));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_lint_and_metrics(c: &mut Criterion) {
+    let sources = sample_sources();
+    let modules: Vec<_> =
+        sources.iter().map(|s| pyranet_verilog::parse_module(s).expect("parse")).collect();
+    c.bench_function("lint_catalog", |b| {
+        b.iter(|| {
+            for (m, s) in modules.iter().zip(&sources) {
+                std::hint::black_box(pyranet_verilog::lint::lint_module(m, s));
+            }
+        })
+    });
+    c.bench_function("metrics_catalog", |b| {
+        b.iter(|| {
+            for m in &modules {
+                std::hint::black_box(pyranet_verilog::metrics::measure(m));
+            }
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let counter =
+        generate(&DesignFamily::Counter { width: 8 }, &StyleOptions::clean(), &mut rng);
+    c.bench_function("sim_counter_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::from_source(&counter.source, "counter_8").expect("build");
+            sim.set("rst", 1).expect("set");
+            sim.clock("clk").expect("clock");
+            sim.set("rst", 0).expect("set");
+            sim.set("en", 1).expect("set");
+            for _ in 0..100 {
+                sim.clock("clk").expect("clock");
+            }
+            std::hint::black_box(sim.get("count").expect("get"))
+        })
+    });
+    let alu = generate(&DesignFamily::Alu { width: 8 }, &StyleOptions::clean(), &mut rng);
+    c.bench_function("sim_alu_256_vectors", |b| {
+        let mut sim = Simulator::from_source(&alu.source, "alu_8").expect("build");
+        b.iter(|| {
+            for i in 0..256u64 {
+                sim.set("a", i).expect("set");
+                sim.set("b", i ^ 0x5A).expect("set");
+                sim.set("op", i % 8).expect("set");
+                std::hint::black_box(sim.get("y").expect("get"));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lexer, bench_lint_and_metrics, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the neural substrate: training-step and
+//! generation throughput (per-token).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pyranet_model::transformer::TrainExample;
+use pyranet_model::{Adam, ModelConfig, SampleOptions, Tokenizer, TransformerLm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (TransformerLm, Tokenizer, Vec<TrainExample>) {
+    let corpus = [
+        "an inverter",
+        "a two input and gate",
+        "module inv ( input a , output y ) ; assign y = ~ a ; endmodule",
+        "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule",
+    ];
+    let tk = Tokenizer::build(corpus.iter().copied(), 1);
+    let cfg = ModelConfig::codellama_7b();
+    let lm = TransformerLm::new(cfg, tk.vocab_size());
+    let exs = vec![
+        {
+            let (ids, code_start) = tk.encode_pair(corpus[0], corpus[2]);
+            TrainExample { ids, code_start, weight: 1.0 }
+        },
+        {
+            let (ids, code_start) = tk.encode_pair(corpus[1], corpus[3]);
+            TrainExample { ids, code_start, weight: 0.8 }
+        },
+    ];
+    (lm, tk, exs)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (lm, _tk, exs) = setup();
+    c.bench_function("train_step_batch2", |b| {
+        let mut lm = lm.clone();
+        let mut opt = Adam::new(lm.trainable_count(), 1e-3);
+        b.iter(|| std::hint::black_box(lm.train_step(&exs, &mut opt)))
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let (lm, tk, _) = setup();
+    let prompt = tk.encode_prompt("an inverter");
+    let opts = SampleOptions { temperature: 0.7, top_k: 0 };
+    let tokens = 64u64;
+    let mut g = c.benchmark_group("generate");
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("kv_cached_64_tokens", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            std::hint::black_box(lm.generate(&prompt, tokens as usize, &opts, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_nll(c: &mut Criterion) {
+    let (lm, _tk, exs) = setup();
+    c.bench_function("nll_forward_only", |b| {
+        b.iter(|| std::hint::black_box(lm.nll(&exs[0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step, bench_generation, bench_nll
+}
+criterion_main!(benches);

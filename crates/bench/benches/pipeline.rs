@@ -1,0 +1,62 @@
+//! Criterion benches for the curation pipeline: dedup (LSH vs naive),
+//! ranking, and the end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyranet_corpus::CorpusBuilder;
+use pyranet_pipeline::dedup::{dedup, dedup_naive};
+use pyranet_pipeline::{rank_sample, Pipeline};
+
+fn bench_dedup(c: &mut Criterion) {
+    let pool = CorpusBuilder::new(31).scraped_files(300).llm_generation(false).build();
+    let mut g = c.benchmark_group("dedup");
+    for (label, n) in [("n=100", 100usize), ("n=300", 300)] {
+        let subset: Vec<_> = pool.samples.iter().take(n).cloned().collect();
+        g.bench_with_input(BenchmarkId::new("minhash_lsh", label), &subset, |b, s| {
+            b.iter(|| std::hint::black_box(dedup(s.clone(), 0.85)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", label), &subset, |b, s| {
+            b.iter(|| std::hint::black_box(dedup_naive(s.clone(), 0.85)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let pool = CorpusBuilder::new(32).scraped_files(150).llm_generation(false).build();
+    let parsed: Vec<(pyranet_verilog::Module, String)> = pool
+        .samples
+        .iter()
+        .filter_map(|s| {
+            pyranet_verilog::parse_module(&s.source).ok().map(|m| (m, s.source.clone()))
+        })
+        .collect();
+    c.bench_function("rank_judge", |b| {
+        b.iter(|| {
+            for (m, s) in &parsed {
+                std::hint::black_box(rank_sample(m, s));
+            }
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("pipeline_200_files", |b| {
+        b.iter_with_setup(
+            || {
+                CorpusBuilder::new(33)
+                    .scraped_files(200)
+                    .llm_generation(false)
+                    .build()
+                    .samples
+            },
+            |pool| std::hint::black_box(Pipeline::new().run(pool)),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dedup, bench_ranking, bench_end_to_end
+}
+criterion_main!(benches);

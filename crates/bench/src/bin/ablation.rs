@@ -1,0 +1,43 @@
+//! Ablation study: PyraNet-Architecture vs its two ingredients in
+//! isolation — loss weighting only, curriculum only — plus plain SFT.
+//!
+//! DESIGN.md calls out the combination of the two techniques as the
+//! paper's core design choice; this bench separates their contributions.
+
+use pyranet::experiment::{evaluate_model, Recipe};
+use pyranet::{Experiment, ModelConfig, PyraNetBuilder};
+use pyranet_bench::{format_table, Scale, TableRow};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    eprintln!("[ablation] building dataset ({scale:?}) …");
+    let built = PyraNetBuilder::new(scale.build_options()).build();
+    let experiment = Experiment::new(built.dataset);
+    let opts = scale.experiment_options();
+    let cfg = ModelConfig::codellama_7b();
+    let base = experiment.pretrain_base(&cfg, &opts);
+
+    let mut rows = Vec::new();
+    for recipe in [
+        Recipe::PyraNetDataset,
+        Recipe::WeightingOnly,
+        Recipe::CurriculumOnly,
+        Recipe::PyraNetArchitecture,
+    ] {
+        let t = Instant::now();
+        let run = experiment.run(&base, recipe, &opts);
+        let evals = evaluate_model(&run.model, &experiment.tokenizer, &opts.eval);
+        eprintln!("[ablation] {}: {:.1?}", run.name, t.elapsed());
+        rows.push(TableRow { name: run.name, values: evals.row() });
+    }
+    println!(
+        "{}",
+        format_table(
+            "ABLATION — loss weighting and curriculum, separately and combined",
+            &rows
+        )
+    );
+    eprintln!("[ablation] total {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 1-a**: the six-layer PyraNet dataset pyramid with
+//! per-layer sample counts and rank bands.
+
+use pyranet::{Layer, PyraNetBuilder};
+use pyranet_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let built = PyraNetBuilder::new(scale.build_options()).build();
+    let counts = built.dataset.layer_counts();
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("FIG. 1-a — PyraNet dataset architecture (pyramid of quality tiers)");
+    println!();
+    for layer in Layer::ALL {
+        let n = counts[layer.index() - 1];
+        let band = match layer.rank_band() {
+            Some((lo, hi)) if lo == hi => format!("rank {lo}"),
+            Some((lo, hi)) => format!("ranks {hi}-{lo}", hi = hi, lo = lo),
+            None => "dependency issues / rank 0".to_owned(),
+        };
+        let bar_len = (n * 48).div_ceil(max).max(usize::from(n > 0));
+        println!(
+            "  {:<8} {:<28} {:>7}  |{}",
+            layer.to_string(),
+            band,
+            n,
+            "#".repeat(bar_len)
+        );
+    }
+    println!();
+    println!(
+        "paper scale for comparison: L1 235, L2 150,279, L3 105,973, L4 5,015, L5 275, L6 430,461"
+    );
+    println!("loss weights (Fig. 1-b): 1.0, 0.8, 0.6, 0.4, 0.2, 0.1");
+}

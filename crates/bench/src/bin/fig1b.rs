@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 1-b**: the PyraNet fine-tuning architecture — the
+//! phase schedule with per-layer loss weights and within-layer curriculum.
+
+use pyranet::train::PyraNetTrainer;
+
+fn main() {
+    println!("FIG. 1-b — PyraNet fine-tuning architecture");
+    println!();
+    println!("Layers are visited apex -> base; inside each layer the curriculum");
+    println!("runs Basic -> Intermediate -> Advanced -> Expert.");
+    println!();
+    let mut current_layer = None;
+    for (i, (layer, tier, weight)) in PyraNetTrainer::schedule().into_iter().enumerate() {
+        if current_layer != Some(layer) {
+            println!("  {layer} (loss weight {weight:.1}):");
+            current_layer = Some(layer);
+        }
+        println!("    phase {:>2}: fine-tune on {tier} samples", i + 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 1-c**: the evaluation process — prompt, n sampled
+//! completions, syntax + functional checking, pass@k.
+
+use pyranet::eval::{machine_split, pass_at_k};
+
+fn main() {
+    println!("FIG. 1-c — evaluation process");
+    println!();
+    println!("  description --(prompt)--> fine-tuned model --(n samples)--> candidates");
+    println!("  candidates --> syntax check --> functional simulation vs golden model");
+    println!("  pass counts --> unbiased pass@k = 1 - C(n-c,k)/C(n,k)");
+    println!();
+    let problems = machine_split();
+    println!("  benchmark: {} problems per split, 2 splits (Machine / Human)", problems.len());
+    println!("  example problems:");
+    for p in problems.iter().take(4) {
+        println!("    {:<28} {}", p.id, truncate(&p.description, 70));
+    }
+    println!();
+    println!("  estimator sanity: n=10, c=3 -> pass@1 {:.3}, pass@5 {:.3}, pass@10 {:.3}",
+        pass_at_k(10, 3, 1), pass_at_k(10, 3, 5), pass_at_k(10, 3, 10));
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n { s.to_owned() } else { format!("{}…", &s[..n]) }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 3**: an example ranking prompt and response — the
+//! paper's half-adder scored 20/20.
+
+use pyranet::pipeline::rank::{rank_sample, render_prompt, render_response};
+
+fn main() {
+    let code = "module halfAdder(\n  input A,\n  input B,\n  output Sum,\n  output Cout\n);\n\n  assign Sum = A ^ B;\n  assign Cout = A & B;\nendmodule";
+    println!("FIG. 3 — example of a prompt and the response used for ranking");
+    println!();
+    println!("Prompt:");
+    for line in render_prompt(code).lines() {
+        println!("  {line}");
+    }
+    println!();
+    let module = pyranet::verilog::parse_module(code).expect("figure sample parses");
+    let rank = rank_sample(&module, code);
+    println!("Response:");
+    println!("  {}", render_response(rank));
+    println!();
+    // The paper's judge (GPT-4o-mini) scores this sample 20/20. Our
+    // deterministic judge docks style points for the CamelCase module name
+    // and missing comments, which the paper's example keeps.
+    let clean = "// Half adder.\nmodule half_adder(\n  input a,\n  input b,\n  output sum,\n  output cout\n);\n  assign sum = a ^ b; // xor\n  assign cout = a & b;\nendmodule\n";
+    let m2 = pyranet::verilog::parse_module(clean).expect("clean sample parses");
+    println!(
+        "(style-clean variant scores: {})",
+        render_response(rank_sample(&m2, clean))
+    );
+}

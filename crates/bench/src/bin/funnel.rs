@@ -1,0 +1,30 @@
+//! Regenerates the §III-A.5 curation funnel: collected -> filtered ->
+//! curated counts (paper: 2.4 M collected + 150 k generated -> 692,238
+//! curated).
+
+use pyranet::PyraNetBuilder;
+use pyranet_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let built = PyraNetBuilder::new(scale.build_options()).build();
+    println!("CURATION FUNNEL (§III-A.5)");
+    println!();
+    println!("{}", built.funnel.render());
+    println!();
+    println!(
+        "generation stage (Fig. 2): {} keywords -> {} expanded -> {} responses",
+        built.gen_funnel.keywords, built.gen_funnel.expanded, built.gen_funnel.responses
+    );
+    println!();
+    println!(
+        "paper scale: 2.4M scraped + 150k generated -> 692,238 curated ({:.1}% survival)",
+        100.0 * 692_238.0 / 2_550_000.0
+    );
+    println!(
+        "this run:    {} pooled -> {} curated ({:.1}% survival)",
+        built.funnel.collected,
+        built.funnel.curated,
+        built.funnel.survival_rate() * 100.0
+    );
+}

@@ -1,0 +1,97 @@
+//! Diagnostic probe: train one model and print its raw generations so the
+//! training/generation loop can be inspected end to end.
+//!
+//! Not part of the paper's artefacts; used to tune the reproduction.
+
+use pyranet::eval::machine_split;
+use pyranet::experiment::Recipe;
+use pyranet::model::SampleOptions;
+use pyranet::train::TrainConfig;
+use pyranet::{BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder};
+use rand::SeedableRng;
+
+fn main() {
+    let scraped: usize = std::env::var("PROBE_FILES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let cap: usize = std::env::var("PROBE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80);
+    let epochs: usize = std::env::var("PROBE_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let lr: f32 = std::env::var("PROBE_LR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3e-3);
+    let lora: i64 = std::env::var("PROBE_LORA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: scraped,
+        seed: 77,
+        ..BuildOptions::default()
+    })
+    .build();
+    eprintln!("dataset: {} samples {:?}", built.dataset.len(), built.dataset.layer_counts());
+    let experiment = Experiment::new(built.dataset);
+    eprintln!("vocab: {}", experiment.tokenizer.vocab_size());
+
+    let opts = ExperimentOptions {
+        train: TrainConfig {
+            epochs,
+            batch_size: 8,
+            learning_rate: lr,
+            max_examples_per_phase: Some(cap),
+            lora: (lora > 0).then(|| pyranet::model::lora::LoraConfig {
+                rank: lora as usize,
+                alpha: 2.0 * lora as f32,
+            }),
+            seed: 7,
+        },
+        ..ExperimentOptions::default()
+    };
+    let cfg = ModelConfig::codellama_7b();
+    let t = std::time::Instant::now();
+    let base = experiment.pretrain_base(&cfg, &opts);
+    eprintln!("pretrain: {:.1?}", t.elapsed());
+    let t = std::time::Instant::now();
+    let run = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    eprintln!("finetune: {:.1?}", t.elapsed());
+    for p in &run.report.phases {
+        eprintln!("  phase {}: loss {:.3} -> {:.3} ({} ex)", p.name, p.first_loss, p.last_loss, p.examples);
+    }
+
+    let temp: f32 = std::env::var("PROBE_TEMP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.3);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let sopts = SampleOptions { temperature: temp, top_k: 0 };
+    for problem in machine_split().iter().take(4) {
+        println!("\n=== {} ===", problem.id);
+        println!("prompt: {}", problem.prompt());
+        let header_ids = experiment.tokenizer.encode(&problem.header());
+        let mut prompt = experiment.tokenizer.encode_prompt(&problem.prompt());
+        prompt.extend_from_slice(&header_ids);
+        for i in 0..2 {
+            let out = run.model.generate(&prompt, 150, &sopts, &mut rng);
+            let mut ids = header_ids.clone();
+            ids.extend_from_slice(&out);
+            let text = experiment.tokenizer.decode(&ids);
+            let verdict = pyranet::verilog::check_source(&text);
+            println!("--- sample {i} ({} tokens, {:?}) ---", out.len(), verdict_label(&verdict));
+            println!("{}", &text[..text.len().min(400)]);
+        }
+    }
+}
+
+fn verdict_label(v: &pyranet::verilog::SyntaxVerdict) -> &'static str {
+    match v {
+        pyranet::verilog::SyntaxVerdict::Clean => "clean",
+        pyranet::verilog::SyntaxVerdict::DependencyIssue { .. } => "dependency",
+        pyranet::verilog::SyntaxVerdict::SyntaxError { .. } => "syntax-error",
+    }
+}

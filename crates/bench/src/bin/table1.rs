@@ -1,0 +1,75 @@
+//! Regenerates **Table I**: PyraNet vs SOTA models on the
+//! VerilogEval-substitute (pass@1/5/10, Machine + Human).
+//!
+//! Rows, in paper order:
+//! MG-Verilog / RTLCoder / OriGen comparators, then for each base
+//! (CodeLlama-7B, CodeLlama-13B, DeepSeek-Coder-7B analogues) the
+//! baseline, PyraNet-Dataset and PyraNet-Architecture variants.
+//!
+//! `PYRANET_SCALE=quick` shrinks the run for smoke testing.
+
+use pyranet::experiment::{evaluate_model, Recipe};
+use pyranet::{Experiment, ModelConfig, PyraNetBuilder};
+use pyranet_bench::{format_table, save_table1, Scale, Table1Results, TableRow};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    eprintln!("[table1] building dataset ({scale:?}) …");
+    let built = PyraNetBuilder::new(scale.build_options()).build();
+    eprintln!(
+        "[table1] curated {} samples (layers {:?}) in {:.1?}",
+        built.dataset.len(),
+        built.dataset.layer_counts(),
+        t0.elapsed()
+    );
+    let experiment = Experiment::new(built.dataset);
+    let opts = scale.experiment_options();
+
+    let mut results = Table1Results::default();
+
+    // Comparator rows: the paper pairs MG-Verilog with CodeLlama-7B and
+    // RTLCoder/OriGen with DeepSeek-Coder.
+    let comparators: [(ModelConfig, Recipe, &str); 3] = [
+        (ModelConfig::codellama_7b(), Recipe::MgVerilog, "MG-Verilog-CodeLlama-7B [23]"),
+        (ModelConfig::deepseek_7b(), Recipe::RtlCoder, "RTLCoder-DeepSeek [18]"),
+        (ModelConfig::deepseek_7b(), Recipe::OriGen, "OriGen-DeepSeek [22]"),
+    ];
+    for (cfg, recipe, label) in comparators {
+        let t = Instant::now();
+        let base = experiment.pretrain_base(&cfg, &opts);
+        let run = experiment.run(&base, recipe, &opts);
+        let evals = evaluate_model(&run.model, &experiment.tokenizer, &opts.eval);
+        eprintln!("[table1] {label}: {:.1?}", t.elapsed());
+        results.rows.push(TableRow { name: label.to_owned(), values: evals.row() });
+    }
+
+    // Base-model triplets.
+    for cfg in ModelConfig::all_bases() {
+        let t = Instant::now();
+        let base = experiment.pretrain_base(&cfg, &opts);
+        for recipe in [Recipe::Baseline, Recipe::PyraNetDataset, Recipe::PyraNetArchitecture] {
+            let run = experiment.run(&base, recipe, &opts);
+            let evals = evaluate_model(&run.model, &experiment.tokenizer, &opts.eval);
+            results.rows.push(TableRow { name: run.name.clone(), values: evals.row() });
+            eprintln!(
+                "[table1] {}: M p@1 {:.1}, H p@1 {:.1}",
+                run.name,
+                evals.machine.pass_at(1),
+                evals.human.pass_at(1)
+            );
+        }
+        eprintln!("[table1] base {} done in {:.1?}", cfg.name, t.elapsed());
+    }
+
+    println!(
+        "{}",
+        format_table("TABLE I — PyraNet vs SOTA models on the VerilogEval substitute", &results.rows)
+    );
+    match save_table1(&results) {
+        Ok(path) => eprintln!("[table1] cached results at {}", path.display()),
+        Err(e) => eprintln!("[table1] warning: could not cache results: {e}"),
+    }
+    eprintln!("[table1] total {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table II**: pre-trained LLM architectures and fine-tuning
+//! information — for both the paper's models and our analogues.
+
+use pyranet::ModelConfig;
+
+fn main() {
+    println!("TABLE II — pre-trained LLM architectures and fine-tuning information");
+    println!();
+    println!("Paper's models (for reference):");
+    println!(
+        "  {:<34} {:>6} {:>8} {:>9} {:>12} {:>13} {:>10}",
+        "Model", "Layers", "# Heads", "Head Size", "Context Size", "learning rate", "# epochs"
+    );
+    for (name, layers, heads, head, ctx) in [
+        ("CodeLlama-7b-Instruct", 32, 32, 128, 100_000),
+        ("CodeLlama-13b-Instruct", 40, 40, 128, 100_000),
+        ("DeepSeek-Coder-7B-Instruct-v1.5", 30, 30, 128, 4_000),
+    ] {
+        println!(
+            "  {name:<34} {layers:>6} {heads:>8} {head:>9} {ctx:>12} {:>13} {:>10}",
+            "2e-4", "1, 2, 3"
+        );
+    }
+    println!();
+    println!("This reproduction's analogues:");
+    println!(
+        "  {:<34} {:>6} {:>8} {:>9} {:>12} {:>13} {:>10}",
+        "Model", "Layers", "# Heads", "Head Size", "Context Size", "learning rate", "# epochs"
+    );
+    for cfg in ModelConfig::all_bases() {
+        println!(
+            "  {:<34} {:>6} {:>8} {:>9} {:>12} {:>13} {:>10}",
+            cfg.name,
+            cfg.n_layers,
+            cfg.n_heads,
+            cfg.head_size(),
+            cfg.max_seq,
+            format!("{:.0e}", cfg.learning_rate),
+            "1, 2, 3"
+        );
+    }
+    println!();
+    println!(
+        "  (analogue parameter counts at vocab 1500: {})",
+        ModelConfig::all_bases()
+            .iter()
+            .map(|c| format!("{} = {}", c.name, c.param_count(1500)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table III**: PyraNet gains vs baseline models and SOTA.
+//!
+//! Derived from the Table I results — run `table1` first (this binary
+//! reads the cache at `target/pyranet-results/table1.json` and exits with
+//! an explanation otherwise).
+
+use pyranet_bench::{load_table1, Table1Results};
+
+fn gain(a: &[f64; 6], b: &[f64; 6]) -> [f64; 6] {
+    [
+        a[0] - b[0],
+        a[1] - b[1],
+        a[2] - b[2],
+        a[3] - b[3],
+        a[4] - b[4],
+        a[5] - b[5],
+    ]
+}
+
+fn print_row(label: &str, vs: &str, g: &[f64; 6]) {
+    println!(
+        "  {label:<46} {vs:<16} {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1}",
+        g[0], g[1], g[2], g[3], g[4], g[5]
+    );
+}
+
+fn main() {
+    let Some(results): Option<Table1Results> = load_table1() else {
+        eprintln!(
+            "table3: no cached Table I results found.\n\
+             Run `cargo run -p pyranet-bench --release --bin table1` first."
+        );
+        std::process::exit(2);
+    };
+    let get = |name: &str| -> Option<[f64; 6]> { results.row(name).map(|r| r.values) };
+
+    println!("TABLE III — PyraNet gains vs baseline model and SOTA (percentage points)");
+    println!(
+        "  {:<46} {:<16} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
+        "Model", "vs", "M p@1", "M p@5", "M p@10", "H p@1", "H p@5", "H p@10"
+    );
+
+    let pairs = [
+        ("codeLlama-7B-analog PyraNet-Dataset", "codeLlama-7B-analog (baseline)", "vs Baseline"),
+        ("codeLlama-7B-analog PyraNet-Dataset", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
+        ("codeLlama-7B-analog PyraNet-Architecture", "codeLlama-7B-analog (baseline)", "vs Baseline"),
+        ("codeLlama-7B-analog PyraNet-Architecture", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
+        ("codeLlama-13B-analog PyraNet-Dataset", "codeLlama-13B-analog (baseline)", "vs Baseline"),
+        ("codeLlama-13B-analog PyraNet-Dataset", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
+        ("codeLlama-13B-analog PyraNet-Architecture", "codeLlama-13B-analog (baseline)", "vs Baseline"),
+        ("codeLlama-13B-analog PyraNet-Architecture", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "DeepSeek-Coder-7B-analog (baseline)", "vs Baseline"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "RTLCoder-DeepSeek [18]", "vs RTL-Coder"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "OriGen-DeepSeek [22]", "vs OriGen"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "DeepSeek-Coder-7B-analog (baseline)", "vs Baseline"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "RTLCoder-DeepSeek [18]", "vs RTL-Coder"),
+        ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "OriGen-DeepSeek [22]", "vs OriGen"),
+    ];
+
+    for (model, against, label) in pairs {
+        match (get(model), get(against)) {
+            (Some(a), Some(b)) => print_row(model, label, &gain(&a, &b)),
+            _ => eprintln!("table3: missing row `{model}` or `{against}` in cache"),
+        }
+    }
+}

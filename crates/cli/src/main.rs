@@ -1,0 +1,201 @@
+//! `pyranet` — command-line front end for the PyraNet reproduction.
+//!
+//! Subcommands mirror the curation pipeline's stages so each can be run on
+//! real files:
+//!
+//! ```text
+//! pyranet check <file.v>          # Icarus-substitute verdict
+//! pyranet rank <file.v>           # 0–20 quality rank + findings
+//! pyranet complexity <file.v>     # Basic/Intermediate/Advanced/Expert
+//! pyranet sim <file.v> <top> ...  # drive a module interactively
+//! pyranet build-dataset [--files N] [--seed S] [--out F.jsonl]
+//! pyranet stats <dataset.jsonl>   # layer pyramid of a built dataset
+//! ```
+
+use pyranet::pipeline::rank::{rank_sample, render_response};
+use pyranet::verilog::lint::lint_module;
+use pyranet::verilog::metrics::{measure, ComplexityTier};
+use pyranet::verilog::{check_source, parse_module, Simulator, SyntaxVerdict};
+use pyranet::{BuildOptions, Layer, PyraNetBuilder, PyraNetDataset};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("rank") => cmd_rank(&args[1..]),
+        Some("complexity") => cmd_complexity(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("build-dataset") => cmd_build(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `pyranet help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pyranet: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pyranet — PyraNet dataset toolchain\n\n\
+         USAGE:\n  pyranet check <file.v>\n  pyranet rank <file.v>\n  \
+         pyranet complexity <file.v>\n  pyranet sim <file.v> <top> [name=value]... [--clock clk] [--cycles N]\n  \
+         pyranet build-dataset [--files N] [--seed S] [--out dataset.jsonl]\n  \
+         pyranet stats <dataset.jsonl>"
+    );
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: pyranet check <file.v>")?;
+    let src = read_file(path)?;
+    match check_source(&src) {
+        SyntaxVerdict::Clean => println!("{path}: clean"),
+        SyntaxVerdict::DependencyIssue { missing_modules } => {
+            println!("{path}: compiles with dependency issues (missing: {})", missing_modules.join(", "));
+        }
+        SyntaxVerdict::SyntaxError { line, message } => {
+            println!("{path}:{line}: syntax error: {message}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: pyranet rank <file.v>")?;
+    let src = read_file(path)?;
+    let module = parse_module(&src).map_err(|e| e.to_string())?;
+    let rank = rank_sample(&module, &src);
+    println!("{}", render_response(rank));
+    let report = lint_module(&module, &src);
+    if report.findings.is_empty() {
+        println!("no findings");
+    } else {
+        for f in &report.findings {
+            println!("  line {:>4}: {:?} — {}", f.line, f.kind, f.message);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_complexity(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: pyranet complexity <file.v>")?;
+    let src = read_file(path)?;
+    let module = parse_module(&src).map_err(|e| e.to_string())?;
+    let metrics = measure(&module);
+    let score = metrics.score();
+    println!("{} (score {score:.1})", ComplexityTier::classify(score));
+    println!("{metrics:#?}");
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: pyranet sim <file.v> <top> [name=value]...")?;
+    let top = args.get(1).ok_or("missing top module name")?;
+    let src = read_file(path)?;
+    let mut sim = Simulator::from_source(&src, top).map_err(|e| e.to_string())?;
+    let mut clock: Option<String> = None;
+    let mut cycles = 1usize;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        if a == "--clock" {
+            clock = Some(it.next().ok_or("--clock needs a signal")?.clone());
+        } else if a == "--cycles" {
+            cycles = it
+                .next()
+                .ok_or("--cycles needs a number")?
+                .parse()
+                .map_err(|e| format!("bad cycle count: {e}"))?;
+        } else if let Some((name, value)) = a.split_once('=') {
+            let v = parse_value(value)?;
+            sim.set(name, v).map_err(|e| e.to_string())?;
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    if let Some(clk) = &clock {
+        for _ in 0..cycles {
+            sim.clock(clk).map_err(|e| e.to_string())?;
+        }
+    }
+    for out in sim.outputs().to_vec() {
+        let v = sim.get(&out).map_err(|e| e.to_string())?;
+        println!("{out} = {v}");
+    }
+    Ok(())
+}
+
+fn parse_value(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad value {s}: {e}"))
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).map_err(|e| format!("bad value {s}: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad value {s}: {e}"))
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let mut files = 1200usize;
+    let mut seed = BuildOptions::default().seed;
+    let mut out = "pyranet_dataset.jsonl".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--files" => {
+                files = it.next().ok_or("--files needs a number")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => {
+                seed = it.next().ok_or("--seed needs a number")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: files,
+        seed,
+        ..BuildOptions::default()
+    })
+    .build();
+    println!("{}", built.funnel.render());
+    let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    built
+        .dataset
+        .to_jsonl(std::io::BufWriter::new(file))
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!("wrote {} samples to {out}", built.dataset.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: pyranet stats <dataset.jsonl>")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let ds = PyraNetDataset::from_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("parse failed: {e}"))?;
+    let counts = ds.layer_counts();
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("{} samples", ds.len());
+    for layer in Layer::ALL {
+        let n = counts[layer.index() - 1];
+        println!(
+            "  {:<8} weight {:.1} {:>7}  |{}",
+            layer.to_string(),
+            layer.loss_weight(),
+            n,
+            "#".repeat((n * 40).div_ceil(max))
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! # pyranet
+//!
+//! The PyraNet reproduction façade: one crate that wires the whole system
+//! together — corpus synthesis → curation pipeline → six-layer dataset →
+//! fine-tuning recipes → VerilogEval-substitute evaluation.
+//!
+//! The paper (*PyraNet: A Multi-Layered Hierarchical Dataset for Verilog*,
+//! DAC 2025) contributes (1) a quality-tiered Verilog dataset and (2) a
+//! fine-tuning recipe combining per-layer **loss weighting** with
+//! **curriculum learning**. This crate exposes both, plus the experiment
+//! harness that regenerates the paper's tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pyranet::{BuildOptions, PyraNetBuilder};
+//!
+//! // Build a (small) PyraNet dataset end to end.
+//! let built = PyraNetBuilder::new(BuildOptions {
+//!     scraped_files: 150,
+//!     seed: 42,
+//!     llm_generation: false,
+//!     ..BuildOptions::default()
+//! })
+//! .build();
+//! assert!(built.dataset.len() > 0);
+//! // Six-layer pyramid with the paper's loss weights:
+//! let counts = built.dataset.layer_counts();
+//! assert_eq!(counts.iter().sum::<usize>(), built.dataset.len());
+//! ```
+//!
+//! See `examples/` for full fine-tune + evaluate flows, and the
+//! `pyranet-bench` binaries for the Table I–IV / Fig. 1–3 regenerators.
+
+pub mod experiment;
+
+pub use experiment::{
+    evaluate_model, run_recipe, EvalPair, Experiment, ExperimentOptions, Recipe, RecipeRun,
+};
+
+pub use pyranet_corpus as corpus;
+pub use pyranet_eval as eval;
+pub use pyranet_model as model;
+pub use pyranet_pipeline as pipeline;
+pub use pyranet_train as train;
+pub use pyranet_verilog as verilog;
+
+pub use pyranet_eval::EvalOptions;
+pub use pyranet_model::ModelConfig;
+pub use pyranet_pipeline::{Funnel, Layer, PyraNetDataset};
+pub use pyranet_train::TrainConfig;
+
+use pyranet_corpus::CorpusBuilder;
+use pyranet_pipeline::Pipeline;
+
+/// Options for building a PyraNet dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildOptions {
+    /// Number of "scraped" files in the synthetic pool (paper scale is
+    /// 2.4 M; the default here is 1:1000).
+    pub scraped_files: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Include the Fig. 2 pseudo-LLM generation stage.
+    pub llm_generation: bool,
+    /// Jaccard dedup threshold.
+    pub jaccard_threshold: f64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            scraped_files: 2400,
+            seed: 0xDAC_2025,
+            llm_generation: true,
+            jaccard_threshold: 0.85,
+        }
+    }
+}
+
+/// Builder for the full corpus → pipeline flow.
+#[derive(Debug, Clone)]
+pub struct PyraNetBuilder {
+    options: BuildOptions,
+}
+
+/// A built dataset plus its construction statistics.
+#[derive(Debug, Clone)]
+pub struct Built {
+    /// The curated six-layer dataset.
+    pub dataset: PyraNetDataset,
+    /// Curation funnel (§III-A.5).
+    pub funnel: Funnel,
+    /// Fig. 2 generation funnel.
+    pub gen_funnel: pyranet_corpus::llmgen::GenFunnel,
+}
+
+impl PyraNetBuilder {
+    /// Creates a builder.
+    pub fn new(options: BuildOptions) -> PyraNetBuilder {
+        PyraNetBuilder { options }
+    }
+
+    /// Synthesises the pool and runs the curation pipeline.
+    pub fn build(&self) -> Built {
+        let pool = CorpusBuilder::new(self.options.seed)
+            .scraped_files(self.options.scraped_files)
+            .llm_generation(self.options.llm_generation)
+            .build();
+        let gen_funnel = pool.gen_funnel;
+        let outcome = Pipeline::new()
+            .jaccard_threshold(self.options.jaccard_threshold)
+            .run(pool.samples);
+        Built { dataset: outcome.dataset, funnel: outcome.funnel, gen_funnel }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_layered_dataset() {
+        let built = PyraNetBuilder::new(BuildOptions {
+            scraped_files: 200,
+            seed: 1,
+            llm_generation: false,
+            ..BuildOptions::default()
+        })
+        .build();
+        assert!(built.dataset.len() > 30);
+        assert_eq!(built.funnel.curated, built.dataset.len());
+        let counts = built.dataset.layer_counts();
+        assert!(counts[5] > 0, "layer 6 holds dependency-issue files");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let opts = BuildOptions { scraped_files: 100, seed: 9, llm_generation: false, ..BuildOptions::default() };
+        let a = PyraNetBuilder::new(opts.clone()).build();
+        let b = PyraNetBuilder::new(opts).build();
+        assert_eq!(a.dataset, b.dataset);
+    }
+}

@@ -1,0 +1,233 @@
+//! The corpus pool builder — the "GitHub scrape" substitute.
+//!
+//! Builds a noisy pool whose composition mirrors the paper's funnel
+//! (§III-A.5): most files are usable after curation, a large minority have
+//! dependency issues, and the rest are duplicates, syntax-broken, or
+//! empty/broken. At paper scale 2.4 M collected → 692,238 curated
+//! (≈29% survive with ranks, of which 430,461 are Layer-6 dependency/zero-
+//! rank material); the default mix reproduces those proportions.
+
+use crate::defect;
+use crate::gen::generate;
+use crate::llmgen;
+use crate::sample::{Origin, RawSample, TruthLabel};
+use crate::style::StyleOptions;
+use crate::DesignFamily;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Mix proportions for the scraped pool (must sum to ≤ 1; the remainder is
+/// clean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolMix {
+    /// Fraction of empty/broken/non-module files.
+    pub broken: f64,
+    /// Fraction of exact/near duplicates.
+    pub duplicates: f64,
+    /// Fraction with syntax errors.
+    pub syntax_errors: f64,
+    /// Fraction with dependency issues.
+    pub dependency_issues: f64,
+    /// Fraction of style-degraded (but compilable) files.
+    pub sloppy: f64,
+}
+
+impl Default for PoolMix {
+    /// The paper-shaped default: scaled from 2.4 M → 692 k survivors with a
+    /// heavy Layer-6 (dependency) band.
+    fn default() -> Self {
+        PoolMix {
+            broken: 0.25,
+            duplicates: 0.30,
+            syntax_errors: 0.16,
+            dependency_issues: 0.13,
+            sloppy: 0.10,
+        }
+    }
+}
+
+/// Builder for a synthetic corpus pool.
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    seed: u64,
+    scraped: usize,
+    mix: PoolMix,
+    with_llm_generation: bool,
+}
+
+impl CorpusBuilder {
+    /// Creates a builder with the paper-shaped default mix.
+    pub fn new(seed: u64) -> CorpusBuilder {
+        CorpusBuilder { seed, scraped: 2400, mix: PoolMix::default(), with_llm_generation: true }
+    }
+
+    /// Sets the number of scraped files (paper scale / 1000 by default).
+    pub fn scraped_files(mut self, n: usize) -> CorpusBuilder {
+        self.scraped = n;
+        self
+    }
+
+    /// Overrides the pool mix.
+    pub fn mix(mut self, mix: PoolMix) -> CorpusBuilder {
+        self.mix = mix;
+        self
+    }
+
+    /// Enables/disables the Fig. 2 pseudo-LLM generation stage.
+    pub fn llm_generation(mut self, on: bool) -> CorpusBuilder {
+        self.with_llm_generation = on;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(&self) -> CorpusPool {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let catalog = DesignFamily::catalog();
+        let mut samples: Vec<RawSample> = Vec::with_capacity(self.scraped + 1024);
+        let mut id = 0u64;
+        // Pre-generate a bank of clean designs to duplicate from.
+        let mut dup_bank: Vec<RawSample> = Vec::new();
+        for _ in 0..self.scraped {
+            let family = &catalog[rng.random_range(0..catalog.len())];
+            let roll: f64 = rng.random();
+            let m = &self.mix;
+            let sample = if roll < m.broken {
+                RawSample::new(id, defect::broken_file(&mut rng), "", Origin::Scraped, TruthLabel::EmptyOrBinary)
+            } else if roll < m.broken + m.duplicates && !dup_bank.is_empty() {
+                // duplicate an earlier sample, sometimes with cosmetic noise
+                let donor = &dup_bank[rng.random_range(0..dup_bank.len())];
+                let source = if rng.random::<f64>() < 0.5 {
+                    format!("// copied file\n{}", donor.source)
+                } else {
+                    donor.source.clone()
+                };
+                RawSample::new(id, source, donor.description.clone(), Origin::Scraped, TruthLabel::Duplicate)
+            } else if roll < m.broken + m.duplicates + m.syntax_errors {
+                let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
+                let d = generate(family, &style, &mut rng);
+                RawSample::new(
+                    id,
+                    defect::inject_syntax_error(&d.source, &mut rng),
+                    d.description,
+                    Origin::Scraped,
+                    TruthLabel::SyntaxBroken,
+                )
+            } else if roll < m.broken + m.duplicates + m.syntax_errors + m.dependency_issues {
+                let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
+                let d = generate(family, &style, &mut rng);
+                RawSample::new(
+                    id,
+                    defect::inject_dependency_issue(&d.source, &mut rng),
+                    d.description,
+                    Origin::Scraped,
+                    TruthLabel::DependencyBroken,
+                )
+            } else if roll
+                < m.broken + m.duplicates + m.syntax_errors + m.dependency_issues + m.sloppy
+            {
+                let style = StyleOptions::sampled(0.5 + rng.random::<f64>() * 0.5, &mut rng);
+                let d = generate(family, &style, &mut rng);
+                let source = defect::degrade_text(&d.source, rng.random::<f64>(), &mut rng);
+                let s = RawSample::new(id, source, d.description, Origin::Scraped, TruthLabel::Sloppy);
+                dup_bank.push(s.clone());
+                s
+            } else {
+                // "Clean" scraped files still carry mild style variation —
+                // textbook-perfect (rank 20) files are rare in the wild,
+                // which is what keeps the paper's Layer 1 tiny.
+                let style = StyleOptions::sampled(0.3 + rng.random::<f64>() * 0.45, &mut rng);
+                let d = generate(family, &style, &mut rng);
+                let s = RawSample::new(id, d.source, d.description, Origin::Scraped, TruthLabel::Clean);
+                dup_bank.push(s.clone());
+                s
+            };
+            samples.push(sample);
+            id += 1;
+        }
+        let mut gen_funnel = llmgen::GenFunnel::default();
+        if self.with_llm_generation {
+            let (responses, funnel) = llmgen::run_generation(&mut rng, id);
+            gen_funnel = funnel;
+            samples.extend(responses.into_iter().map(|r| r.sample));
+        }
+        CorpusPool { samples, gen_funnel }
+    }
+}
+
+/// The built pool plus generation statistics.
+#[derive(Debug, Clone)]
+pub struct CorpusPool {
+    /// All raw samples (scraped + LLM-generated).
+    pub samples: Vec<RawSample>,
+    /// Fig. 2 funnel counts for the generation stage.
+    pub gen_funnel: llmgen::GenFunnel,
+}
+
+impl CorpusPool {
+    /// Count of samples with a given truth label.
+    pub fn count(&self, truth: TruthLabel) -> usize {
+        self.samples.iter().filter(|s| s.truth == truth).count()
+    }
+
+    /// Count of samples from a given origin.
+    pub fn count_origin(&self, origin: Origin) -> usize {
+        self.samples.iter().filter(|s| s.origin == origin).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_scale() {
+        let pool = CorpusBuilder::new(1).scraped_files(500).build();
+        assert_eq!(pool.count_origin(Origin::Scraped), 500);
+        assert!(pool.count_origin(Origin::LlmGenerated) > 400, "catalog × 10 temperatures");
+    }
+
+    #[test]
+    fn pool_mix_roughly_matches_default() {
+        let pool = CorpusBuilder::new(2).scraped_files(2000).llm_generation(false).build();
+        let n = pool.samples.len() as f64;
+        let frac = |t| pool.count(t) as f64 / n;
+        assert!((frac(TruthLabel::EmptyOrBinary) - 0.25).abs() < 0.05);
+        assert!((frac(TruthLabel::SyntaxBroken) - 0.16).abs() < 0.05);
+        assert!((frac(TruthLabel::DependencyBroken) - 0.13).abs() < 0.05);
+        // the clean remainder is 1 - 0.25 - 0.30 - 0.16 - 0.13 - 0.10 = 6%
+        assert!(frac(TruthLabel::Clean) > 0.03, "clean frac {}", frac(TruthLabel::Clean));
+        assert!(frac(TruthLabel::Sloppy) > 0.05);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CorpusBuilder::new(7).scraped_files(100).build();
+        let b = CorpusBuilder::new(7).scraped_files(100).build();
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusBuilder::new(7).scraped_files(100).llm_generation(false).build();
+        let b = CorpusBuilder::new(8).scraped_files(100).llm_generation(false).build();
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let pool = CorpusBuilder::new(9).scraped_files(300).build();
+        let mut ids: Vec<u64> = pool.samples.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(n, ids.len());
+    }
+
+    #[test]
+    fn duplicates_reference_earlier_content() {
+        let pool = CorpusBuilder::new(10).scraped_files(1000).llm_generation(false).build();
+        let dups = pool.count(TruthLabel::Duplicate);
+        assert!(dups > 0);
+    }
+}

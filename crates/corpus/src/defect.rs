@@ -1,0 +1,210 @@
+//! Defect injection — turning clean designs into the corpus's broken tiers.
+//!
+//! The paper's pipeline must reject empty/broken files, classify syntax
+//! errors vs dependency issues, and down-rank sloppy style. To exercise all
+//! of those paths, the corpus builder injects three defect classes:
+//!
+//! * [`inject_syntax_error`] — guaranteed to make the file fail the
+//!   Icarus-substitute check;
+//! * [`inject_dependency_issue`] — instantiates an undefined module, which
+//!   compiles "with dependency issues" (Layer 6 material);
+//! * [`degrade_text`] — textual style rot (tabs, trailing whitespace,
+//!   overlong lines, stripped comments) that lowers the rank but keeps the
+//!   file compilable.
+
+use rand::Rng;
+
+/// Syntax-breaking mutations. Each is textual and guaranteed to produce a
+/// parse failure for sources emitted by our generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntaxDefect {
+    /// Delete the final `endmodule`.
+    DropEndmodule,
+    /// Remove the first semicolon.
+    DropSemicolon,
+    /// Unbalance a parenthesis.
+    DropParen,
+    /// Truncate the file mid-token.
+    Truncate,
+    /// Replace `assign` with a misspelling.
+    MisspellKeyword,
+}
+
+impl SyntaxDefect {
+    /// All variants, for sampling.
+    pub const ALL: [SyntaxDefect; 5] = [
+        SyntaxDefect::DropEndmodule,
+        SyntaxDefect::DropSemicolon,
+        SyntaxDefect::DropParen,
+        SyntaxDefect::Truncate,
+        SyntaxDefect::MisspellKeyword,
+    ];
+}
+
+/// Applies a random syntax defect.
+pub fn inject_syntax_error<R: Rng>(source: &str, rng: &mut R) -> String {
+    let defect = SyntaxDefect::ALL[rng.random_range(0..SyntaxDefect::ALL.len())];
+    apply_syntax_defect(source, defect)
+}
+
+/// Applies a specific syntax defect.
+///
+/// Mutations target the code region (at or after the first `module`
+/// keyword) so a defect never lands harmlessly inside a header comment.
+pub fn apply_syntax_defect(source: &str, defect: SyntaxDefect) -> String {
+    let code_start = source.find("module").unwrap_or(0);
+    let find_after = |needle: char| source[code_start..].find(needle).map(|p| p + code_start);
+    match defect {
+        SyntaxDefect::DropEndmodule => match source.rfind("endmodule") {
+            Some(pos) => format!("{}{}", &source[..pos], &source[pos + "endmodule".len()..]),
+            None => format!("{source}\n(("),
+        },
+        SyntaxDefect::DropSemicolon => match find_after(';') {
+            Some(pos) => format!("{}{}", &source[..pos], &source[pos + 1..]),
+            None => format!("{source}\n(("),
+        },
+        SyntaxDefect::DropParen => match find_after('(') {
+            Some(pos) => format!("{}{}", &source[..pos], &source[pos + 1..]),
+            None => format!("{source}\n)"),
+        },
+        SyntaxDefect::Truncate => {
+            let keep = source.len() * 2 / 3;
+            let mut keep = keep.max(10).min(source.len());
+            while keep > 0 && !source.is_char_boundary(keep) {
+                keep -= 1;
+            }
+            source[..keep].to_owned()
+        }
+        SyntaxDefect::MisspellKeyword => {
+            if source.contains("assign") {
+                source.replacen("assign", "asign", 1)
+            } else if source.contains("always") {
+                source.replacen("always", "alway", 1)
+            } else {
+                format!("{source}\nmodule ;")
+            }
+        }
+    }
+}
+
+/// Appends an instantiation of a module that does not exist in the file,
+/// producing the paper's "dependency issue" class.
+pub fn inject_dependency_issue<R: Rng>(source: &str, rng: &mut R) -> String {
+    let phantoms =
+        ["clk_gate_cell", "vendor_sram_macro", "pll_wrapper", "pad_buffer", "scan_mux"];
+    let phantom = phantoms[rng.random_range(0..phantoms.len())];
+    match source.rfind("endmodule") {
+        Some(pos) => {
+            let inst = format!("  {phantom} u_{phantom}(.a(1'b0));\n");
+            format!("{}{}{}", &source[..pos], inst, &source[pos..])
+        }
+        None => source.to_owned(),
+    }
+}
+
+/// Textual style degradation that keeps the file compilable.
+pub fn degrade_text<R: Rng>(source: &str, severity: f64, rng: &mut R) -> String {
+    let severity = severity.clamp(0.0, 1.0);
+    let mut out = String::with_capacity(source.len() + 64);
+    for line in source.lines() {
+        let mut line = line.to_owned();
+        // strip comments
+        if severity > 0.3 && line.trim_start().starts_with("//") {
+            continue;
+        }
+        if rng.random::<f64>() < severity * 0.5 {
+            if let Some(pos) = line.find("//") {
+                line.truncate(pos);
+            }
+        }
+        // tabs for indent
+        if rng.random::<f64>() < severity * 0.4 && line.starts_with("  ") {
+            line = format!("\t{}", &line[2..]);
+        }
+        // trailing whitespace
+        if rng.random::<f64>() < severity * 0.4 {
+            line.push_str("   ");
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // pad one line beyond 100 chars
+    if rng.random::<f64>() < severity * 0.6 {
+        let pad = " ".repeat(40);
+        if let Some(pos) = out.find(";\n") {
+            out.insert_str(pos + 1, &format!(" //{pad}{pad}{pad}"));
+        }
+    }
+    out
+}
+
+/// Produces an "empty or broken" file body (paper's first filter class).
+pub fn broken_file<R: Rng>(rng: &mut R) -> String {
+    match rng.random_range(0..4) {
+        0 => String::new(),
+        1 => "   \n\t \n".to_owned(),
+        // binary-ish garbage: invalid leading bytes for any Verilog token
+        2 => "\u{1}\u{2}\u{3}£¥§ binary blob \u{7f}".to_owned(),
+        // text, but with no module declaration at all
+        _ => "// just a comment file\n// nothing else here\n".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::{check_source, SyntaxVerdict};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const CLEAN: &str = "// adder\nmodule m(input a, input b, output s, output c);\n  \
+                         assign s = a ^ b;\n  assign c = a & b;\nendmodule\n";
+
+    #[test]
+    fn every_syntax_defect_breaks_the_parse() {
+        for defect in SyntaxDefect::ALL {
+            let broken = apply_syntax_defect(CLEAN, defect);
+            let v = check_source(&broken);
+            assert!(
+                matches!(v, SyntaxVerdict::SyntaxError { .. }),
+                "{defect:?} produced {v:?}:\n{broken}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_issue_is_dependency_not_syntax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let broken = inject_dependency_issue(CLEAN, &mut rng);
+        assert!(matches!(check_source(&broken), SyntaxVerdict::DependencyIssue { .. }));
+    }
+
+    #[test]
+    fn degraded_text_still_compiles() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..20 {
+            let bad = degrade_text(CLEAN, 1.0, &mut rng);
+            assert!(check_source(&bad).is_compilable(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn degraded_text_lints_worse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let bad = degrade_text(CLEAN, 1.0, &mut rng);
+        let clean_m = pyranet_verilog::parse_module(CLEAN).unwrap();
+        let clean_p = pyranet_verilog::lint::lint_module(&clean_m, CLEAN).penalty();
+        let bad_m = pyranet_verilog::parse_module(&bad).unwrap();
+        let bad_p = pyranet_verilog::lint::lint_module(&bad_m, &bad).penalty();
+        assert!(bad_p > clean_p, "bad={bad_p} clean={clean_p}\n{bad}");
+    }
+
+    #[test]
+    fn broken_files_fail_early_filters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..12 {
+            let b = broken_file(&mut rng);
+            assert!(!check_source(&b).is_compilable(), "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The circuit families the corpus can generate.
+//!
+//! Each family is a parameterised design with a known golden behaviour;
+//! families double as VerilogEval-substitute problem specs in
+//! `pyranet-eval`.
+
+use serde::{Deserialize, Serialize};
+
+/// Circuit category, mirroring the paper's keyword database split into
+/// combinational and sequential circuits (§III-A.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Purely combinational.
+    Combinational,
+    /// Clocked.
+    Sequential,
+}
+
+/// A fully-parameterised design family instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignFamily {
+    /// 1-bit half adder.
+    HalfAdder,
+    /// 1-bit full adder.
+    FullAdder,
+    /// Ripple-carry adder built from full-adder instances.
+    RippleCarryAdder {
+        /// Operand width (2–8).
+        width: u32,
+    },
+    /// Behavioural adder (`assign {c,s} = a + b + cin`).
+    BehavioralAdder {
+        /// Operand width (2–16).
+        width: u32,
+    },
+    /// Adder/subtractor with a mode input.
+    AddSub {
+        /// Operand width.
+        width: u32,
+    },
+    /// Combinational multiplier.
+    Multiplier {
+        /// Operand width (2–8).
+        width: u32,
+    },
+    /// Unsigned comparator producing lt/eq/gt.
+    Comparator {
+        /// Operand width.
+        width: u32,
+    },
+    /// 2^sel-to-1 multiplexer.
+    Mux {
+        /// Select width (1–3), i.e. 2/4/8 inputs.
+        sel_width: u32,
+        /// Data width per input.
+        width: u32,
+    },
+    /// Binary decoder with enable.
+    Decoder {
+        /// Input width (1–4).
+        width: u32,
+    },
+    /// Priority encoder.
+    PriorityEncoder {
+        /// Output width; input has 2^width lines (1–4).
+        width: u32,
+    },
+    /// Even/odd parity generator.
+    Parity {
+        /// Input width.
+        width: u32,
+        /// True for even parity.
+        even: bool,
+    },
+    /// ALU over two operands with a small op set.
+    Alu {
+        /// Operand width.
+        width: u32,
+    },
+    /// Synchronous up counter with enable and reset.
+    Counter {
+        /// Counter width.
+        width: u32,
+    },
+    /// Up/down counter.
+    UpDownCounter {
+        /// Counter width.
+        width: u32,
+    },
+    /// Modulo-N counter with terminal-count output.
+    ModCounter {
+        /// Modulus (2–200).
+        modulus: u32,
+    },
+    /// D flip-flop with synchronous enable and async reset.
+    Dff,
+    /// Shift register (serial-in, parallel-out).
+    ShiftRegister {
+        /// Depth in bits.
+        width: u32,
+    },
+    /// Linear-feedback shift register (maximal-ish taps for small widths).
+    Lfsr {
+        /// Register width (3–8).
+        width: u32,
+    },
+    /// Rising-edge detector.
+    EdgeDetector,
+    /// Gray-code counter.
+    GrayCounter {
+        /// Width.
+        width: u32,
+    },
+    /// Binary→Gray converter (combinational).
+    BinToGray {
+        /// Width.
+        width: u32,
+    },
+    /// Sequence detector FSM (detects a fixed bit pattern, overlapping).
+    SequenceDetector {
+        /// The pattern bits, MSB first (length 3–5).
+        pattern: Vec<bool>,
+    },
+    /// Single-port synchronous RAM.
+    Ram {
+        /// Address width (2–5).
+        addr_width: u32,
+        /// Data width.
+        data_width: u32,
+    },
+    /// Register file with one write and one read port.
+    RegFile {
+        /// Address width (2–4).
+        addr_width: u32,
+        /// Data width.
+        data_width: u32,
+    },
+    /// Combinational barrel (rotate-left) shifter.
+    BarrelShifter {
+        /// Data width (must be a power of two, 4–32).
+        width: u32,
+    },
+    /// Johnson (twisted-ring) counter.
+    JohnsonCounter {
+        /// Register width (2–8).
+        width: u32,
+    },
+    /// One-hot ring counter.
+    RingCounter {
+        /// Register width (2–8).
+        width: u32,
+    },
+    /// Two-digit BCD counter with carry out.
+    BcdCounter,
+    /// BCD to seven-segment decoder.
+    SevenSeg,
+    /// Synchronous FIFO with full/empty flags.
+    Fifo {
+        /// Address width (2–4); depth is 2^addr_width.
+        addr_width: u32,
+        /// Data width.
+        data_width: u32,
+    },
+    /// Saturating up/down counter.
+    SaturatingCounter {
+        /// Counter width.
+        width: u32,
+    },
+    /// Three-input majority voter.
+    Majority,
+}
+
+impl DesignFamily {
+    /// Category of the family.
+    pub fn category(&self) -> Category {
+        use DesignFamily::*;
+        match self {
+            HalfAdder | FullAdder | RippleCarryAdder { .. } | BehavioralAdder { .. }
+            | AddSub { .. } | Multiplier { .. } | Comparator { .. } | Mux { .. }
+            | Decoder { .. } | PriorityEncoder { .. } | Parity { .. } | Alu { .. }
+            | BinToGray { .. } => Category::Combinational,
+            BarrelShifter { .. } | SevenSeg | Majority => Category::Combinational,
+            Counter { .. } | UpDownCounter { .. } | ModCounter { .. } | Dff
+            | ShiftRegister { .. } | Lfsr { .. } | EdgeDetector | GrayCounter { .. }
+            | SequenceDetector { .. } | Ram { .. } | RegFile { .. } | JohnsonCounter { .. }
+            | RingCounter { .. } | BcdCounter | Fifo { .. } | SaturatingCounter { .. } => {
+                Category::Sequential
+            }
+        }
+    }
+
+    /// Canonical (lower snake case) module name for this family instance.
+    pub fn module_name(&self) -> String {
+        use DesignFamily::*;
+        match self {
+            HalfAdder => "half_adder".into(),
+            FullAdder => "full_adder".into(),
+            RippleCarryAdder { width } => format!("ripple_carry_adder_{width}"),
+            BehavioralAdder { width } => format!("adder_{width}"),
+            AddSub { width } => format!("addsub_{width}"),
+            Multiplier { width } => format!("multiplier_{width}"),
+            Comparator { width } => format!("comparator_{width}"),
+            Mux { sel_width, width } => format!("mux{}_{width}", 1u32 << sel_width),
+            Decoder { width } => format!("decoder_{width}to{}", 1u32 << width),
+            PriorityEncoder { width } => format!("priority_encoder_{width}"),
+            Parity { width, even } => {
+                format!("{}_parity_{width}", if *even { "even" } else { "odd" })
+            }
+            Alu { width } => format!("alu_{width}"),
+            Counter { width } => format!("counter_{width}"),
+            UpDownCounter { width } => format!("updown_counter_{width}"),
+            ModCounter { modulus } => format!("mod{modulus}_counter"),
+            Dff => "dff_en".into(),
+            ShiftRegister { width } => format!("shift_register_{width}"),
+            Lfsr { width } => format!("lfsr_{width}"),
+            EdgeDetector => "edge_detector".into(),
+            GrayCounter { width } => format!("gray_counter_{width}"),
+            BinToGray { width } => format!("bin_to_gray_{width}"),
+            SequenceDetector { pattern } => {
+                let bits: String =
+                    pattern.iter().map(|b| if *b { '1' } else { '0' }).collect();
+                format!("seq_detector_{bits}")
+            }
+            Ram { addr_width, data_width } => format!("ram_{addr_width}x{data_width}"),
+            RegFile { addr_width, data_width } => {
+                format!("regfile_{addr_width}x{data_width}")
+            }
+            BarrelShifter { width } => format!("barrel_shifter_{width}"),
+            JohnsonCounter { width } => format!("johnson_counter_{width}"),
+            RingCounter { width } => format!("ring_counter_{width}"),
+            BcdCounter => "bcd_counter".into(),
+            SevenSeg => "seven_seg".into(),
+            Fifo { addr_width, data_width } => format!("fifo_{addr_width}x{data_width}"),
+            SaturatingCounter { width } => format!("sat_counter_{width}"),
+            Majority => "majority3".into(),
+        }
+    }
+
+    /// The keyword (paper Fig. 2 sense) this family expands.
+    pub fn base_keyword(&self) -> &'static str {
+        use DesignFamily::*;
+        match self {
+            HalfAdder | FullAdder | RippleCarryAdder { .. } | BehavioralAdder { .. }
+            | AddSub { .. } => "adder",
+            Multiplier { .. } => "multiplier",
+            Comparator { .. } => "comparator",
+            Mux { .. } => "multiplexer",
+            Decoder { .. } => "decoder",
+            PriorityEncoder { .. } => "encoder",
+            Parity { .. } => "parity",
+            Alu { .. } => "alu",
+            Counter { .. } | UpDownCounter { .. } | ModCounter { .. } | GrayCounter { .. } => {
+                "counter"
+            }
+            Dff | EdgeDetector => "flip-flop",
+            ShiftRegister { .. } | Lfsr { .. } => "shift register",
+            BinToGray { .. } => "code converter",
+            SequenceDetector { .. } => "fsm",
+            Ram { .. } | RegFile { .. } | Fifo { .. } => "memory",
+            BarrelShifter { .. } => "shift register",
+            JohnsonCounter { .. } | RingCounter { .. } | BcdCounter
+            | SaturatingCounter { .. } => "counter",
+            SevenSeg => "decoder",
+            Majority => "parity",
+        }
+    }
+
+    /// Enumerates a representative set of family instances for corpus
+    /// generation (the "expanded keywords" of Fig. 2).
+    pub fn catalog() -> Vec<DesignFamily> {
+        use DesignFamily::*;
+        let mut out = vec![HalfAdder, FullAdder, Dff, EdgeDetector];
+        for w in [2u32, 4, 6, 8] {
+            out.push(RippleCarryAdder { width: w });
+            out.push(Multiplier { width: w.min(6) });
+        }
+        for w in [4u32, 8, 12, 16] {
+            out.push(BehavioralAdder { width: w });
+            out.push(AddSub { width: w });
+            out.push(Comparator { width: w });
+            out.push(Alu { width: w });
+            out.push(Counter { width: w });
+            out.push(UpDownCounter { width: w });
+            out.push(ShiftRegister { width: w });
+            out.push(GrayCounter { width: w.min(8) });
+            out.push(BinToGray { width: w.min(8) });
+            out.push(Parity { width: w, even: w % 8 == 0 });
+        }
+        for s in [1u32, 2, 3] {
+            out.push(Mux { sel_width: s, width: 4 });
+            out.push(Mux { sel_width: s, width: 8 });
+        }
+        for w in [2u32, 3, 4] {
+            out.push(Decoder { width: w });
+            out.push(PriorityEncoder { width: w });
+        }
+        for m in [3u32, 5, 10, 12, 60] {
+            out.push(ModCounter { modulus: m });
+        }
+        for w in [3u32, 4, 5, 7, 8] {
+            out.push(Lfsr { width: w });
+        }
+        for pat in [[true, false, true].as_slice(), &[true, true, false, true], &[false, true, true], &[true, false, false, true, true]] {
+            out.push(SequenceDetector { pattern: pat.to_vec() });
+        }
+        for (a, d) in [(2u32, 4u32), (3, 8), (4, 8), (5, 16)] {
+            out.push(Ram { addr_width: a, data_width: d });
+        }
+        for (a, d) in [(2u32, 8u32), (3, 16), (4, 32)] {
+            out.push(RegFile { addr_width: a, data_width: d });
+        }
+        for w in [8u32, 16] {
+            out.push(BarrelShifter { width: w });
+        }
+        for w in [3u32, 4, 5] {
+            out.push(JohnsonCounter { width: w });
+            out.push(RingCounter { width: w });
+        }
+        out.push(BcdCounter);
+        out.push(SevenSeg);
+        for (a, d) in [(2u32, 8u32), (3, 8), (4, 16)] {
+            out.push(Fifo { addr_width: a, data_width: d });
+        }
+        for w in [2u32, 3, 4] {
+            out.push(SaturatingCounter { width: w });
+        }
+        out.push(Majority);
+        // Width clamping above can alias instances; keep the first of each.
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|f| seen.insert(f.module_name()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_substantial_and_unique_names() {
+        let cat = DesignFamily::catalog();
+        assert!(cat.len() >= 60, "catalog has {} entries", cat.len());
+        let mut names: Vec<String> = cat.iter().map(|f| f.module_name()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "module names must be unique");
+    }
+
+    #[test]
+    fn categories_split() {
+        let cat = DesignFamily::catalog();
+        let comb = cat.iter().filter(|f| f.category() == Category::Combinational).count();
+        let seq = cat.iter().filter(|f| f.category() == Category::Sequential).count();
+        assert!(comb > 10);
+        assert!(seq > 10);
+    }
+
+    #[test]
+    fn module_names_are_snake_case() {
+        for f in DesignFamily::catalog() {
+            let n = f.module_name();
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn base_keywords_cover_paper_examples() {
+        // The paper names adders, multipliers, counters, FSMs as examples.
+        let kws: std::collections::HashSet<&str> =
+            DesignFamily::catalog().iter().map(|f| f.base_keyword()).collect();
+        for k in ["adder", "multiplier", "counter", "fsm"] {
+            assert!(kws.contains(k), "missing keyword {k}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Arithmetic family generators: adders, subtractors, multipliers,
+//! comparators.
+
+use super::{header, inline, Rendered};
+use crate::style::StyleOptions;
+use std::fmt::Write as _;
+
+pub(crate) fn half_adder(style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let sum = style.naming.port("sum");
+    let cout = style.naming.port("carry_out");
+    let mut s = String::new();
+    header(&mut s, style, "Half adder: single-bit add without carry input.");
+    let _ = writeln!(s, "module half_adder(input {a}, input {b}, output {sum}, output {cout});");
+    let _ = writeln!(s, "  assign {sum} = {a} ^ {b};{}", inline(style, "sum is the XOR"));
+    let _ = writeln!(s, "  assign {cout} = {a} & {b};{}", inline(style, "carry is the AND"));
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("sum".into(), sum),
+            ("carry_out".into(), cout),
+        ],
+    }
+}
+
+pub(crate) fn full_adder(style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let cin = style.naming.port("carry_in");
+    let sum = style.naming.port("sum");
+    let cout = style.naming.port("carry_out");
+    let mut s = String::new();
+    header(&mut s, style, "Full adder: single-bit add with carry input.");
+    let _ = writeln!(
+        s,
+        "module full_adder(input {a}, input {b}, input {cin}, output {sum}, output {cout});"
+    );
+    let _ = writeln!(s, "  assign {sum} = {a} ^ {b} ^ {cin};");
+    let _ = writeln!(
+        s,
+        "  assign {cout} = ({a} & {b}) | ({a} & {cin}) | ({b} & {cin});{}",
+        inline(style, "majority function")
+    );
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("carry_in".into(), cin),
+            ("sum".into(), sum),
+            ("carry_out".into(), cout),
+        ],
+    }
+}
+
+pub(crate) fn ripple_carry_adder(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let cin = style.naming.port("carry_in");
+    let sum = style.naming.port("sum");
+    let cout = style.naming.port("carry_out");
+    let name = format!("ripple_carry_adder_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{width}-bit ripple-carry adder built from full-adder cells."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input [{hi}:0] {a}, input [{hi}:0] {b}, input {cin}, output [{hi}:0] {sum}, output {cout});"
+    );
+    if width > 1 {
+        let _ = writeln!(s, "  wire [{}:0] carry;", width - 2);
+    }
+    for i in 0..width {
+        let ci = if i == 0 { cin.clone() } else { format!("carry[{}]", i - 1) };
+        let co = if i == hi { cout.clone() } else { format!("carry[{i}]") };
+        let _ = writeln!(
+            s,
+            "  full_adder fa{i}(.a({a}[{i}]), .b({b}[{i}]), .cin({ci}), .sum({sum}[{i}]), .cout({co}));"
+        );
+    }
+    s.push_str("endmodule\n\n");
+    // The cell, with fixed canonical port names so instantiation is stable
+    // across naming schemes.
+    header(&mut s, style, "Full-adder cell.");
+    s.push_str(
+        "module full_adder(input a, input b, input cin, output sum, output cout);\n  \
+         assign sum = a ^ b ^ cin;\n  \
+         assign cout = (a & b) | (a & cin) | (b & cin);\nendmodule\n",
+    );
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("carry_in".into(), cin),
+            ("sum".into(), sum),
+            ("carry_out".into(), cout),
+        ],
+    }
+}
+
+pub(crate) fn behavioral_adder(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let cin = style.naming.port("carry_in");
+    let sum = style.naming.port("sum");
+    let cout = style.naming.port("carry_out");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-bit behavioural adder with carry in and out."));
+    let _ = writeln!(
+        s,
+        "module adder_{width}(input [{hi}:0] {a}, input [{hi}:0] {b}, input {cin}, output [{hi}:0] {sum}, output {cout});"
+    );
+    let _ = writeln!(
+        s,
+        "  assign {{{cout}, {sum}}} = {a} + {b} + {cin};{}",
+        inline(style, "single-expression carry-propagate add")
+    );
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("carry_in".into(), cin),
+            ("sum".into(), sum),
+            ("carry_out".into(), cout),
+        ],
+    }
+}
+
+pub(crate) fn addsub(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let res = style.naming.port("result");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{width}-bit adder/subtractor: mode 0 adds, mode 1 subtracts."),
+    );
+    let _ = writeln!(
+        s,
+        "module addsub_{width}(input [{hi}:0] {a}, input [{hi}:0] {b}, input mode, output [{hi}:0] {res});"
+    );
+    let _ = writeln!(s, "  wire [{hi}:0] b_eff;");
+    let _ = writeln!(s, "  assign b_eff = mode ? ~{b} : {b};{}", inline(style, "invert for subtraction"));
+    let _ = writeln!(s, "  assign {res} = {a} + b_eff + mode;{}", inline(style, "two's complement add"));
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("mode".into(), "mode".into()),
+            ("result".into(), res),
+        ],
+    }
+}
+
+pub(crate) fn multiplier(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let p = style.naming.port("product");
+    let hi = width - 1;
+    let phi = 2 * width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}x{width} unsigned combinational multiplier."));
+    let _ = writeln!(
+        s,
+        "module multiplier_{width}(input [{hi}:0] {a}, input [{hi}:0] {b}, output [{phi}:0] {p});"
+    );
+    let _ = writeln!(s, "  assign {p} = {a} * {b};");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("product".into(), p),
+        ],
+    }
+}
+
+pub(crate) fn comparator(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-bit unsigned comparator with lt/eq/gt outputs."));
+    let _ = writeln!(
+        s,
+        "module comparator_{width}(input [{hi}:0] {a}, input [{hi}:0] {b}, output lt, output eq, output gt);"
+    );
+    let _ = writeln!(s, "  assign lt = {a} < {b};");
+    let _ = writeln!(s, "  assign eq = {a} == {b};");
+    let _ = writeln!(s, "  assign gt = {a} > {b};");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("lt".into(), "lt".into()),
+            ("eq".into(), "eq".into()),
+            ("gt".into(), "gt".into()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::Simulator;
+
+    #[test]
+    fn behavioral_adder_adds() {
+        let r = behavioral_adder(8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "adder_8").unwrap();
+        sim.set("a", 123).unwrap();
+        sim.set("b", 99).unwrap();
+        sim.set("cin", 1).unwrap();
+        assert_eq!(sim.get("sum").unwrap().as_u64(), 223);
+        assert_eq!(sim.get("cout").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn ripple_matches_behavioral() {
+        let style = StyleOptions::clean();
+        let r = ripple_carry_adder(4, &style);
+        let mut sim = Simulator::from_source(&r.source, "ripple_carry_adder_4").unwrap();
+        for a in [0u64, 3, 7, 15] {
+            for b in [0u64, 1, 8, 15] {
+                for cin in [0u64, 1] {
+                    sim.set("a", a).unwrap();
+                    sim.set("b", b).unwrap();
+                    sim.set("cin", cin).unwrap();
+                    let got = (sim.get("cout").unwrap().as_u64() << 4)
+                        | sim.get("sum").unwrap().as_u64();
+                    assert_eq!(got, a + b + cin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addsub_subtracts() {
+        let r = addsub(8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "addsub_8").unwrap();
+        sim.set("a", 50).unwrap();
+        sim.set("b", 20).unwrap();
+        sim.set("mode", 1).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 30);
+        sim.set("mode", 0).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 70);
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let r = comparator(8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "comparator_8").unwrap();
+        sim.set("a", 5).unwrap();
+        sim.set("b", 9).unwrap();
+        assert_eq!(sim.get("lt").unwrap().as_u64(), 1);
+        assert_eq!(sim.get("eq").unwrap().as_u64(), 0);
+        sim.set("b", 5).unwrap();
+        assert_eq!(sim.get("eq").unwrap().as_u64(), 1);
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let r = multiplier(6, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "multiplier_6").unwrap();
+        sim.set("a", 31).unwrap();
+        sim.set("b", 17).unwrap();
+        assert_eq!(sim.get("p").unwrap().as_u64(), 31 * 17);
+    }
+}

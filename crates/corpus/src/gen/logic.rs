@@ -1,0 +1,286 @@
+//! Combinational logic generators: muxes, decoders, encoders, parity, ALU,
+//! code converters.
+
+use super::{header, inline, lit, Rendered};
+use crate::style::StyleOptions;
+use std::fmt::Write as _;
+
+pub(crate) fn mux(sel_width: u32, width: u32, style: &StyleOptions) -> Rendered {
+    let n = 1u32 << sel_width;
+    let sel = style.naming.port("select");
+    let y = style.naming.port("result");
+    let hi = width - 1;
+    let name = format!("mux{n}_{width}");
+    let mut s = String::new();
+    header(&mut s, style, &format!("{n}-to-1 multiplexer, {width}-bit data path."));
+    let _ = write!(s, "module {name}(");
+    for i in 0..n {
+        let _ = write!(s, "input [{hi}:0] d{i}, ");
+    }
+    let selhi = sel_width - 1;
+    if sel_width == 1 {
+        let _ = writeln!(s, "input {sel}, output reg [{hi}:0] {y});");
+    } else {
+        let _ = writeln!(s, "input [{selhi}:0] {sel}, output reg [{hi}:0] {y});");
+    }
+    let _ = writeln!(s, "  always @* begin");
+    let _ = writeln!(s, "    case ({sel})");
+    for i in 0..n {
+        let label = lit(style, sel_width, u64::from(i));
+        if i == n - 1 && style.case_default {
+            let _ = writeln!(s, "      default: {y} = d{i};");
+        } else {
+            let _ = writeln!(s, "      {label}: {y} = d{i};");
+        }
+    }
+    let _ = writeln!(s, "    endcase");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    let mut ports = vec![("select".into(), sel), ("result".into(), y)];
+    for i in 0..n {
+        ports.push((format!("data{i}"), format!("d{i}")));
+    }
+    Rendered { source: s, ports }
+}
+
+pub(crate) fn decoder(width: u32, style: &StyleOptions) -> Rendered {
+    let n = 1u32 << width;
+    let en = style.naming.port("enable");
+    let y = style.naming.port("result");
+    let name = format!("decoder_{width}to{n}");
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-to-{n} binary decoder with enable."));
+    let inhi = width - 1;
+    let outhi = n - 1;
+    let _ = writeln!(
+        s,
+        "module {name}(input [{inhi}:0] addr, input {en}, output [{outhi}:0] {y});"
+    );
+    let one = lit(style, n, 1);
+    let _ = writeln!(
+        s,
+        "  assign {y} = {en} ? ({one} << addr) : {};{}",
+        lit(style, n, 0),
+        inline(style, "one-hot when enabled")
+    );
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("addr".into(), "addr".into()),
+            ("enable".into(), en),
+            ("result".into(), y),
+        ],
+    }
+}
+
+pub(crate) fn priority_encoder(width: u32, style: &StyleOptions) -> Rendered {
+    let n = 1u32 << width;
+    let y = style.naming.port("result");
+    let name = format!("priority_encoder_{width}");
+    let inhi = n - 1;
+    let outhi = width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{n}-line priority encoder; highest set bit wins, valid flags any input."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input [{inhi}:0] req, output reg [{outhi}:0] {y}, output valid);"
+    );
+    let _ = writeln!(s, "  assign valid = |req;");
+    let _ = writeln!(s, "  integer i;");
+    let _ = writeln!(s, "  always @* begin");
+    let _ = writeln!(s, "    {y} = {};", lit(style, width, 0));
+    let _ = writeln!(s, "    for (i = 0; i < {n}; i = i + 1) begin");
+    let _ = writeln!(s, "      if (req[i]) {y} = i[{outhi}:0];{}", inline(style, "later iterations take priority"));
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("req".into(), "req".into()),
+            ("result".into(), y),
+            ("valid".into(), "valid".into()),
+        ],
+    }
+}
+
+pub(crate) fn parity(width: u32, even: bool, style: &StyleOptions) -> Rendered {
+    let y = style.naming.port("result");
+    let kind = if even { "even" } else { "odd" };
+    let name = format!("{kind}_parity_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{kind} parity generator over a {width}-bit word."));
+    let _ = writeln!(s, "module {name}(input [{hi}:0] data, output {y});");
+    if even {
+        let _ = writeln!(s, "  assign {y} = ^data;{}", inline(style, "xor-reduce: 1 when odd number of ones"));
+    } else {
+        let _ = writeln!(s, "  assign {y} = ~^data;");
+    }
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![("data".into(), "data".into()), ("result".into(), y)],
+    }
+}
+
+pub(crate) fn alu(width: u32, style: &StyleOptions) -> Rendered {
+    let a = style.naming.port("operand_a");
+    let b = style.naming.port("operand_b");
+    let y = style.naming.port("result");
+    let name = format!("alu_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{width}-bit ALU: 000 add, 001 sub, 010 and, 011 or, 100 xor, 101 slt, 110 shl, 111 shr."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input [{hi}:0] {a}, input [{hi}:0] {b}, input [2:0] op, output reg [{hi}:0] {y}, output zero);"
+    );
+    let _ = writeln!(s, "  assign zero = {y} == {};", lit(style, width, 0));
+    let _ = writeln!(s, "  always @* begin");
+    let _ = writeln!(s, "    case (op)");
+    let cases = [
+        ("add", format!("{a} + {b}")),
+        ("sub", format!("{a} - {b}")),
+        ("and", format!("{a} & {b}")),
+        ("or", format!("{a} | {b}")),
+        ("xor", format!("{a} ^ {b}")),
+        ("slt", format!("{{{}{{1'b0}}}} + ({a} < {b})", width - 1)),
+        ("shl", format!("{a} << {b}[2:0]")),
+        ("shr", format!("{a} >> {b}[2:0]")),
+    ];
+    for (i, (opname, expr)) in cases.iter().enumerate() {
+        let is_last = i == cases.len() - 1;
+        if is_last && style.case_default {
+            let _ = writeln!(s, "      default: {y} = {expr};{}", inline(style, opname));
+        } else {
+            let _ = writeln!(
+                s,
+                "      {}: {y} = {expr};{}",
+                lit(style, 3, i as u64),
+                inline(style, opname)
+            );
+        }
+    }
+    if !style.case_default {
+        // without a default arm the case covers all 8 op codes explicitly
+    }
+    let _ = writeln!(s, "    endcase");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("operand_a".into(), a),
+            ("operand_b".into(), b),
+            ("op".into(), "op".into()),
+            ("result".into(), y),
+            ("zero".into(), "zero".into()),
+        ],
+    }
+}
+
+pub(crate) fn bin_to_gray(width: u32, style: &StyleOptions) -> Rendered {
+    let y = style.naming.port("result");
+    let name = format!("bin_to_gray_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-bit binary to Gray code converter."));
+    let _ = writeln!(s, "module {name}(input [{hi}:0] bin, output [{hi}:0] {y});");
+    let _ = writeln!(s, "  assign {y} = bin ^ (bin >> 1);{}", inline(style, "classic gray encoding"));
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![("bin".into(), "bin".into()), ("result".into(), y)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::Simulator;
+
+    #[test]
+    fn mux4_selects() {
+        let r = mux(2, 8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "mux4_8").unwrap();
+        for (i, v) in [11u64, 22, 33, 44].iter().enumerate() {
+            sim.set(&format!("d{i}"), *v).unwrap();
+        }
+        for i in 0..4u64 {
+            sim.set("sel", i).unwrap();
+            assert_eq!(sim.get("y").unwrap().as_u64(), [11u64, 22, 33, 44][i as usize]);
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let r = decoder(3, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "decoder_3to8").unwrap();
+        sim.set("en", 1).unwrap();
+        for a in 0..8u64 {
+            sim.set("addr", a).unwrap();
+            assert_eq!(sim.get("y").unwrap().as_u64(), 1 << a);
+        }
+        sim.set("en", 0).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn priority_encoder_prefers_msb() {
+        let r = priority_encoder(3, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "priority_encoder_3").unwrap();
+        sim.set("req", 0b0010_1001).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 5);
+        assert_eq!(sim.get("valid").unwrap().as_u64(), 1);
+        sim.set("req", 0).unwrap();
+        assert_eq!(sim.get("valid").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn parity_both_kinds() {
+        let r = parity(8, true, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "even_parity_8").unwrap();
+        sim.set("data", 0b0110_0001).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 1, "three ones -> odd count -> bit set");
+        let r = parity(8, false, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "odd_parity_8").unwrap();
+        sim.set("data", 0b0110_0001).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn alu_all_ops() {
+        let r = alu(8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "alu_8").unwrap();
+        sim.set("a", 12).unwrap();
+        sim.set("b", 5).unwrap();
+        let expect = [17u64, 7, 4, 13, 9, 0, 12 << 5 & 0xFF, 0];
+        for (op, e) in expect.iter().enumerate() {
+            sim.set("op", op as u64).unwrap();
+            assert_eq!(sim.get("y").unwrap().as_u64(), *e, "op={op}");
+        }
+        sim.set("b", 200).unwrap();
+        sim.set("op", 5).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 1, "slt");
+    }
+
+    #[test]
+    fn gray_conversion() {
+        let r = bin_to_gray(4, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "bin_to_gray_4").unwrap();
+        for b in 0..16u64 {
+            sim.set("bin", b).unwrap();
+            assert_eq!(sim.get("y").unwrap().as_u64(), b ^ (b >> 1));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Memory family generators: RAM and register file.
+
+use super::{header, inline, lit, Rendered};
+use crate::style::StyleOptions;
+use std::fmt::Write as _;
+
+pub(crate) fn ram(addr_width: u32, data_width: u32, style: &StyleOptions) -> Rendered {
+    let (clk, we) = (style.naming.port("clock"), "we".to_owned());
+    let name = format!("ram_{addr_width}x{data_width}");
+    let words = 1u32 << addr_width;
+    let ahi = addr_width - 1;
+    let dhi = data_width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("Single-port synchronous RAM: {words} words of {data_width} bits, read-after-write."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input {clk}, input {we}, input [{ahi}:0] addr, input [{dhi}:0] din, output reg [{dhi}:0] dout);"
+    );
+    let _ = writeln!(s, "  reg [{dhi}:0] mem [0:{}];", words - 1);
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(s, "    if ({we}) mem[addr] <= din;{}", inline(style, "synchronous write"));
+    let _ = writeln!(s, "    dout <= mem[addr];{}", inline(style, "registered read"));
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("clock".into(), clk),
+            ("we".into(), we),
+            ("addr".into(), "addr".into()),
+            ("din".into(), "din".into()),
+            ("dout".into(), "dout".into()),
+        ],
+    }
+}
+
+pub(crate) fn regfile(addr_width: u32, data_width: u32, style: &StyleOptions) -> Rendered {
+    let clk = style.naming.port("clock");
+    let name = format!("regfile_{addr_width}x{data_width}");
+    let words = 1u32 << addr_width;
+    let ahi = addr_width - 1;
+    let dhi = data_width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("Register file: {words} x {data_width}-bit, one sync write port, one async read port; register 0 reads as zero."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input {clk}, input we, input [{ahi}:0] waddr, input [{dhi}:0] wdata, input [{ahi}:0] raddr, output [{dhi}:0] rdata);"
+    );
+    let _ = writeln!(s, "  reg [{dhi}:0] regs [0:{}];", words - 1);
+    let zero = lit(style, data_width, 0);
+    let _ = writeln!(
+        s,
+        "  assign rdata = raddr == {} ? {zero} : regs[raddr];{}",
+        lit(style, addr_width, 0),
+        inline(style, "x0 is hardwired to zero")
+    );
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(s, "    if (we) regs[waddr] <= wdata;");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("clock".into(), clk),
+            ("we".into(), "we".into()),
+            ("waddr".into(), "waddr".into()),
+            ("wdata".into(), "wdata".into()),
+            ("raddr".into(), "raddr".into()),
+            ("rdata".into(), "rdata".into()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::Simulator;
+
+    #[test]
+    fn ram_stores_and_loads() {
+        let r = ram(3, 8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "ram_3x8").unwrap();
+        for a in 0..8u64 {
+            sim.set("we", 1).unwrap();
+            sim.set("addr", a).unwrap();
+            sim.set("din", a * 11).unwrap();
+            sim.clock("clk").unwrap();
+        }
+        sim.set("we", 0).unwrap();
+        for a in 0..8u64 {
+            sim.set("addr", a).unwrap();
+            sim.clock("clk").unwrap();
+            assert_eq!(sim.get("dout").unwrap().as_u64(), (a * 11) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn regfile_reads_async_and_zero_register() {
+        let r = regfile(2, 8, &StyleOptions::clean());
+        let mut sim = Simulator::from_source(&r.source, "regfile_2x8").unwrap();
+        sim.set("we", 1).unwrap();
+        sim.set("waddr", 2).unwrap();
+        sim.set("wdata", 0x5A).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("we", 0).unwrap();
+        sim.set("raddr", 2).unwrap();
+        assert_eq!(sim.get("rdata").unwrap().as_u64(), 0x5A);
+        sim.set("raddr", 0).unwrap();
+        assert_eq!(sim.get("rdata").unwrap().as_u64(), 0, "register zero is hardwired");
+    }
+}

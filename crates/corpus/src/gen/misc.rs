@@ -1,0 +1,406 @@
+//! Additional circuit families: shifters, ring/Johnson/BCD counters,
+//! seven-segment decoding, FIFOs, saturating counters, majority voters.
+
+use super::{header, inline, lit, Rendered};
+use crate::style::StyleOptions;
+use std::fmt::Write as _;
+
+pub(crate) fn barrel_shifter(width: u32, style: &StyleOptions) -> Rendered {
+    let y = style.naming.port("result");
+    let name = format!("barrel_shifter_{width}");
+    let hi = width - 1;
+    let shw = 32 - (width - 1).leading_zeros();
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-bit barrel shifter (rotate left by amt)."));
+    let _ = writeln!(
+        s,
+        "module {name}(input [{hi}:0] data, input [{}:0] amt, output [{hi}:0] {y});",
+        shw - 1
+    );
+    let _ = writeln!(
+        s,
+        "  assign {y} = (data << amt) | (data >> ({width} - amt));{}",
+        inline(style, "rotate = shift out | shift in")
+    );
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("data".into(), "data".into()),
+            ("amt".into(), "amt".into()),
+            ("result".into(), y),
+        ],
+    }
+}
+
+pub(crate) fn johnson_counter(width: u32, style: &StyleOptions) -> Rendered {
+    let (clk, rst) = (style.naming.port("clock"), style.naming.port("reset"));
+    let q = style.naming.port("count");
+    let name = format!("johnson_counter_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{width}-bit Johnson (twisted-ring) counter: 2*{width} state cycle."),
+    );
+    let _ = writeln!(s, "module {name}(input {clk}, input {rst}, output reg [{hi}:0] {q});");
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(s, "    if ({rst}) {q} <= {};", lit(style, width, 0));
+    let _ = writeln!(
+        s,
+        "    else {q} <= {{{q}[{}:0], ~{q}[{hi}]}};{}",
+        hi - 1,
+        inline(style, "feed back the inverted MSB")
+    );
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![("clock".into(), clk), ("reset".into(), rst), ("count".into(), q)],
+    }
+}
+
+pub(crate) fn ring_counter(width: u32, style: &StyleOptions) -> Rendered {
+    let (clk, rst) = (style.naming.port("clock"), style.naming.port("reset"));
+    let q = style.naming.port("count");
+    let name = format!("ring_counter_{width}");
+    let hi = width - 1;
+    let mut s = String::new();
+    header(&mut s, style, &format!("{width}-bit one-hot ring counter."));
+    let _ = writeln!(s, "module {name}(input {clk}, input {rst}, output reg [{hi}:0] {q});");
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(
+        s,
+        "    if ({rst}) {q} <= {};{}",
+        lit(style, width, 1),
+        inline(style, "reset to the one-hot seed")
+    );
+    let _ = writeln!(s, "    else {q} <= {{{q}[{}:0], {q}[{hi}]}};", hi - 1);
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![("clock".into(), clk), ("reset".into(), rst), ("count".into(), q)],
+    }
+}
+
+pub(crate) fn bcd_counter(style: &StyleOptions) -> Rendered {
+    let (clk, rst) = (style.naming.port("clock"), style.naming.port("reset"));
+    let mut s = String::new();
+    header(&mut s, style, "Two-digit BCD counter (00-99) with a carry-out pulse at 99.");
+    let _ = writeln!(
+        s,
+        "module bcd_counter(input {clk}, input {rst}, output reg [3:0] ones, output reg [3:0] tens, output co);"
+    );
+    let nine = lit(style, 4, 9);
+    let zero = lit(style, 4, 0);
+    let one = lit(style, 4, 1);
+    let _ = writeln!(s, "  assign co = ones == {nine} && tens == {nine};");
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(s, "    if ({rst}) begin ones <= {zero}; tens <= {zero}; end");
+    let _ = writeln!(s, "    else if (ones == {nine}) begin");
+    let _ = writeln!(s, "      ones <= {zero};");
+    let _ = writeln!(
+        s,
+        "      if (tens == {nine}) tens <= {zero}; else tens <= tens + {one};"
+    );
+    let _ = writeln!(s, "    end else ones <= ones + {one};");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("clock".into(), clk),
+            ("reset".into(), rst),
+            ("ones".into(), "ones".into()),
+            ("tens".into(), "tens".into()),
+            ("co".into(), "co".into()),
+        ],
+    }
+}
+
+/// Segment patterns for 0–9 (active-high, gfedcba order).
+pub(crate) const SEVEN_SEG: [u64; 10] =
+    [0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F];
+
+pub(crate) fn seven_seg(style: &StyleOptions) -> Rendered {
+    let mut s = String::new();
+    header(&mut s, style, "BCD to seven-segment decoder (active-high, gfedcba).");
+    let _ = writeln!(s, "module seven_seg(input [3:0] digit, output reg [6:0] seg);");
+    let _ = writeln!(s, "  always @* begin");
+    let _ = writeln!(s, "    case (digit)");
+    for (d, pat) in SEVEN_SEG.iter().enumerate() {
+        let _ = writeln!(s, "      {}: seg = {};", lit(style, 4, d as u64), lit(style, 7, *pat));
+    }
+    let _ = writeln!(
+        s,
+        "      default: seg = {};{}",
+        lit(style, 7, 0),
+        inline(style, "blank for non-decimal inputs")
+    );
+    let _ = writeln!(s, "    endcase");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![("digit".into(), "digit".into()), ("seg".into(), "seg".into())],
+    }
+}
+
+pub(crate) fn fifo(addr_width: u32, data_width: u32, style: &StyleOptions) -> Rendered {
+    let clk = style.naming.port("clock");
+    let rst = style.naming.port("reset");
+    let name = format!("fifo_{addr_width}x{data_width}");
+    let depth = 1u32 << addr_width;
+    let ahi = addr_width; // pointers carry an extra wrap bit
+    let dhi = data_width - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("Synchronous FIFO, {depth} entries x {data_width} bits, with full/empty flags."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input {clk}, input {rst}, input push, input pop, input [{dhi}:0] din, output [{dhi}:0] dout, output full, output empty);"
+    );
+    let _ = writeln!(s, "  reg [{dhi}:0] mem [0:{}];", depth - 1);
+    let _ = writeln!(s, "  reg [{ahi}:0] wptr, rptr;");
+    let _ = writeln!(s, "  assign empty = wptr == rptr;");
+    let _ = writeln!(
+        s,
+        "  assign full = wptr[{}] != rptr[{}] && wptr[{}:0] == rptr[{}:0];{}",
+        ahi,
+        ahi,
+        ahi - 1,
+        ahi - 1,
+        inline(style, "same index, different wrap bit")
+    );
+    let _ = writeln!(s, "  assign dout = mem[rptr[{}:0]];", ahi - 1);
+    let one = lit(style, addr_width + 1, 1);
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(
+        s,
+        "    if ({rst}) begin wptr <= {z}; rptr <= {z}; end",
+        z = lit(style, addr_width + 1, 0)
+    );
+    let _ = writeln!(s, "    else begin");
+    let _ = writeln!(s, "      if (push && !full) begin");
+    let _ = writeln!(s, "        mem[wptr[{}:0]] <= din;", ahi - 1);
+    let _ = writeln!(s, "        wptr <= wptr + {one};");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "      if (pop && !empty) rptr <= rptr + {one};");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("clock".into(), clk),
+            ("reset".into(), rst),
+            ("push".into(), "push".into()),
+            ("pop".into(), "pop".into()),
+            ("din".into(), "din".into()),
+            ("dout".into(), "dout".into()),
+            ("full".into(), "full".into()),
+            ("empty".into(), "empty".into()),
+        ],
+    }
+}
+
+pub(crate) fn saturating_counter(width: u32, style: &StyleOptions) -> Rendered {
+    let (clk, rst) = (style.naming.port("clock"), style.naming.port("reset"));
+    let q = style.naming.port("count");
+    let name = format!("sat_counter_{width}");
+    let hi = width - 1;
+    let max = (1u64 << width) - 1;
+    let mut s = String::new();
+    header(
+        &mut s,
+        style,
+        &format!("{width}-bit saturating up/down counter (clamps at 0 and {max})."),
+    );
+    let _ = writeln!(
+        s,
+        "module {name}(input {clk}, input {rst}, input up, input down, output reg [{hi}:0] {q});"
+    );
+    let one = lit(style, width, 1);
+    let maxlit = lit(style, width, max);
+    let zero = lit(style, width, 0);
+    let _ = writeln!(s, "  always @(posedge {clk}) begin");
+    let _ = writeln!(s, "    if ({rst}) {q} <= {zero};");
+    let _ = writeln!(s, "    else if (up && !down && {q} != {maxlit}) {q} <= {q} + {one};");
+    let _ = writeln!(s, "    else if (down && !up && {q} != {zero}) {q} <= {q} - {one};");
+    let _ = writeln!(s, "  end");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("clock".into(), clk),
+            ("reset".into(), rst),
+            ("up".into(), "up".into()),
+            ("down".into(), "down".into()),
+            ("count".into(), q),
+        ],
+    }
+}
+
+pub(crate) fn majority(style: &StyleOptions) -> Rendered {
+    let y = style.naming.port("result");
+    let mut s = String::new();
+    header(&mut s, style, "Three-input majority voter.");
+    let _ = writeln!(s, "module majority3(input a, input b, input c, output {y});");
+    let _ = writeln!(s, "  assign {y} = (a & b) | (a & c) | (b & c);");
+    s.push_str("endmodule\n");
+    Rendered {
+        source: s,
+        ports: vec![
+            ("a".into(), "a".into()),
+            ("b".into(), "b".into()),
+            ("c".into(), "c".into()),
+            ("result".into(), y),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::Simulator;
+
+    fn clean() -> StyleOptions {
+        StyleOptions::clean()
+    }
+
+    #[test]
+    fn barrel_rotates() {
+        let r = barrel_shifter(8, &clean());
+        let mut sim = Simulator::from_source(&r.source, "barrel_shifter_8").unwrap();
+        sim.set("data", 0b1000_0001).unwrap();
+        sim.set("amt", 1).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 0b0000_0011);
+        sim.set("amt", 4).unwrap();
+        assert_eq!(sim.get("y").unwrap().as_u64(), 0b0001_1000);
+    }
+
+    #[test]
+    fn johnson_cycles_2n_states() {
+        let r = johnson_counter(4, &clean());
+        let mut sim = Simulator::from_source(&r.source, "johnson_counter_4").unwrap();
+        sim.set("rst", 1).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        let mut states = Vec::new();
+        for _ in 0..8 {
+            states.push(sim.get("count").unwrap().as_u64());
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(states, vec![0b0000, 0b0001, 0b0011, 0b0111, 0b1111, 0b1110, 0b1100, 0b1000]);
+        assert_eq!(sim.get("count").unwrap().as_u64(), 0, "period 2n");
+    }
+
+    #[test]
+    fn ring_rotates_one_hot() {
+        let r = ring_counter(4, &clean());
+        let mut sim = Simulator::from_source(&r.source, "ring_counter_4").unwrap();
+        sim.set("rst", 1).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        for expect in [1u64, 2, 4, 8, 1, 2] {
+            assert_eq!(sim.get("count").unwrap().as_u64(), expect);
+            sim.clock("clk").unwrap();
+        }
+    }
+
+    #[test]
+    fn bcd_counts_and_wraps() {
+        let r = bcd_counter(&clean());
+        let mut sim = Simulator::from_source(&r.source, "bcd_counter").unwrap();
+        sim.set("rst", 1).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        for _ in 0..99 {
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(sim.get("ones").unwrap().as_u64(), 9);
+        assert_eq!(sim.get("tens").unwrap().as_u64(), 9);
+        assert_eq!(sim.get("co").unwrap().as_u64(), 1);
+        sim.clock("clk").unwrap();
+        assert_eq!(sim.get("ones").unwrap().as_u64(), 0);
+        assert_eq!(sim.get("tens").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn seven_seg_patterns() {
+        let r = seven_seg(&clean());
+        let mut sim = Simulator::from_source(&r.source, "seven_seg").unwrap();
+        for (d, pat) in SEVEN_SEG.iter().enumerate() {
+            sim.set("digit", d as u64).unwrap();
+            assert_eq!(sim.get("seg").unwrap().as_u64(), *pat, "digit {d}");
+        }
+        sim.set("digit", 12).unwrap();
+        assert_eq!(sim.get("seg").unwrap().as_u64(), 0, "blank for >9");
+    }
+
+    #[test]
+    fn fifo_orders_and_flags() {
+        let r = fifo(2, 8, &clean());
+        let mut sim = Simulator::from_source(&r.source, "fifo_2x8").unwrap();
+        sim.set("rst", 1).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        assert_eq!(sim.get("empty").unwrap().as_u64(), 1);
+        // push 4 values -> full
+        sim.set("push", 1).unwrap();
+        for v in [10u64, 20, 30, 40] {
+            sim.set("din", v).unwrap();
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(sim.get("full").unwrap().as_u64(), 1);
+        // a 5th push is ignored
+        sim.set("din", 99).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("push", 0).unwrap();
+        // pop everything in order
+        sim.set("pop", 1).unwrap();
+        for expect in [10u64, 20, 30, 40] {
+            assert_eq!(sim.get("dout").unwrap().as_u64(), expect);
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(sim.get("empty").unwrap().as_u64(), 1);
+    }
+
+    #[test]
+    fn saturating_counter_clamps() {
+        let r = saturating_counter(2, &clean());
+        let mut sim = Simulator::from_source(&r.source, "sat_counter_2").unwrap();
+        sim.set("rst", 1).unwrap();
+        sim.clock("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        sim.set("up", 1).unwrap();
+        for _ in 0..6 {
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(sim.get("count").unwrap().as_u64(), 3, "clamped at max");
+        sim.set("up", 0).unwrap();
+        sim.set("down", 1).unwrap();
+        for _ in 0..6 {
+            sim.clock("clk").unwrap();
+        }
+        assert_eq!(sim.get("count").unwrap().as_u64(), 0, "clamped at zero");
+    }
+
+    #[test]
+    fn majority_votes() {
+        let r = majority(&clean());
+        let mut sim = Simulator::from_source(&r.source, "majority3").unwrap();
+        for bits in 0..8u64 {
+            sim.set("a", bits & 1).unwrap();
+            sim.set("b", (bits >> 1) & 1).unwrap();
+            sim.set("c", (bits >> 2) & 1).unwrap();
+            let expect = u64::from(bits.count_ones() >= 2);
+            assert_eq!(sim.get("y").unwrap().as_u64(), expect, "bits {bits:03b}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Parameterised Verilog generators for every [`DesignFamily`].
+//!
+//! Each generator renders source text under a [`StyleOptions`] bundle and
+//! parses it back through `pyranet-verilog` — so by construction every
+//! *clean* design in the corpus passes the same front end the curation
+//! pipeline uses. Functional defects are never introduced here; quality
+//! spread comes from style degradation (and, later, [`crate::defect`]
+//! injection for the broken tiers).
+
+use crate::describe;
+use crate::families::DesignFamily;
+use crate::style::StyleOptions;
+use pyranet_verilog::ast::Module;
+use pyranet_verilog::parse_module;
+use rand::Rng;
+use std::fmt::Write as _;
+
+mod arith;
+mod logic;
+mod mem;
+mod misc;
+mod seq;
+
+/// A generated design: structured spec + rendered artefacts.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The family instance this design implements.
+    pub family: DesignFamily,
+    /// Parsed module AST.
+    pub module: Module,
+    /// Rendered source.
+    pub source: String,
+    /// Natural-language description (the fine-tuning input).
+    pub description: String,
+    /// Role → concrete port name map (used by testbench synthesis).
+    pub ports: Vec<(String, String)>,
+}
+
+impl Design {
+    /// Name of the port playing `role`, if present.
+    pub fn port(&self, role: &str) -> Option<&str> {
+        self.ports.iter().find(|(r, _)| r == role).map(|(_, n)| n.as_str())
+    }
+}
+
+/// Internal render result before parsing.
+pub(crate) struct Rendered {
+    pub source: String,
+    pub ports: Vec<(String, String)>,
+}
+
+/// Generates a design for `family` in the given style.
+///
+/// # Panics
+///
+/// Panics if an internal template fails to parse — that is a bug in the
+/// generator, not a data condition, and the test suite locks it down for
+/// the whole catalog.
+pub fn generate<R: Rng>(family: &DesignFamily, style: &StyleOptions, rng: &mut R) -> Design {
+    use DesignFamily::*;
+    let rendered = match family {
+        HalfAdder => arith::half_adder(style),
+        FullAdder => arith::full_adder(style),
+        RippleCarryAdder { width } => arith::ripple_carry_adder(*width, style),
+        BehavioralAdder { width } => arith::behavioral_adder(*width, style),
+        AddSub { width } => arith::addsub(*width, style),
+        Multiplier { width } => arith::multiplier(*width, style),
+        Comparator { width } => arith::comparator(*width, style),
+        Mux { sel_width, width } => logic::mux(*sel_width, *width, style),
+        Decoder { width } => logic::decoder(*width, style),
+        PriorityEncoder { width } => logic::priority_encoder(*width, style),
+        Parity { width, even } => logic::parity(*width, *even, style),
+        Alu { width } => logic::alu(*width, style),
+        Counter { width } => seq::counter(*width, style),
+        UpDownCounter { width } => seq::updown_counter(*width, style),
+        ModCounter { modulus } => seq::mod_counter(*modulus, style),
+        Dff => seq::dff(style),
+        ShiftRegister { width } => seq::shift_register(*width, style),
+        Lfsr { width } => seq::lfsr(*width, style),
+        EdgeDetector => seq::edge_detector(style),
+        GrayCounter { width } => seq::gray_counter(*width, style),
+        BinToGray { width } => logic::bin_to_gray(*width, style),
+        SequenceDetector { pattern } => seq::sequence_detector(pattern, style),
+        Ram { addr_width, data_width } => mem::ram(*addr_width, *data_width, style),
+        RegFile { addr_width, data_width } => mem::regfile(*addr_width, *data_width, style),
+        BarrelShifter { width } => misc::barrel_shifter(*width, style),
+        JohnsonCounter { width } => misc::johnson_counter(*width, style),
+        RingCounter { width } => misc::ring_counter(*width, style),
+        BcdCounter => misc::bcd_counter(style),
+        SevenSeg => misc::seven_seg(style),
+        Fifo { addr_width, data_width } => misc::fifo(*addr_width, *data_width, style),
+        SaturatingCounter { width } => misc::saturating_counter(*width, style),
+        Majority => misc::majority(style),
+    };
+    let module = parse_module(&rendered.source).unwrap_or_else(|e| {
+        panic!("generator for {family:?} produced unparseable code: {e}\n{}", rendered.source)
+    });
+    let description = describe::describe(family, &rendered.ports, rng);
+    Design {
+        family: family.clone(),
+        module,
+        source: rendered.source,
+        description,
+        ports: rendered.ports,
+    }
+}
+
+// ---- shared helpers for the family submodules ----
+
+/// Emits a module header comment when the style asks for one.
+pub(crate) fn header(out: &mut String, style: &StyleOptions, text: &str) {
+    if style.header_comment {
+        let _ = writeln!(out, "// {text}");
+    }
+}
+
+/// Emits an inline comment (with leading spaces) when enabled.
+pub(crate) fn inline(style: &StyleOptions, text: &str) -> String {
+    if style.inline_comments {
+        format!(" // {text}")
+    } else {
+        String::new()
+    }
+}
+
+/// Renders a literal: sized when the style asks, bare decimal otherwise.
+pub(crate) fn lit(style: &StyleOptions, width: u32, value: u64) -> String {
+    if style.sized_literals {
+        format!("{width}'d{value}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Procedural assignment operator for sequential blocks under this style.
+pub(crate) fn nb(style: &StyleOptions) -> &'static str {
+    if style.proper_nonblocking {
+        "<="
+    } else {
+        "="
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::NamingScheme;
+    use pyranet_verilog::{check_source, SyntaxVerdict};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn whole_catalog_generates_clean_code() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for family in DesignFamily::catalog() {
+            let d = generate(&family, &StyleOptions::clean(), &mut rng);
+            let v = check_source(&d.source);
+            assert_eq!(v, SyntaxVerdict::Clean, "{family:?}:\n{}", d.source);
+            assert!(!d.description.is_empty());
+            assert!(!d.ports.is_empty());
+        }
+    }
+
+    #[test]
+    fn whole_catalog_generates_under_all_naming_schemes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        for scheme in [NamingScheme::Terse, NamingScheme::Descriptive, NamingScheme::Prefixed] {
+            let style = StyleOptions { naming: scheme, ..StyleOptions::clean() };
+            for family in DesignFamily::catalog() {
+                let d = generate(&family, &style, &mut rng);
+                assert!(
+                    check_source(&d.source).is_clean(),
+                    "{family:?} under {scheme:?}:\n{}",
+                    d.source
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sloppy_style_still_parses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        for family in DesignFamily::catalog() {
+            let style = StyleOptions::sampled(1.0, &mut rng);
+            let d = generate(&family, &style, &mut rng);
+            assert!(
+                check_source(&d.source).is_compilable(),
+                "{family:?}:\n{}",
+                d.source
+            );
+        }
+    }
+
+    #[test]
+    fn module_name_matches_family() {
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        for family in DesignFamily::catalog() {
+            let d = generate(&family, &StyleOptions::clean(), &mut rng);
+            assert_eq!(d.module.name, family.module_name());
+        }
+    }
+
+    #[test]
+    fn port_roles_resolve() {
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let d = generate(&DesignFamily::HalfAdder, &StyleOptions::clean(), &mut rng);
+        assert!(d.port("operand_a").is_some());
+        assert!(d.port("nonexistent_role").is_none());
+    }
+
+    #[test]
+    fn clean_style_has_low_lint_penalty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(47);
+        for family in DesignFamily::catalog() {
+            let d = generate(&family, &StyleOptions::clean(), &mut rng);
+            let report = pyranet_verilog::lint::lint_module(&d.module, &d.source);
+            assert!(
+                report.penalty() <= 1.0,
+                "{family:?} penalty {} findings {:?}\n{}",
+                report.penalty(),
+                report.findings,
+                d.source
+            );
+        }
+    }
+
+    #[test]
+    fn sloppy_style_lints_worse_on_average() {
+        let mut rng = ChaCha8Rng::seed_from_u64(48);
+        let mut clean_total = 0.0;
+        let mut sloppy_total = 0.0;
+        for family in DesignFamily::catalog() {
+            let c = generate(&family, &StyleOptions::clean(), &mut rng);
+            clean_total += pyranet_verilog::lint::lint_module(&c.module, &c.source).penalty();
+            let style = StyleOptions::sampled(1.0, &mut rng);
+            let s = generate(&family, &style, &mut rng);
+            sloppy_total += pyranet_verilog::lint::lint_module(&s.module, &s.source).penalty();
+        }
+        assert!(
+            sloppy_total > clean_total + 5.0,
+            "sloppy={sloppy_total} clean={clean_total}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The keyword database of Fig. 2.
+//!
+//! The paper seeds commercial-LLM generation with "general hardware and
+//! Verilog design terms such as adders, multipliers, counters, FSMs, etc.",
+//! categorised into combinational and sequential circuits, then expands
+//! each keyword into specific variants ("ripple carry adders or carry-save
+//! adders — this step was referred to as expanded-keywords").
+
+use crate::families::{Category, DesignFamily};
+
+/// A base keyword with its category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyword {
+    /// The term, e.g. "adder".
+    pub term: &'static str,
+    /// Circuit category.
+    pub category: Category,
+}
+
+/// An expanded keyword: a concrete variant of a base keyword, carrying the
+/// design family that realises it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedKeyword {
+    /// The base keyword this expands.
+    pub base: &'static str,
+    /// Variant phrase, e.g. "4-bit ripple carry adder".
+    pub phrase: String,
+    /// The family instance generating this variant.
+    pub family: DesignFamily,
+}
+
+/// The base keyword database.
+pub fn keyword_database() -> Vec<Keyword> {
+    vec![
+        Keyword { term: "adder", category: Category::Combinational },
+        Keyword { term: "multiplier", category: Category::Combinational },
+        Keyword { term: "comparator", category: Category::Combinational },
+        Keyword { term: "multiplexer", category: Category::Combinational },
+        Keyword { term: "decoder", category: Category::Combinational },
+        Keyword { term: "encoder", category: Category::Combinational },
+        Keyword { term: "parity", category: Category::Combinational },
+        Keyword { term: "alu", category: Category::Combinational },
+        Keyword { term: "code converter", category: Category::Combinational },
+        Keyword { term: "counter", category: Category::Sequential },
+        Keyword { term: "flip-flop", category: Category::Sequential },
+        Keyword { term: "shift register", category: Category::Sequential },
+        Keyword { term: "fsm", category: Category::Sequential },
+        Keyword { term: "memory", category: Category::Sequential },
+    ]
+}
+
+/// Expands every base keyword into its concrete variants — one entry per
+/// catalog family instance.
+pub fn expanded_keywords() -> Vec<ExpandedKeyword> {
+    DesignFamily::catalog()
+        .into_iter()
+        .map(|family| ExpandedKeyword {
+            base: family.base_keyword(),
+            phrase: family.module_name().replace('_', " "),
+            family,
+        })
+        .collect()
+}
+
+/// Crafts the detailed-design-description prompt for an expanded keyword
+/// (the "crafted input prompts" stage of Fig. 2).
+pub fn craft_prompt(kw: &ExpandedKeyword) -> String {
+    format!(
+        "Write a synthesizable Verilog-2001 module implementing a {phrase}. \
+         Use lower_snake_case naming, comment the design, prefer sized literals, \
+         use non-blocking assignments in clocked always blocks, and include a \
+         default arm in every case statement. Respond with the complete module only.",
+        phrase = kw.phrase
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_covers_both_categories() {
+        let db = keyword_database();
+        assert!(db.iter().any(|k| k.category == Category::Combinational));
+        assert!(db.iter().any(|k| k.category == Category::Sequential));
+        assert!(db.len() >= 10);
+    }
+
+    #[test]
+    fn expansion_references_known_bases() {
+        let bases: std::collections::HashSet<&str> =
+            keyword_database().iter().map(|k| k.term).collect();
+        for kw in expanded_keywords() {
+            assert!(bases.contains(kw.base), "unknown base {}", kw.base);
+        }
+    }
+
+    #[test]
+    fn expansion_is_larger_than_base() {
+        assert!(expanded_keywords().len() > keyword_database().len() * 3);
+    }
+
+    #[test]
+    fn prompts_mention_the_variant() {
+        let kws = expanded_keywords();
+        let p = craft_prompt(&kws[0]);
+        assert!(p.contains(&kws[0].phrase));
+        assert!(p.contains("Verilog"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # pyranet-corpus
+//!
+//! Synthetic Verilog corpus generation — the PyraNet reproduction's
+//! substitute for the paper's two data sources:
+//!
+//! 1. **"GitHub scrape"** — [`builder::CorpusBuilder`] produces a large,
+//!    noisy pool of Verilog files with a controlled quality mix: clean
+//!    designs across fifteen circuit families, style-degraded variants,
+//!    files with syntax errors, files with dependency issues, duplicates,
+//!    and empty/broken files. The mix mirrors the funnel of §III-A.5
+//!    (≈2.4 M collected → 692 k curated at paper scale).
+//! 2. **"GPT-4o-mini generation"** — [`llmgen`] reproduces Fig. 2: a
+//!    keyword database ([`keywords`]) is expanded into specific variants,
+//!    each variant becomes a detailed prompt, and a seeded pseudo-LLM
+//!    samples each prompt 10× at different temperatures (higher temperature
+//!    ⇒ more stylistic drift and occasional defects).
+//!
+//! Every clean design carries a structured [`families::DesignFamily`] spec,
+//! so the evaluation crate can synthesise golden testbenches for the same
+//! circuits, and [`describe`] renders natural-language descriptions at
+//! several granularities (the (description, code) fine-tuning pairs).
+//!
+//! # Example
+//!
+//! ```
+//! use pyranet_corpus::{families::DesignFamily, gen::generate, style::StyleOptions};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let d = generate(&DesignFamily::HalfAdder, &StyleOptions::clean(), &mut rng);
+//! assert!(d.source.contains("module"));
+//! assert!(pyranet_verilog::check_source(&d.source).is_clean());
+//! ```
+
+pub mod builder;
+pub mod defect;
+pub mod describe;
+pub mod families;
+pub mod gen;
+pub mod keywords;
+pub mod llmgen;
+pub mod sample;
+pub mod style;
+
+pub use builder::{CorpusBuilder, CorpusPool};
+pub use families::DesignFamily;
+pub use gen::{generate, Design};
+pub use sample::{Origin, RawSample, TruthLabel};

@@ -1,0 +1,183 @@
+//! Fig. 2 reproduction: Verilog generation "using commercial LLMs".
+//!
+//! The paper queries GPT-4o-mini 10 times per crafted prompt with different
+//! temperature values. Our pseudo-LLM is the catalog generator behind a
+//! temperature knob: low temperatures render the textbook-clean style,
+//! higher temperatures progressively sample sloppier styles and
+//! occasionally emit files with dependency issues or outright syntax
+//! errors — matching the behaviour the paper's pipeline has to clean up.
+
+use crate::defect;
+use crate::gen::{generate, Design};
+use crate::keywords::{craft_prompt, expanded_keywords, ExpandedKeyword};
+use crate::sample::{Origin, RawSample, TruthLabel};
+use crate::style::StyleOptions;
+use rand::Rng;
+
+/// Temperatures used for the 10 queries per prompt.
+pub const TEMPERATURES: [f64; 10] = [0.0, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One pseudo-LLM response.
+#[derive(Debug, Clone)]
+pub struct LlmResponse {
+    /// The prompt text that was "sent".
+    pub prompt: String,
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// The produced sample.
+    pub sample: RawSample,
+    /// The clean design backing the sample (before any defects), kept so
+    /// tests can compare.
+    pub design: Design,
+}
+
+/// Per-stage counts of the Fig. 2 funnel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenFunnel {
+    /// Base keywords.
+    pub keywords: usize,
+    /// Expanded keywords.
+    pub expanded: usize,
+    /// Crafted prompts (= expanded keywords).
+    pub prompts: usize,
+    /// Total responses (prompts × 10).
+    pub responses: usize,
+}
+
+/// Runs the full Fig. 2 pipeline: keywords → expanded keywords → prompts →
+/// 10 temperature-varied queries each.
+pub fn run_generation<R: Rng>(rng: &mut R, start_id: u64) -> (Vec<LlmResponse>, GenFunnel) {
+    let expanded = expanded_keywords();
+    let mut out = Vec::with_capacity(expanded.len() * TEMPERATURES.len());
+    let mut id = start_id;
+    for kw in &expanded {
+        for &t in &TEMPERATURES {
+            out.push(query(kw, t, id, rng));
+            id += 1;
+        }
+    }
+    let funnel = GenFunnel {
+        keywords: crate::keywords::keyword_database().len(),
+        expanded: expanded.len(),
+        prompts: expanded.len(),
+        responses: out.len(),
+    };
+    (out, funnel)
+}
+
+/// One pseudo-LLM query at a given temperature.
+pub fn query<R: Rng>(
+    kw: &ExpandedKeyword,
+    temperature: f64,
+    id: u64,
+    rng: &mut R,
+) -> LlmResponse {
+    let prompt = craft_prompt(kw);
+    // Temperature drives style sloppiness sub-linearly (even a hot model
+    // mostly emits working code); the 0.2 floor models the residual drift a
+    // sampled LLM always has — textbook-perfect output is rare even at
+    // temperature 0, which keeps the paper's Layer 1 tiny relative to L2/L3.
+    let sloppiness = 0.2 + temperature * 0.65;
+    let style = StyleOptions::sampled(sloppiness, rng);
+    let design = generate(&kw.family, &style, rng);
+    // … and occasionally trips into broken outputs at the high end.
+    let roll: f64 = rng.random();
+    let (source, truth) = if roll < 0.06 * temperature {
+        (defect::inject_syntax_error(&design.source, rng), TruthLabel::SyntaxBroken)
+    } else if roll < 0.14 * temperature {
+        (defect::inject_dependency_issue(&design.source, rng), TruthLabel::DependencyBroken)
+    } else if style.corners_cut() >= 2 {
+        (design.source.clone(), TruthLabel::Sloppy)
+    } else {
+        (design.source.clone(), TruthLabel::Clean)
+    };
+    let sample =
+        RawSample::new(id, source, design.description.clone(), Origin::LlmGenerated, truth);
+    LlmResponse { prompt, temperature, sample, design }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_verilog::check_source;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn funnel_shape_matches_fig2() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (responses, funnel) = run_generation(&mut rng, 0);
+        assert_eq!(funnel.responses, funnel.prompts * TEMPERATURES.len());
+        assert_eq!(funnel.prompts, funnel.expanded);
+        assert!(funnel.expanded > funnel.keywords);
+        assert_eq!(responses.len(), funnel.responses);
+    }
+
+    #[test]
+    fn zero_temperature_never_breaks() {
+        // At temperature 0 no syntax/dependency defects are injected; style
+        // may still drift (the 0.2 sloppiness floor).
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let kws = expanded_keywords();
+        for kw in kws.iter().take(20) {
+            let r = query(kw, 0.0, 1, &mut rng);
+            assert!(
+                matches!(r.sample.truth, TruthLabel::Clean | TruthLabel::Sloppy),
+                "{:?}: {:?}",
+                kw.family,
+                r.sample.truth
+            );
+            assert!(check_source(&r.sample.source).is_clean());
+        }
+    }
+
+    #[test]
+    fn high_temperature_produces_some_defects() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let kws = expanded_keywords();
+        let mut broken = 0;
+        let mut sloppy = 0;
+        for kw in &kws {
+            for _ in 0..4 {
+                let r = query(kw, 1.0, 1, &mut rng);
+                match r.sample.truth {
+                    TruthLabel::SyntaxBroken | TruthLabel::DependencyBroken => broken += 1,
+                    TruthLabel::Sloppy => sloppy += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(broken > 0, "hot sampling should break sometimes");
+        assert!(sloppy > broken, "sloppy should dominate broken");
+    }
+
+    #[test]
+    fn truth_labels_match_checker_verdicts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let (responses, _) = run_generation(&mut rng, 0);
+        for r in responses {
+            let v = check_source(&r.sample.source);
+            match r.sample.truth {
+                TruthLabel::Clean | TruthLabel::Sloppy => {
+                    assert!(v.is_clean(), "{:?} {:?}\n{}", r.sample.truth, v, r.sample.source)
+                }
+                TruthLabel::DependencyBroken => {
+                    assert!(
+                        matches!(v, pyranet_verilog::SyntaxVerdict::DependencyIssue { .. }),
+                        "{v:?}"
+                    )
+                }
+                TruthLabel::SyntaxBroken => assert!(!v.is_compilable(), "{v:?}"),
+                other => panic!("unexpected truth label {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_from_start() {
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let (responses, _) = run_generation(&mut rng, 1000);
+        assert_eq!(responses[0].sample.id, 1000);
+        assert_eq!(responses[1].sample.id, 1001);
+    }
+}

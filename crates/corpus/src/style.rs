@@ -1,0 +1,191 @@
+//! Style knobs for generated code.
+//!
+//! The same circuit can be rendered in many styles; quality tiering in the
+//! pipeline is only meaningful if the corpus spans the style spectrum.
+
+use rand::Rng;
+
+/// Identifier naming scheme for generated ports/signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingScheme {
+    /// `a`, `b`, `cin`, `sum` — terse classic names.
+    Terse,
+    /// `in_a`, `in_b`, `carry_in`, `sum_out` — descriptive names.
+    Descriptive,
+    /// `i_a`, `i_b`, `o_sum` — prefix convention.
+    Prefixed,
+}
+
+impl NamingScheme {
+    /// Renders a logical port role into a concrete identifier.
+    pub fn port(&self, role: &str) -> String {
+        match self {
+            NamingScheme::Terse => match role {
+                "operand_a" => "a".into(),
+                "operand_b" => "b".into(),
+                "carry_in" => "cin".into(),
+                "carry_out" => "cout".into(),
+                "sum" => "sum".into(),
+                "difference" => "diff".into(),
+                "product" => "p".into(),
+                "result" => "y".into(),
+                "data_in" => "d".into(),
+                "data_out" => "q".into(),
+                "select" => "sel".into(),
+                "enable" => "en".into(),
+                "clock" => "clk".into(),
+                "reset" => "rst".into(),
+                "serial_in" => "sin".into(),
+                "count" => "count".into(),
+                other => other.into(),
+            },
+            NamingScheme::Descriptive => match role {
+                "operand_a" => "in_a".into(),
+                "operand_b" => "in_b".into(),
+                "carry_in" => "carry_in".into(),
+                "carry_out" => "carry_out".into(),
+                "sum" => "sum_out".into(),
+                "difference" => "diff_out".into(),
+                "product" => "product".into(),
+                "result" => "result".into(),
+                "data_in" => "data_in".into(),
+                "data_out" => "data_out".into(),
+                "select" => "select".into(),
+                "enable" => "enable".into(),
+                "clock" => "clk".into(),
+                "reset" => "rst".into(),
+                "serial_in" => "serial_in".into(),
+                "count" => "count_value".into(),
+                other => other.into(),
+            },
+            NamingScheme::Prefixed => match role {
+                "operand_a" => "i_a".into(),
+                "operand_b" => "i_b".into(),
+                "carry_in" => "i_cin".into(),
+                "carry_out" => "o_cout".into(),
+                "sum" => "o_sum".into(),
+                "difference" => "o_diff".into(),
+                "product" => "o_prod".into(),
+                "result" => "o_y".into(),
+                "data_in" => "i_d".into(),
+                "data_out" => "o_q".into(),
+                "select" => "i_sel".into(),
+                "enable" => "i_en".into(),
+                "clock" => "clk".into(),
+                "reset" => "rst".into(),
+                "serial_in" => "i_sin".into(),
+                "count" => "o_count".into(),
+                other => other.into(),
+            },
+        }
+    }
+}
+
+/// Bundle of style options used while rendering a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleOptions {
+    /// Identifier naming.
+    pub naming: NamingScheme,
+    /// Emit a header comment describing the module.
+    pub header_comment: bool,
+    /// Emit inline comments on non-obvious lines.
+    pub inline_comments: bool,
+    /// Use sized literals everywhere (vs lazy unsized ones).
+    pub sized_literals: bool,
+    /// Include a `default` arm in case statements.
+    pub case_default: bool,
+    /// Use non-blocking assignments in sequential blocks (correct style).
+    pub proper_nonblocking: bool,
+}
+
+impl StyleOptions {
+    /// The textbook-clean style: everything right.
+    pub fn clean() -> StyleOptions {
+        StyleOptions {
+            naming: NamingScheme::Terse,
+            header_comment: true,
+            inline_comments: true,
+            sized_literals: true,
+            case_default: true,
+            proper_nonblocking: true,
+        }
+    }
+
+    /// Samples a style whose sloppiness scales with `sloppiness` ∈ [0, 1]
+    /// (0 = clean, 1 = every corner cut).
+    pub fn sampled<R: Rng>(sloppiness: f64, rng: &mut R) -> StyleOptions {
+        let s = sloppiness.clamp(0.0, 1.0);
+        let cut = |rng: &mut R| rng.random::<f64>() < s;
+        let naming = match rng.random_range(0..3) {
+            0 => NamingScheme::Terse,
+            1 => NamingScheme::Descriptive,
+            _ => NamingScheme::Prefixed,
+        };
+        StyleOptions {
+            naming,
+            header_comment: !cut(rng),
+            inline_comments: !cut(rng),
+            sized_literals: !cut(rng),
+            case_default: !cut(rng),
+            proper_nonblocking: !cut(rng),
+        }
+    }
+
+    /// Count of style corners cut (0–5), used by tests and the pseudo-LLM's
+    /// temperature model.
+    pub fn corners_cut(&self) -> u32 {
+        u32::from(!self.header_comment)
+            + u32::from(!self.inline_comments)
+            + u32::from(!self.sized_literals)
+            + u32::from(!self.case_default)
+            + u32::from(!self.proper_nonblocking)
+    }
+}
+
+impl Default for StyleOptions {
+    fn default() -> Self {
+        StyleOptions::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_cuts_no_corners() {
+        assert_eq!(StyleOptions::clean().corners_cut(), 0);
+    }
+
+    #[test]
+    fn sloppiness_one_cuts_everything() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let s = StyleOptions::sampled(1.0, &mut rng);
+        assert_eq!(s.corners_cut(), 5);
+    }
+
+    #[test]
+    fn sloppiness_zero_cuts_nothing() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let s = StyleOptions::sampled(0.0, &mut rng);
+        assert_eq!(s.corners_cut(), 0);
+    }
+
+    #[test]
+    fn naming_schemes_differ() {
+        assert_ne!(
+            NamingScheme::Terse.port("operand_a"),
+            NamingScheme::Descriptive.port("operand_a")
+        );
+        assert_eq!(NamingScheme::Prefixed.port("clock"), "clk");
+    }
+
+    #[test]
+    fn sloppiness_scales_statistically() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let lo: u32 = (0..100).map(|_| StyleOptions::sampled(0.2, &mut rng).corners_cut()).sum();
+        let hi: u32 = (0..100).map(|_| StyleOptions::sampled(0.8, &mut rng).corners_cut()).sum();
+        assert!(hi > lo, "hi={hi} lo={lo}");
+    }
+}

@@ -1,0 +1,144 @@
+//! The unbiased pass@k estimator (Chen et al. 2021, used by VerilogEval).
+
+/// Unbiased pass@k: `1 − C(n−c, k)/C(n, k)` where `n` samples were drawn
+/// and `c` passed.
+///
+/// # Panics
+///
+/// Panics when `c > n` or `k == 0`.
+///
+/// ```
+/// use pyranet_eval::pass_at_k;
+/// assert_eq!(pass_at_k(10, 10, 1), 1.0);
+/// assert_eq!(pass_at_k(10, 0, 5), 0.0);
+/// assert!((pass_at_k(10, 1, 1) - 0.1).abs() < 1e-12);
+/// ```
+pub fn pass_at_k(n: u32, c: u32, k: u32) -> f64 {
+    assert!(c <= n, "passes {c} exceed samples {n}");
+    assert!(k >= 1, "k must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.min(n);
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // product form of 1 - C(n-c,k)/C(n,k): prod_{i=n-c+1-k+? } … use the
+    // standard stable loop: 1 - prod_{i=n-c-k+1..=n-c} i / prod_{i=n-k+1..=n} i
+    let mut ratio = 1.0f64;
+    for i in 0..k {
+        ratio *= f64::from(n - c - i) / f64::from(n - i);
+    }
+    1.0 - ratio
+}
+
+/// Brute-force reference: enumerate all C(n,k) subsets (tiny n only; used
+/// by tests and the property suite).
+pub fn pass_at_k_bruteforce(n: u32, c: u32, k: u32) -> f64 {
+    assert!(n <= 20, "bruteforce is exponential");
+    let k = k.min(n) as usize;
+    let n = n as usize;
+    let c = c as usize;
+    // items 0..c pass
+    let mut subsets_total = 0u64;
+    let mut subsets_hit = 0u64;
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        subsets_total += 1;
+        if idx.iter().any(|&i| i < c) {
+            subsets_hit += 1;
+        }
+        // next combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return subsets_hit as f64 / subsets_total as f64;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+        assert_eq!(pass_at_k(1, 1, 1), 1.0);
+        assert_eq!(pass_at_k(0, 0, 5), 0.0);
+        // k > n clamps to n
+        assert_eq!(pass_at_k(3, 1, 10), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((pass_at_k(10, 1, 1) - 0.1).abs() < 1e-12);
+        assert!((pass_at_k(10, 5, 1) - 0.5).abs() < 1e-12);
+        // 1 - C(9,5)/C(10,5) = 1 - 126/252 = 0.5
+        assert!((pass_at_k(10, 1, 5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "passes 5 exceed samples 3")]
+    fn c_above_n_panics() {
+        let _ = pass_at_k(3, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = pass_at_k(3, 1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_bruteforce(n in 1u32..12, c_frac in 0u32..=100, k in 1u32..8) {
+            let c = (n * c_frac / 100).min(n);
+            let fast = pass_at_k(n, c, k);
+            let slow = pass_at_k_bruteforce(n, c, k);
+            prop_assert!((fast - slow).abs() < 1e-9, "n={n} c={c} k={k}: {fast} vs {slow}");
+        }
+
+        #[test]
+        fn monotone_in_c(n in 2u32..15, k in 1u32..6) {
+            let mut prev = -1.0;
+            for c in 0..=n {
+                let v = pass_at_k(n, c, k);
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn monotone_in_k(n in 2u32..15, c_frac in 0u32..=100) {
+            let c = (n * c_frac / 100).min(n);
+            let mut prev = -1.0;
+            for k in 1..=n {
+                let v = pass_at_k(n, c, k);
+                prop_assert!(v >= prev, "k={k}");
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn bounded_zero_one(n in 1u32..30, c_frac in 0u32..=100, k in 1u32..10) {
+            let c = (n * c_frac / 100).min(n);
+            let v = pass_at_k(n, c, k);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

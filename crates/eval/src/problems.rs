@@ -1,0 +1,194 @@
+//! Benchmark problem sets.
+//!
+//! VerilogEval has two splits: *Machine* (GPT-generated descriptions of
+//! HDLBits problems) and *Human* (the original human-written ones). Our
+//! splits mirror that: the Machine split uses the corpus generators' own
+//! template descriptions (in-distribution for a model fine-tuned on the
+//! corpus), the Human split describes the same circuit families in
+//! independently-written prose (out-of-distribution phrasing, which is why
+//! Human scores are uniformly lower in Table I).
+
+use pyranet_corpus::families::DesignFamily;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Machine-generated descriptions (in-distribution phrasing).
+    Machine,
+    /// Human-written descriptions (independent phrasing).
+    Human,
+}
+
+impl std::fmt::Display for Split {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Split::Machine => f.write_str("Verilog-Machine"),
+            Split::Human => f.write_str("Verilog-Human"),
+        }
+    }
+}
+
+/// One benchmark problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Stable id, e.g. `"machine/counter_8"`.
+    pub id: String,
+    /// The task description.
+    pub description: String,
+    /// Golden circuit family (drives testbench synthesis).
+    pub family: DesignFamily,
+    /// Which split this problem belongs to.
+    pub split: Split,
+}
+
+impl Problem {
+    /// The golden module's interface line (`module name(ports…);`).
+    pub fn header(&self) -> String {
+        let golden = crate::testbench::golden_source(&self.family);
+        pyranet_verilog::parse_module(&golden)
+            .map(|m| pyranet_verilog::pretty::interface_line(&m))
+            .unwrap_or_default()
+    }
+
+    /// The full prompt: description plus the golden module's interface line
+    /// (VerilogEval supplies the module header and asks for the body; so do
+    /// we).
+    pub fn prompt(&self) -> String {
+        let header = self.header();
+        if header.is_empty() {
+            self.description.clone()
+        } else {
+            format!("{} Interface: {header}", self.description)
+        }
+    }
+}
+
+/// The families every split evaluates (a spread over combinational,
+/// sequential, FSM and memory designs).
+fn eval_families() -> Vec<DesignFamily> {
+    use DesignFamily::*;
+    vec![
+        HalfAdder,
+        FullAdder,
+        BehavioralAdder { width: 8 },
+        AddSub { width: 8 },
+        Multiplier { width: 4 },
+        Comparator { width: 8 },
+        Mux { sel_width: 2, width: 8 },
+        Decoder { width: 3 },
+        Parity { width: 8, even: true },
+        Alu { width: 8 },
+        Counter { width: 8 },
+        UpDownCounter { width: 4 },
+        ModCounter { modulus: 10 },
+        Dff,
+        ShiftRegister { width: 8 },
+        EdgeDetector,
+        BinToGray { width: 4 },
+        GrayCounter { width: 4 },
+        SequenceDetector { pattern: vec![true, false, true] },
+        Ram { addr_width: 3, data_width: 8 },
+    ]
+}
+
+/// The Machine split: template descriptions (the phrasing the corpus
+/// generators produce, with a fixed seed so prompts are stable).
+pub fn machine_split() -> Vec<Problem> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xE7A1);
+    eval_families()
+        .into_iter()
+        .map(|family| {
+            let description = pyranet_corpus::describe::describe(&family, &[], &mut rng);
+            Problem {
+                id: format!("machine/{}", family.module_name()),
+                description,
+                family,
+                split: Split::Machine,
+            }
+        })
+        .collect()
+}
+
+/// The Human split: independently-phrased descriptions of the same
+/// circuits.
+pub fn human_split() -> Vec<Problem> {
+    use DesignFamily::*;
+    let texts: Vec<(DesignFamily, &str)> = vec![
+        (HalfAdder, "Build a circuit that adds two single bits and reports the carry separately from the sum."),
+        (FullAdder, "I need a one-bit adder stage: three inputs including the incoming carry, producing the sum bit and the outgoing carry."),
+        (BehavioralAdder { width: 8 }, "Give me an eight bit wide addition unit. It should take a carry in, produce the eight bit total, and flag overflow on a carry out pin."),
+        (AddSub { width: 8 }, "A combined add and subtract block, eight bits wide. When the mode pin is low the result is the sum; when it is high the second operand is subtracted from the first."),
+        (Multiplier { width: 4 }, "Multiply two four bit unsigned numbers and give the full eight bit product."),
+        (Comparator { width: 8 }, "Compare two unsigned bytes. Drive one of three flags depending on whether the first is smaller, the same, or bigger."),
+        (Mux { sel_width: 2, width: 8 }, "Route one of four byte-wide inputs to the output according to a two bit select code."),
+        (Decoder { width: 3 }, "Turn a three bit address into a one-hot pattern across eight output lines, but only while the enable pin is asserted; otherwise drive all zeros."),
+        (Parity { width: 8, even: true }, "Compute a parity bit for a byte so that the flag is high exactly when the byte holds an odd number of ones."),
+        (Alu { width: 8 }, "An eight bit arithmetic logic unit. Opcode 0 adds, 1 subtracts, 2 ands, 3 ors, 4 xors, 5 is unsigned set-less-than, 6 shifts left, 7 shifts right; also raise a flag whenever the result is all zeros."),
+        (Counter { width: 8 }, "A byte-wide counter that steps up by one on each rising clock edge while enabled, and clears synchronously when reset is high."),
+        (UpDownCounter { width: 4 }, "A four bit counter whose direction pin makes it climb when high and descend when low, with a synchronous clear."),
+        (ModCounter { modulus: 10 }, "A decade counter: counts 0 through 9 and rolls over, raising a terminal-count strobe on 9."),
+        (Dff, "A single data flip flop that loads on the clock edge only when its enable is high, and clears immediately whenever the asynchronous reset fires."),
+        (ShiftRegister { width: 8 }, "An eight stage shift register: each clock pushes the serial input bit in at the bottom while everything else moves one place up; all eight bits are visible in parallel."),
+        (EdgeDetector, "Watch a slow signal and emit a single-cycle pulse whenever it goes from low to high."),
+        (BinToGray { width: 4 }, "Convert a four bit binary number into its Gray code equivalent, purely combinationally."),
+        (GrayCounter { width: 4 }, "A four bit counter whose output sequence is Gray coded, so exactly one output bit flips per clock."),
+        (SequenceDetector { pattern: vec![true, false, true] }, "Monitor a serial bit stream and raise the hit flag whenever the last three bits seen were one, zero, one; overlapping occurrences count."),
+        (Ram { addr_width: 3, data_width: 8 }, "A small synchronous memory of eight bytes with one port: writes happen on the clock when write-enable is set, and reads are registered."),
+    ];
+    texts
+        .into_iter()
+        .map(|(family, text)| Problem {
+            id: format!("human/{}", family.module_name()),
+            description: text.to_owned(),
+            family,
+            split: Split::Human,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cover_same_families() {
+        let m: Vec<String> =
+            machine_split().iter().map(|p| p.family.module_name()).collect();
+        let h: Vec<String> = human_split().iter().map(|p| p.family.module_name()).collect();
+        assert_eq!(m, h, "both splits evaluate the same circuits");
+        assert_eq!(m.len(), 20);
+    }
+
+    #[test]
+    fn descriptions_differ_between_splits() {
+        for (mp, hp) in machine_split().iter().zip(human_split().iter()) {
+            assert_ne!(
+                mp.description, hp.description,
+                "human phrasing must be independent: {}",
+                mp.id
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_prefixed() {
+        let mut all: Vec<String> = machine_split()
+            .into_iter()
+            .chain(human_split())
+            .map(|p| p.id)
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(n, all.len());
+    }
+
+    #[test]
+    fn machine_split_is_deterministic() {
+        let a: Vec<String> = machine_split().into_iter().map(|p| p.description).collect();
+        let b: Vec<String> = machine_split().into_iter().map(|p| p.description).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,340 @@
+//! Golden-model testbench synthesis and functional checking.
+//!
+//! VerilogEval decides correctness by simulating the candidate against a
+//! reference testbench. We regenerate the golden module for the problem's
+//! family (clean style, fixed seed), then drive *both* designs with the
+//! same stimulus and compare outputs **positionally** (i-th non-clock input
+//! to i-th non-clock input, i-th output to i-th output), so candidates are
+//! free to choose their own port names — as VerilogEval candidates are free
+//! to choose internal structure.
+
+use pyranet_corpus::families::{Category, DesignFamily};
+use pyranet_corpus::gen::generate;
+use pyranet_corpus::style::StyleOptions;
+use pyranet_verilog::ast::PortDir;
+use pyranet_verilog::{parse, Simulator};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of a functional check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionalVerdict {
+    /// All stimulus vectors matched.
+    Pass,
+    /// Candidate failed to parse or elaborate.
+    BuildFailure(String),
+    /// Candidate's interface cannot be matched to the golden one.
+    InterfaceMismatch(String),
+    /// Outputs diverged from the golden model.
+    Mismatch {
+        /// Stimulus index of the first divergence.
+        vector: usize,
+        /// Output position that diverged.
+        output: usize,
+    },
+    /// Candidate simulation errored mid-run (oscillation, runaway loop).
+    RuntimeFailure(String),
+}
+
+impl FunctionalVerdict {
+    /// True for [`FunctionalVerdict::Pass`].
+    pub fn is_pass(&self) -> bool {
+        *self == FunctionalVerdict::Pass
+    }
+}
+
+/// Port classification for stimulus generation.
+#[derive(Debug, Clone)]
+struct Interface {
+    clock: Option<String>,
+    reset: Option<String>,
+    /// (name, width) of data inputs in declaration order.
+    inputs: Vec<(String, u32)>,
+    /// names of outputs in declaration order.
+    outputs: Vec<String>,
+}
+
+fn is_clock_name(n: &str) -> bool {
+    let n = n.to_ascii_lowercase();
+    n == "clk" || n == "clock" || n.ends_with("_clk") || n.starts_with("clk_")
+}
+
+fn is_reset_name(n: &str) -> bool {
+    let n = n.to_ascii_lowercase();
+    n == "rst" || n == "reset" || n == "rst_n" || n.ends_with("_rst") || n.starts_with("rst_")
+}
+
+fn classify(src: &str, sequential: bool) -> Result<(Interface, String), String> {
+    let file = parse(src).map_err(|e| e.to_string())?;
+    let module = file.modules.first().ok_or("no module")?;
+    let mut iface = Interface { clock: None, reset: None, inputs: Vec::new(), outputs: Vec::new() };
+    for p in &module.ports {
+        let width = p
+            .range
+            .as_ref()
+            .and_then(|r| const_range_width(r))
+            .unwrap_or(1);
+        match p.dir {
+            PortDir::Input => {
+                if sequential && iface.clock.is_none() && is_clock_name(&p.name) {
+                    iface.clock = Some(p.name.clone());
+                } else if sequential && iface.reset.is_none() && is_reset_name(&p.name) {
+                    iface.reset = Some(p.name.clone());
+                } else {
+                    iface.inputs.push((p.name.clone(), width));
+                }
+            }
+            PortDir::Output => iface.outputs.push(p.name.clone()),
+            PortDir::Inout => return Err("inout ports are not supported by the bench".into()),
+        }
+    }
+    Ok((iface, module.name.clone()))
+}
+
+fn const_range_width(r: &pyranet_verilog::ast::Range) -> Option<u32> {
+    use pyranet_verilog::ast::{BinaryOp, Expr};
+    fn cv(e: &Expr) -> Option<i64> {
+        match e {
+            Expr::Literal { value, .. } => Some(*value as i64),
+            Expr::Binary(BinaryOp::Sub, a, b) => Some(cv(a)? - cv(b)?),
+            Expr::Binary(BinaryOp::Add, a, b) => Some(cv(a)? + cv(b)?),
+            _ => None,
+        }
+    }
+    Some((cv(&r.msb)? - cv(&r.lsb)?).unsigned_abs() as u32 + 1)
+}
+
+/// The golden reference source for a family (clean terse style, fixed
+/// seed, so it is identical across calls).
+pub fn golden_source(family: &DesignFamily) -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x601D);
+    generate(family, &StyleOptions::clean(), &mut rng).source
+}
+
+/// Number of stimulus vectors per check.
+const VECTORS: usize = 48;
+
+/// Checks `candidate_src` against the golden model of `family`.
+///
+/// The candidate may name its module and ports freely; interfaces are
+/// matched positionally and must agree in input count and widths and in
+/// output count.
+pub fn check_functional(candidate_src: &str, family: &DesignFamily) -> FunctionalVerdict {
+    let sequential = family.category() == Category::Sequential;
+    let golden_src = golden_source(family);
+    let (gold_iface, gold_top) = match classify(&golden_src, sequential) {
+        Ok(x) => x,
+        Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
+    };
+    let (cand_iface, cand_top) = match classify(candidate_src, sequential) {
+        Ok(x) => x,
+        Err(e) => return FunctionalVerdict::BuildFailure(e),
+    };
+    if cand_iface.inputs.len() != gold_iface.inputs.len() {
+        return FunctionalVerdict::InterfaceMismatch(format!(
+            "expected {} data inputs, found {}",
+            gold_iface.inputs.len(),
+            cand_iface.inputs.len()
+        ));
+    }
+    for (i, ((_, gw), (cn, cw))) in
+        gold_iface.inputs.iter().zip(&cand_iface.inputs).enumerate()
+    {
+        if gw != cw {
+            return FunctionalVerdict::InterfaceMismatch(format!(
+                "input {i} (`{cn}`) is {cw} bits, expected {gw}"
+            ));
+        }
+    }
+    if cand_iface.outputs.len() != gold_iface.outputs.len() {
+        return FunctionalVerdict::InterfaceMismatch(format!(
+            "expected {} outputs, found {}",
+            gold_iface.outputs.len(),
+            cand_iface.outputs.len()
+        ));
+    }
+    if sequential && cand_iface.clock.is_none() {
+        return FunctionalVerdict::InterfaceMismatch("no clock input found".into());
+    }
+    if gold_iface.reset.is_some() && sequential && cand_iface.reset.is_none() {
+        return FunctionalVerdict::InterfaceMismatch("no reset input found".into());
+    }
+
+    let mut gold = match Simulator::from_source(&golden_src, &gold_top) {
+        Ok(s) => s,
+        Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
+    };
+    let mut cand = match Simulator::from_source(candidate_src, &cand_top) {
+        Ok(s) => s,
+        Err(e) => return FunctionalVerdict::BuildFailure(e.to_string()),
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57EE7);
+    // reset pulse for sequential designs
+    if sequential {
+        let pulse = |sim: &mut Simulator, iface: &Interface| -> Result<(), String> {
+            if let Some(r) = &iface.reset {
+                sim.set(r, 1).map_err(|e| e.to_string())?;
+            }
+            if let Some(c) = &iface.clock {
+                sim.clock(c).map_err(|e| e.to_string())?;
+            }
+            if let Some(r) = &iface.reset {
+                sim.set(r, 0).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        };
+        if let Err(e) = pulse(&mut gold, &gold_iface) {
+            return FunctionalVerdict::BuildFailure(format!("golden reset: {e}"));
+        }
+        if let Err(e) = pulse(&mut cand, &cand_iface) {
+            return FunctionalVerdict::RuntimeFailure(format!("reset: {e}"));
+        }
+    }
+
+    for v in 0..VECTORS {
+        // one stimulus for both designs
+        let values: Vec<u64> = gold_iface
+            .inputs
+            .iter()
+            .map(|(_, w)| rng.random::<u64>() & pyranet_verilog::Value::mask(*w))
+            .collect();
+        for ((gn, _), val) in gold_iface.inputs.iter().zip(&values) {
+            if let Err(e) = gold.set(gn, *val) {
+                return FunctionalVerdict::BuildFailure(format!("golden drive: {e}"));
+            }
+        }
+        for ((cn, _), val) in cand_iface.inputs.iter().zip(&values) {
+            if let Err(e) = cand.set(cn, *val) {
+                return FunctionalVerdict::RuntimeFailure(format!("drive `{cn}`: {e}"));
+            }
+        }
+        if sequential {
+            if let Some(c) = &gold_iface.clock {
+                if let Err(e) = gold.clock(c) {
+                    return FunctionalVerdict::BuildFailure(format!("golden clock: {e}"));
+                }
+            }
+            if let Some(c) = &cand_iface.clock {
+                if let Err(e) = cand.clock(c) {
+                    return FunctionalVerdict::RuntimeFailure(format!("clock: {e}"));
+                }
+            }
+        }
+        for (o, (gn, cn)) in
+            gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate()
+        {
+            let gv = match gold.get(gn) {
+                Ok(v) => v,
+                Err(e) => return FunctionalVerdict::BuildFailure(format!("golden read: {e}")),
+            };
+            let cv = match cand.get(cn) {
+                Ok(v) => v,
+                Err(e) => return FunctionalVerdict::RuntimeFailure(format!("read `{cn}`: {e}")),
+            };
+            // compare at the golden width (a wider candidate output is
+            // tolerated if the low bits agree and the rest are zero)
+            let w = gv.width();
+            if gv.as_u64() != (cv.as_u64() & pyranet_verilog::Value::mask(w))
+                || cv.as_u64() >> w.min(63) != 0
+            {
+                return FunctionalVerdict::Mismatch { vector: v, output: o };
+            }
+        }
+    }
+    FunctionalVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_corpus::style::{NamingScheme, StyleOptions};
+
+    #[test]
+    fn golden_passes_against_itself() {
+        for family in [
+            DesignFamily::HalfAdder,
+            DesignFamily::Counter { width: 8 },
+            DesignFamily::Alu { width: 8 },
+            DesignFamily::Ram { addr_width: 3, data_width: 8 },
+            DesignFamily::SequenceDetector { pattern: vec![true, false, true] },
+        ] {
+            let src = golden_source(&family);
+            let v = check_functional(&src, &family);
+            assert!(v.is_pass(), "{family:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn renamed_ports_still_pass() {
+        // A correct implementation under a different naming scheme passes:
+        // matching is positional.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for family in [DesignFamily::HalfAdder, DesignFamily::Counter { width: 8 }] {
+            let style = StyleOptions { naming: NamingScheme::Prefixed, ..StyleOptions::clean() };
+            let d = generate(&family, &style, &mut rng);
+            let v = check_functional(&d.source, &family);
+            assert!(v.is_pass(), "{family:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_logic_fails() {
+        // A half adder with OR instead of XOR
+        let bad = "module ha(input a, input b, output s, output c);\n\
+                   assign s = a | b;\n  assign c = a & b;\nendmodule";
+        let v = check_functional(bad, &DesignFamily::HalfAdder);
+        assert!(matches!(v, FunctionalVerdict::Mismatch { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn syntax_error_is_build_failure() {
+        let v = check_functional("module oops(", &DesignFamily::HalfAdder);
+        assert!(matches!(v, FunctionalVerdict::BuildFailure(_)), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_interface_is_mismatch() {
+        let v = check_functional(
+            "module m(input a, output y); assign y = a; endmodule",
+            &DesignFamily::HalfAdder,
+        );
+        assert!(matches!(v, FunctionalVerdict::InterfaceMismatch(_)), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_width_is_interface_mismatch() {
+        let v = check_functional(
+            "module add(input [3:0] a, input [3:0] b, input cin, output [7:0] s, output co);\n\
+             assign {co, s} = a + b + cin;\nendmodule",
+            &DesignFamily::BehavioralAdder { width: 8 },
+        );
+        assert!(matches!(v, FunctionalVerdict::InterfaceMismatch(_)), "{v:?}");
+    }
+
+    #[test]
+    fn missing_clock_is_interface_mismatch() {
+        let v = check_functional(
+            "module c(input [7:0] d, output [7:0] q); assign q = d; endmodule",
+            &DesignFamily::Counter { width: 8 },
+        );
+        assert!(matches!(v, FunctionalVerdict::InterfaceMismatch(_)), "{v:?}");
+    }
+
+    #[test]
+    fn off_by_one_counter_fails() {
+        let bad = "module counter(input clk, input rst, input en, output reg [7:0] q);\n\
+                   always @(posedge clk) begin\n\
+                     if (rst) q <= 8'd0; else if (en) q <= q + 8'd2;\n\
+                   end\nendmodule";
+        let v = check_functional(bad, &DesignFamily::Counter { width: 8 });
+        assert!(matches!(v, FunctionalVerdict::Mismatch { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn verdict_is_pass_helper() {
+        assert!(FunctionalVerdict::Pass.is_pass());
+        assert!(!FunctionalVerdict::BuildFailure("x".into()).is_pass());
+    }
+}

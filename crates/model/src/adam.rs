@@ -1,0 +1,113 @@
+//! The Adam optimizer.
+
+use crate::tensor::Matrix;
+
+/// Adam optimizer state for one parameter tensor.
+#[derive(Debug, Clone, Default)]
+struct Moments {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam with bias correction; hyperparameters match the common defaults
+/// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8). The learning rate is the paper's
+/// 2e-4 by default (Table II).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    states: Vec<Moments>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n_params` tensors at learning rate `lr`.
+    pub fn new(n_params: usize, lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            states: vec![Moments::default(); n_params],
+        }
+    }
+
+    /// Number of tracked parameter tensors.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when tracking no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Applies one update step: `params[i] -= lr * m̂ / (sqrt(v̂) + ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` and `grads` lengths differ from the tracked
+    /// count, or when a gradient shape differs from its parameter.
+    pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), self.states.len(), "parameter count changed");
+        assert_eq!(grads.len(), self.states.len(), "gradient count mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), st) in params.iter_mut().zip(grads).zip(&mut self.states) {
+            assert_eq!(p.data.len(), g.data.len(), "grad shape mismatch");
+            if st.m.is_empty() {
+                st.m = vec![0.0; p.data.len()];
+                st.v = vec![0.0; p.data.len()];
+            }
+            for i in 0..p.data.len() {
+                let gi = g.data[i];
+                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * gi;
+                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = st.m[i] / bc1;
+                let vhat = st.v[i] / bc2;
+                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        // minimise f(x) = (x - 3)^2 elementwise
+        let mut x = Matrix::new(1, 4, vec![0.0, 10.0, -5.0, 3.0]);
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let grad = Matrix::new(1, 4, x.data.iter().map(|v| 2.0 * (v - 3.0)).collect());
+            opt.step(&mut [&mut x], &[grad]);
+        }
+        for v in &x.data {
+            assert!((v - 3.0).abs() < 1e-2, "converged to {v}");
+        }
+    }
+
+    #[test]
+    fn step_count_and_lr_exposed() {
+        let opt = Adam::new(3, 2e-4);
+        assert_eq!(opt.len(), 3);
+        assert!(!opt.is_empty());
+        assert!((opt.lr - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn mismatched_param_count_panics() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut x = Matrix::zeros(1, 1);
+        let g = Matrix::zeros(1, 1);
+        opt.step(&mut [&mut x], &[g]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Model configurations — the Table II analogues.
+//!
+//! The paper fine-tunes CodeLlama-7B (32 layers, 32 heads), CodeLlama-13B
+//! (40 layers, 40 heads, head size 128) and DeepSeek-Coder-7B (30 layers,
+//! 30 heads), all at learning rate 2e-4 for 1–3 epochs. Our substitutes
+//! scale those architectures down by a constant factor while preserving the
+//! relative ordering (13B analogue > 7B analogue in capacity, DeepSeek
+//! analogue same size as 7B but a different FFN ratio and pre-training
+//! seed, mirroring "same scale, different recipe").
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture + fine-tuning hyperparameters for one base model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Display name (e.g. "codeLlama-7B-analog").
+    pub name: String,
+    /// Embedding/hidden width.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Attention heads (must divide `d_model`).
+    pub n_heads: usize,
+    /// FFN inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (the Table II "context size" analogue).
+    pub max_seq: usize,
+    /// Learning rate (paper: 2e-4).
+    pub learning_rate: f32,
+    /// Pre-training seed (differentiates "base model checkpoints").
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The CodeLlama-7B stand-in.
+    pub fn codellama_7b() -> ModelConfig {
+        ModelConfig {
+            name: "codeLlama-7B-analog".into(),
+            d_model: 80,
+            n_layers: 2,
+            n_heads: 4,
+            d_ff: 160,
+            max_seq: 320,
+            learning_rate: 2e-4,
+            seed: 0x7B00,
+        }
+    }
+
+    /// The CodeLlama-13B stand-in (more layers, wider — strictly more
+    /// capacity than the 7B analogue).
+    pub fn codellama_13b() -> ModelConfig {
+        ModelConfig {
+            name: "codeLlama-13B-analog".into(),
+            d_model: 96,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 192,
+            max_seq: 320,
+            learning_rate: 2e-4,
+            seed: 0x13B0,
+        }
+    }
+
+    /// The DeepSeek-Coder-7B stand-in (7B-scale width, deeper FFN, its own
+    /// pre-training seed — a "same size, better recipe" base).
+    pub fn deepseek_7b() -> ModelConfig {
+        ModelConfig {
+            name: "DeepSeek-Coder-7B-analog".into(),
+            d_model: 88,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 220,
+            max_seq: 320,
+            learning_rate: 2e-4,
+            seed: 0xD5C0,
+        }
+    }
+
+    /// All three base configurations (Table II rows).
+    pub fn all_bases() -> Vec<ModelConfig> {
+        vec![Self::codellama_7b(), Self::codellama_13b(), Self::deepseek_7b()]
+    }
+
+    /// Head size, `d_model / n_heads`.
+    pub fn head_size(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Rough trainable-parameter count for a vocabulary of `vocab` words.
+    pub fn param_count(&self, vocab: usize) -> usize {
+        let attn = 4 * self.d_model * self.d_model;
+        let ffn = 2 * self.d_model * self.d_ff;
+        vocab * self.d_model // token embedding
+            + self.max_seq * self.d_model // position embedding
+            + self.n_layers * (attn + ffn)
+            + self.d_model * vocab // head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heads_divide_width() {
+        for c in ModelConfig::all_bases() {
+            assert_eq!(c.d_model % c.n_heads, 0, "{}", c.name);
+            assert!(c.head_size() > 0);
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_13b_largest() {
+        let v = 1000;
+        let p7 = ModelConfig::codellama_7b().param_count(v);
+        let p13 = ModelConfig::codellama_13b().param_count(v);
+        let pds = ModelConfig::deepseek_7b().param_count(v);
+        assert!(p13 > p7, "13B analogue must out-size 7B analogue");
+        assert!(p13 > pds);
+        assert!(pds > p7, "DeepSeek analogue sits between");
+    }
+
+    #[test]
+    fn learning_rate_matches_paper() {
+        for c in ModelConfig::all_bases() {
+            assert!((c.learning_rate - 2e-4).abs() < 1e-9, "Table II fixes lr at 2e-4");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_per_base() {
+        let seeds: std::collections::HashSet<u64> =
+            ModelConfig::all_bases().iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -1,0 +1,926 @@
+//! Tape-based reverse-mode autograd over 2-D `f32` tensors.
+//!
+//! The design is define-by-run: a [`Graph`] is built per training step,
+//! forward values are computed eagerly, and [`Graph::backward`] replays the
+//! tape in reverse. Tensors are row-major `[rows, cols]` matrices; vectors
+//! are `[1, n]`.
+
+/// A node id on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(usize);
+
+/// Row-major matrix storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Element access.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+enum Op {
+    Leaf,
+    /// (a, b): C = A · B
+    MatMul(TensorId, TensorId),
+    /// (a, b): C = A · Bᵀ
+    MatMulNt(TensorId, TensorId),
+    Add(TensorId, TensorId),
+    /// Adds a `[1, n]` row vector to every row.
+    AddRow(TensorId, TensorId),
+    Mul(TensorId, TensorId),
+    Scale(TensorId, f32),
+    Gelu(TensorId),
+    /// Row-wise layer norm; caches (mean, rstd) per row.
+    LayerNorm(TensorId, Vec<(f32, f32)>),
+    /// Row-wise softmax with optional causal mask (applied in forward).
+    Softmax(TensorId),
+    /// Embedding gather: rows of `table` selected by `ids`.
+    Gather(TensorId, Vec<usize>),
+    /// Column slice [start, len) of the input.
+    SliceCols(TensorId, usize, usize),
+    /// Horizontal concatenation of column blocks.
+    ConcatCols(Vec<TensorId>),
+    /// Weighted token cross-entropy; caches softmax probs.
+    CrossEntropy {
+        logits: TensorId,
+        targets: Vec<usize>,
+        weights: Vec<f32>,
+        probs: Box<Matrix>,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A single-use computation graph.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> TensorId {
+        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Adds a trainable leaf (gradient will be accumulated).
+    pub fn param(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Adds a constant leaf (no gradient).
+    pub fn constant(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The accumulated gradient of a node (zero matrix if it never received
+    /// gradient).
+    pub fn grad(&self, id: TensorId) -> Matrix {
+        let n = &self.nodes[id.0];
+        n.grad.clone().unwrap_or_else(|| Matrix::zeros(n.value.rows, n.value.cols))
+    }
+
+    fn shape(&self, id: TensorId) -> (usize, usize) {
+        let v = &self.nodes[id.0].value;
+        (v.rows, v.cols)
+    }
+
+    fn needs(&self, id: TensorId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    // ---- ops ----
+
+    /// `A · B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, br, "matmul inner dims {ac} vs {br}");
+        let mut out = Matrix::zeros(ar, bc);
+        {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            matmul_into(av, bv, &mut out);
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(out, Op::MatMul(a, b), needs)
+    }
+
+    /// `A · Bᵀ`.
+    pub fn matmul_nt(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, bc, "matmul_nt inner dims {ac} vs {bc}");
+        let mut out = Matrix::zeros(ar, br);
+        {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            for i in 0..ar {
+                for j in 0..br {
+                    let mut acc = 0.0f32;
+                    for k in 0..ac {
+                        acc += av.data[i * ac + k] * bv.data[j * bc + k];
+                    }
+                    out.data[i * br + j] = acc;
+                }
+            }
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(out, Op::MatMulNt(a, b), needs)
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let mut out = self.nodes[a.0].value.clone();
+        for (o, x) in out.data.iter_mut().zip(&self.nodes[b.0].value.data) {
+            *o += x;
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(out, Op::Add(a, b), needs)
+    }
+
+    /// Adds row vector `row` (`[1, n]`) to every row of `a` (`[m, n]`).
+    pub fn add_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let (_, ac) = self.shape(a);
+        let (rr, rc) = self.shape(row);
+        assert_eq!((rr, rc), (1, ac), "add_row expects [1,{ac}], got [{rr},{rc}]");
+        let mut out = self.nodes[a.0].value.clone();
+        let rv = &self.nodes[row.0].value;
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += rv.data[c];
+            }
+        }
+        let needs = self.needs(a) || self.needs(row);
+        self.push(out, Op::AddRow(a, row), needs)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
+        let mut out = self.nodes[a.0].value.clone();
+        for (o, x) in out.data.iter_mut().zip(&self.nodes[b.0].value.data) {
+            *o *= x;
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(out, Op::Mul(a, b), needs)
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&mut self, a: TensorId, k: f32) -> TensorId {
+        let mut out = self.nodes[a.0].value.clone();
+        for o in out.data.iter_mut() {
+            *o *= k;
+        }
+        let needs = self.needs(a);
+        self.push(out, Op::Scale(a, k), needs)
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&mut self, a: TensorId) -> TensorId {
+        let mut out = self.nodes[a.0].value.clone();
+        for o in out.data.iter_mut() {
+            *o = gelu_fwd(*o);
+        }
+        let needs = self.needs(a);
+        self.push(out, Op::Gelu(a), needs)
+    }
+
+    /// Row-wise layer normalization (no affine; compose with `mul`/`add_row`
+    /// for gain/bias).
+    pub fn layernorm(&mut self, a: TensorId) -> TensorId {
+        let v = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(v.rows, v.cols);
+        let mut stats = Vec::with_capacity(v.rows);
+        for r in 0..v.rows {
+            let row = &v.data[r * v.cols..(r + 1) * v.cols];
+            let mean = row.iter().sum::<f32>() / v.cols as f32;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.cols as f32;
+            let rstd = 1.0 / (var + 1e-5).sqrt();
+            for c in 0..v.cols {
+                out.data[r * v.cols + c] = (row[c] - mean) * rstd;
+            }
+            stats.push((mean, rstd));
+        }
+        let needs = self.needs(a);
+        self.push(out, Op::LayerNorm(a, stats), needs)
+    }
+
+    /// Row-wise softmax. `causal` masks column j > row i with -inf first
+    /// (for square attention score matrices).
+    pub fn softmax(&mut self, a: TensorId, causal: bool) -> TensorId {
+        let v = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(v.rows, v.cols);
+        for r in 0..v.rows {
+            let limit = if causal { (r + 1).min(v.cols) } else { v.cols };
+            let row = &v.data[r * v.cols..r * v.cols + limit];
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut denom = 0.0f32;
+            for c in 0..limit {
+                let e = (row[c] - max).exp();
+                out.data[r * v.cols + c] = e;
+                denom += e;
+            }
+            for c in 0..limit {
+                out.data[r * v.cols + c] /= denom;
+            }
+            // masked entries stay exactly 0
+        }
+        let needs = self.needs(a);
+        self.push(out, Op::Softmax(a), needs)
+    }
+
+    /// Gathers rows `ids` of `table` (embedding lookup).
+    pub fn gather(&mut self, table: TensorId, ids: &[usize]) -> TensorId {
+        let t = &self.nodes[table.0].value;
+        let mut out = Matrix::zeros(ids.len(), t.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < t.rows, "gather index {id} out of {}", t.rows);
+            out.data[r * t.cols..(r + 1) * t.cols]
+                .copy_from_slice(&t.data[id * t.cols..(id + 1) * t.cols]);
+        }
+        let needs = self.needs(table);
+        self.push(out, Op::Gather(table, ids.to_vec()), needs)
+    }
+
+    /// Column slice `[start, start+len)`.
+    pub fn slice_cols(&mut self, a: TensorId, start: usize, len: usize) -> TensorId {
+        let v = &self.nodes[a.0].value;
+        assert!(start + len <= v.cols, "slice beyond columns");
+        let mut out = Matrix::zeros(v.rows, len);
+        for r in 0..v.rows {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&v.data[r * v.cols + start..r * v.cols + start + len]);
+        }
+        let needs = self.needs(a);
+        self.push(out, Op::SliceCols(a, start, len), needs)
+    }
+
+    /// Concatenates blocks horizontally (same row count).
+    pub fn concat_cols(&mut self, parts: &[TensorId]) -> TensorId {
+        assert!(!parts.is_empty());
+        let rows = self.shape(parts[0]).0;
+        let total: usize = parts.iter().map(|p| self.shape(*p).1).sum();
+        let mut out = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let v = &self.nodes[p.0].value;
+            assert_eq!(v.rows, rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                out.data[r * total + off..r * total + off + v.cols]
+                    .copy_from_slice(&v.data[r * v.cols..(r + 1) * v.cols]);
+            }
+            off += v.cols;
+        }
+        let needs = parts.iter().any(|p| self.needs(*p));
+        self.push(out, Op::ConcatCols(parts.to_vec()), needs)
+    }
+
+    /// Per-row weighted cross-entropy over logits `[n, V]` against `targets`
+    /// with per-row `weights`; returns a `[1,1]` scalar:
+    /// `sum_i w_i * (-log softmax(logits_i)[t_i]) / sum_i w_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree or all weights are zero.
+    pub fn cross_entropy(
+        &mut self,
+        logits: TensorId,
+        targets: &[usize],
+        weights: &[f32],
+    ) -> TensorId {
+        let v = &self.nodes[logits.0].value;
+        assert_eq!(v.rows, targets.len());
+        assert_eq!(v.rows, weights.len());
+        let wsum: f32 = weights.iter().sum();
+        assert!(wsum > 0.0, "all-zero loss weights");
+        let mut probs = Matrix::zeros(v.rows, v.cols);
+        let mut loss = 0.0f32;
+        for r in 0..v.rows {
+            let row = &v.data[r * v.cols..(r + 1) * v.cols];
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut denom = 0.0f32;
+            for c in 0..v.cols {
+                let e = (row[c] - max).exp();
+                probs.data[r * v.cols + c] = e;
+                denom += e;
+            }
+            for c in 0..v.cols {
+                probs.data[r * v.cols + c] /= denom;
+            }
+            let p = probs.data[r * v.cols + targets[r]].max(1e-12);
+            loss -= weights[r] * p.ln();
+        }
+        loss /= wsum;
+        let needs = self.needs(logits);
+        self.push(
+            Matrix::new(1, 1, vec![loss]),
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                weights: weights.to_vec(),
+                probs: Box::new(probs),
+            },
+            needs,
+        )
+    }
+
+    /// Runs the backward pass from `root` (must be `[1,1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` is not scalar.
+    pub fn backward(&mut self, root: TensorId) {
+        {
+            let v = &self.nodes[root.0].value;
+            assert_eq!((v.rows, v.cols), (1, 1), "backward root must be scalar");
+        }
+        self.nodes[root.0].grad = Some(Matrix::new(1, 1, vec![1.0]));
+        for i in (0..=root.0).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
+                continue;
+            }
+            let grad = self.nodes[i].grad.clone().expect("checked above");
+            self.backprop_node(i, &grad);
+        }
+    }
+
+    fn accumulate(&mut self, id: TensorId, delta: Matrix) {
+        if !self.nodes[id.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[id.0].grad {
+            Some(g) => {
+                for (a, b) in g.data.iter_mut().zip(&delta.data) {
+                    *a += b;
+                }
+            }
+            None => self.nodes[id.0].grad = Some(delta),
+        }
+    }
+
+    fn backprop_node(&mut self, i: usize, grad: &Matrix) {
+        // Take op apart immutably first to avoid aliasing with accumulate.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                // dA = dC · Bᵀ
+                if self.needs(a) {
+                    let mut da = Matrix::zeros(av.rows, av.cols);
+                    for r in 0..av.rows {
+                        for k in 0..av.cols {
+                            let mut acc = 0.0f32;
+                            for c in 0..bv.cols {
+                                acc += grad.data[r * bv.cols + c] * bv.data[k * bv.cols + c];
+                            }
+                            da.data[r * av.cols + k] = acc;
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                // dB = Aᵀ · dC
+                if self.needs(b) {
+                    let mut db = Matrix::zeros(bv.rows, bv.cols);
+                    for k in 0..bv.rows {
+                        for c in 0..bv.cols {
+                            let mut acc = 0.0f32;
+                            for r in 0..av.rows {
+                                acc += av.data[r * av.cols + k] * grad.data[r * bv.cols + c];
+                            }
+                            db.data[k * bv.cols + c] = acc;
+                        }
+                    }
+                    self.accumulate(b, db);
+                }
+            }
+            Op::MatMulNt(a, b) => {
+                let (a, b) = (*a, *b);
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                // C = A Bᵀ, dA = dC · B ; dB = dCᵀ · A
+                if self.needs(a) {
+                    let mut da = Matrix::zeros(av.rows, av.cols);
+                    matmul_into(grad, &bv, &mut da);
+                    self.accumulate(a, da);
+                }
+                if self.needs(b) {
+                    let mut db = Matrix::zeros(bv.rows, bv.cols);
+                    for j in 0..bv.rows {
+                        for k in 0..bv.cols {
+                            let mut acc = 0.0f32;
+                            for r in 0..av.rows {
+                                acc += grad.data[r * bv.rows + j] * av.data[r * av.cols + k];
+                            }
+                            db.data[j * bv.cols + k] = acc;
+                        }
+                    }
+                    self.accumulate(b, db);
+                }
+            }
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, grad.clone());
+                self.accumulate(b, grad.clone());
+            }
+            Op::AddRow(a, row) => {
+                let (a, row) = (*a, *row);
+                self.accumulate(a, grad.clone());
+                if self.needs(row) {
+                    let mut dr = Matrix::zeros(1, grad.cols);
+                    for r in 0..grad.rows {
+                        for c in 0..grad.cols {
+                            dr.data[c] += grad.data[r * grad.cols + c];
+                        }
+                    }
+                    self.accumulate(row, dr);
+                }
+            }
+            Op::Mul(a, b) => {
+                let (a, b) = (*a, *b);
+                if self.needs(a) {
+                    let bv = self.nodes[b.0].value.clone();
+                    let mut da = grad.clone();
+                    for (g, x) in da.data.iter_mut().zip(&bv.data) {
+                        *g *= x;
+                    }
+                    self.accumulate(a, da);
+                }
+                if self.needs(b) {
+                    let av = self.nodes[a.0].value.clone();
+                    let mut db = grad.clone();
+                    for (g, x) in db.data.iter_mut().zip(&av.data) {
+                        *g *= x;
+                    }
+                    self.accumulate(b, db);
+                }
+            }
+            Op::Scale(a, k) => {
+                let (a, k) = (*a, *k);
+                let mut da = grad.clone();
+                for g in da.data.iter_mut() {
+                    *g *= k;
+                }
+                self.accumulate(a, da);
+            }
+            Op::Gelu(a) => {
+                let a = *a;
+                let av = self.nodes[a.0].value.clone();
+                let mut da = grad.clone();
+                for (g, &x) in da.data.iter_mut().zip(&av.data) {
+                    *g *= gelu_bwd(x);
+                }
+                self.accumulate(a, da);
+            }
+            Op::LayerNorm(a, stats) => {
+                let a = *a;
+                let stats = stats.clone();
+                let av = self.nodes[a.0].value.clone();
+                let mut da = Matrix::zeros(av.rows, av.cols);
+                let n = av.cols as f32;
+                for r in 0..av.rows {
+                    let (mean, rstd) = stats[r];
+                    let xs = &av.data[r * av.cols..(r + 1) * av.cols];
+                    let gs = &grad.data[r * av.cols..(r + 1) * av.cols];
+                    let sum_g: f32 = gs.iter().sum();
+                    let sum_gx: f32 =
+                        gs.iter().zip(xs).map(|(g, x)| g * (x - mean) * rstd).sum();
+                    for c in 0..av.cols {
+                        let xhat = (xs[c] - mean) * rstd;
+                        da.data[r * av.cols + c] =
+                            rstd * (gs[c] - sum_g / n - xhat * sum_gx / n);
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::Softmax(a) => {
+                let a = *a;
+                let sv = self.nodes[i].value.clone();
+                let mut da = Matrix::zeros(sv.rows, sv.cols);
+                for r in 0..sv.rows {
+                    let srow = &sv.data[r * sv.cols..(r + 1) * sv.cols];
+                    let grow = &grad.data[r * sv.cols..(r + 1) * sv.cols];
+                    let dot: f32 = srow.iter().zip(grow).map(|(s, g)| s * g).sum();
+                    for c in 0..sv.cols {
+                        da.data[r * sv.cols + c] = srow[c] * (grow[c] - dot);
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::Gather(table, ids) => {
+                let table = *table;
+                let ids = ids.clone();
+                let (tr, tc) = self.shape(table);
+                let mut dt = Matrix::zeros(tr, tc);
+                for (r, id) in ids.iter().enumerate() {
+                    for c in 0..tc {
+                        dt.data[id * tc + c] += grad.data[r * tc + c];
+                    }
+                }
+                self.accumulate(table, dt);
+            }
+            Op::SliceCols(a, start, len) => {
+                let (a, start, len) = (*a, *start, *len);
+                let (ar, ac) = self.shape(a);
+                let mut da = Matrix::zeros(ar, ac);
+                for r in 0..ar {
+                    for c in 0..len {
+                        da.data[r * ac + start + c] = grad.data[r * len + c];
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::ConcatCols(parts) => {
+                let parts = parts.clone();
+                let mut off = 0;
+                for p in parts {
+                    let (pr, pc) = self.shape(p);
+                    if self.needs(p) {
+                        let mut dp = Matrix::zeros(pr, pc);
+                        for r in 0..pr {
+                            for c in 0..pc {
+                                dp.data[r * pc + c] = grad.data[r * grad.cols + off + c];
+                            }
+                        }
+                        self.accumulate(p, dp);
+                    }
+                    off += pc;
+                }
+            }
+            Op::CrossEntropy { logits, targets, weights, probs } => {
+                let logits = *logits;
+                let targets = targets.clone();
+                let weights = weights.clone();
+                let probs = (**probs).clone();
+                let wsum: f32 = weights.iter().sum();
+                let g0 = grad.data[0];
+                let mut dl = Matrix::zeros(probs.rows, probs.cols);
+                for r in 0..probs.rows {
+                    let w = weights[r] / wsum;
+                    for c in 0..probs.cols {
+                        let indicator = if c == targets[r] { 1.0 } else { 0.0 };
+                        dl.data[r * probs.cols + c] =
+                            g0 * w * (probs.data[r * probs.cols + c] - indicator);
+                    }
+                }
+                self.accumulate(logits, dl);
+            }
+        }
+    }
+}
+
+fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(a.cols, b.rows);
+    out.data.fill(0.0);
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let av = a.data[i * a.cols + k];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+            let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (o, &x) in orow.iter_mut().zip(brow) {
+                *o += av * x;
+            }
+        }
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks d(loss)/d(param[idx]) for a scalar-producing
+    /// closure rebuilt per evaluation.
+    fn finite_diff<F>(param: &Matrix, idx: usize, f: F) -> f32
+    where
+        F: Fn(&Matrix) -> f32,
+    {
+        let eps = 1e-2f32;
+        let mut plus = param.clone();
+        plus.data[idx] += eps;
+        let mut minus = param.clone();
+        minus.data[idx] -= eps;
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // deterministic pseudo-random values in [-0.5, 0.5]
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 11) as f32 / (1u64 << 53) as f32) - 0.5
+            })
+            .collect();
+        Matrix::new(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_forward_correct() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let b = g.constant(Matrix::new(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul_with_transpose() {
+        let a = seeded(3, 4, 1);
+        let b = seeded(5, 4, 2);
+        let mut bt = Matrix::zeros(4, 5);
+        for r in 0..5 {
+            for c in 0..4 {
+                bt.data[c * 5 + r] = b.data[r * 4 + c];
+            }
+        }
+        let mut g = Graph::new();
+        let (ia, ib, ibt) = (g.constant(a), g.constant(b), g.constant(bt));
+        let c1 = g.matmul_nt(ia, ib);
+        let c2 = g.matmul(ia, ibt);
+        for (x, y) in g.value(c1).data.iter().zip(&g.value(c2).data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// One scalar loss used for gradient checking: weighted CE over a tiny
+    /// two-layer network exercising most ops.
+    fn loss_through_net(w1: &Matrix, w2: &Matrix) -> f32 {
+        let mut g = Graph::new();
+        let x = g.constant(seeded(4, 3, 7));
+        let p1 = g.param(w1.clone());
+        let p2 = g.param(w2.clone());
+        let h = g.matmul(x, p1);
+        let h = g.gelu(h);
+        let h = g.layernorm(h);
+        let logits = g.matmul(h, p2);
+        let loss = g.cross_entropy(logits, &[0, 2, 1, 3], &[1.0, 0.5, 0.8, 0.2]);
+        g.value(loss).data[0]
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let w1 = seeded(3, 5, 11);
+        let w2 = seeded(5, 4, 13);
+        // analytic gradients
+        let mut g = Graph::new();
+        let x = g.constant(seeded(4, 3, 7));
+        let p1 = g.param(w1.clone());
+        let p2 = g.param(w2.clone());
+        let h = g.matmul(x, p1);
+        let h = g.gelu(h);
+        let h = g.layernorm(h);
+        let logits = g.matmul(h, p2);
+        let loss = g.cross_entropy(logits, &[0, 2, 1, 3], &[1.0, 0.5, 0.8, 0.2]);
+        g.backward(loss);
+        let g1 = g.grad(p1);
+        let g2 = g.grad(p2);
+        for idx in [0usize, 3, 7, 14] {
+            let fd = finite_diff(&w1, idx, |w| loss_through_net(w, &w2));
+            assert!(
+                (g1.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "w1[{idx}]: analytic {} vs fd {fd}",
+                g1.data[idx]
+            );
+        }
+        for idx in [0usize, 5, 11, 19] {
+            let fd = finite_diff(&w2, idx, |w| loss_through_net(&w1, w));
+            assert!(
+                (g2.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "w2[{idx}]: analytic {} vs fd {fd}",
+                g2.data[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn attention_path_gradcheck() {
+        // softmax(Q Kᵀ) V with causal mask, loss = weighted CE
+        let wq = seeded(3, 3, 21);
+        let run = |wq: &Matrix| -> (f32, Matrix) {
+            let mut g = Graph::new();
+            let x = g.constant(seeded(4, 3, 22));
+            let pq = g.param(wq.clone());
+            let q = g.matmul(x, pq);
+            let scores = g.matmul_nt(q, x);
+            let scaled = g.scale(scores, 0.5773);
+            let attn = g.softmax(scaled, true);
+            let ctx = g.matmul(attn, x);
+            let loss = g.cross_entropy(ctx, &[0, 1, 2, 0], &[1.0, 1.0, 1.0, 1.0]);
+            g.backward(loss);
+            (g.value(loss).data[0], g.grad(pq))
+        };
+        let (_, analytic) = run(&wq);
+        for idx in [0usize, 4, 8] {
+            let fd = finite_diff(&wq, idx, |w| run(w).0);
+            assert!(
+                (analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "wq[{idx}]: analytic {} vs fd {fd}",
+                analytic.data[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gather_grad_scatters() {
+        let table = seeded(5, 2, 31);
+        let run = |t: &Matrix| -> (f32, Matrix) {
+            let mut g = Graph::new();
+            let pt = g.param(t.clone());
+            let got = g.gather(pt, &[1, 3, 1]);
+            let loss = g.cross_entropy(got, &[0, 1, 0], &[1.0, 1.0, 1.0]);
+            g.backward(loss);
+            (g.value(loss).data[0], g.grad(pt))
+        };
+        let (_, analytic) = run(&table);
+        for idx in [2usize, 3, 6, 7] {
+            let fd = finite_diff(&table, idx, |t| run(t).0);
+            assert!(
+                (analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "table[{idx}]"
+            );
+        }
+        // rows never gathered get zero grad
+        assert_eq!(analytic.data[0], 0.0);
+        assert_eq!(analytic.data[8], 0.0);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_grads() {
+        let w = seeded(2, 6, 41);
+        let run = |w: &Matrix| -> (f32, Matrix) {
+            let mut g = Graph::new();
+            let pw = g.param(w.clone());
+            let l = g.slice_cols(pw, 0, 3);
+            let r = g.slice_cols(pw, 3, 3);
+            let back = g.concat_cols(&[l, r]);
+            let loss = g.cross_entropy(back, &[0, 5], &[1.0, 2.0]);
+            g.backward(loss);
+            (g.value(loss).data[0], g.grad(pw))
+        };
+        let (_, analytic) = run(&w);
+        for idx in [0usize, 4, 9, 11] {
+            let fd = finite_diff(&w, idx, |w| run(w).0);
+            assert!(
+                (analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "w[{idx}]"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_causal_masks() {
+        let mut g = Graph::new();
+        let a = g.constant(seeded(4, 4, 51));
+        let s = g.softmax(a, true);
+        let v = g.value(s);
+        for r in 0..4 {
+            let sum: f32 = (0..4).map(|c| v.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            for c in (r + 1)..4 {
+                assert_eq!(v.at(r, c), 0.0, "causal mask leak at [{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_all_ones_equals_unweighted() {
+        let logits = seeded(3, 4, 61);
+        let mut g1 = Graph::new();
+        let l1 = g1.constant(logits.clone());
+        let c1 = g1.cross_entropy(l1, &[1, 2, 0], &[1.0, 1.0, 1.0]);
+        let mut g2 = Graph::new();
+        let l2 = g2.constant(logits);
+        let c2 = g2.cross_entropy(l2, &[1, 2, 0], &[2.0, 2.0, 2.0]);
+        // weights normalise out: scaling all weights equally changes nothing
+        assert!((g1.value(c1).data[0] - g2.value(c2).data[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_ce_downweights_rows() {
+        // Row 1 has a terrible prediction; downweighting it must reduce loss.
+        let logits = Matrix::new(2, 2, vec![5.0, 0.0, 5.0, 0.0]);
+        let mut g1 = Graph::new();
+        let l1 = g1.constant(logits.clone());
+        let full = g1.cross_entropy(l1, &[0, 1], &[1.0, 1.0]);
+        let mut g2 = Graph::new();
+        let l2 = g2.constant(logits);
+        let down = g2.cross_entropy(l2, &[0, 1], &[1.0, 0.1]);
+        assert!(g2.value(down).data[0] < g1.value(full).data[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero loss weights")]
+    fn zero_weights_panic() {
+        let mut g = Graph::new();
+        let l = g.constant(Matrix::zeros(1, 2));
+        let _ = g.cross_entropy(l, &[0], &[0.0]);
+    }
+
+    #[test]
+    fn layernorm_rows_are_standardised() {
+        let mut g = Graph::new();
+        let a = g.constant(seeded(3, 8, 71));
+        let n = g.layernorm(a);
+        let v = g.value(n);
+        for r in 0..3 {
+            let row: Vec<f32> = (0..8).map(|c| v.at(r, c)).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut g = Graph::new();
+        let c = g.constant(seeded(2, 2, 81));
+        let p = g.param(seeded(2, 2, 82));
+        let s = g.add(c, p);
+        let loss = g.cross_entropy(s, &[0, 1], &[1.0, 1.0]);
+        g.backward(loss);
+        assert!(g.grad(c).data.iter().all(|&x| x == 0.0));
+        assert!(g.grad(p).data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix shape mismatch")]
+    fn bad_shape_panics() {
+        let _ = Matrix::new(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Word-level tokenizer over Verilog source and English descriptions.
+//!
+//! Identifiers, numbers and multi-character operators are single tokens;
+//! vocabulary is built from a training corpus with a frequency floor.
+//! Unknown words map to `<unk>`. Token ids are stable for a given build
+//! corpus, which keeps experiments reproducible.
+
+use std::collections::HashMap;
+
+/// Special token: padding.
+pub const PAD: usize = 0;
+/// Special token: beginning of sequence.
+pub const BOS: usize = 1;
+/// Special token: separator between description and code.
+pub const SEP: usize = 2;
+/// Special token: end of sequence.
+pub const EOS: usize = 3;
+/// Special token: unknown word.
+pub const UNK: usize = 4;
+
+const SPECIALS: [&str; 5] = ["<pad>", "<bos>", "<sep>", "<eos>", "<unk>"];
+
+/// A frozen vocabulary mapping words to ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tokenizer {
+    vocab: HashMap<String, usize>,
+    words: Vec<String>,
+}
+
+/// Splits text into word/operator tokens (shared by vocab building and
+/// encoding).
+pub fn split_tokens(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b == b'\'';
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_word(bytes[i]) {
+            let start = i;
+            while i < bytes.len() && is_word(bytes[i]) {
+                i += 1;
+            }
+            out.push(&text[start..i]);
+        } else if bytes[i].is_ascii_whitespace() {
+            i += 1;
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            // Comments are dropped: decoded text has no newlines, so a kept
+            // `//` would comment out the rest of the module.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            // greedy multi-char operators
+            let three = text.get(i..i + 3);
+            let two = text.get(i..i + 2);
+            if let Some(t) = three.filter(|t| matches!(*t, "<<<" | ">>>" | "===" | "!==")) {
+                out.push(t);
+                i += 3;
+            } else if let Some(t) = two.filter(|t| {
+                matches!(
+                    *t,
+                    "<<" | ">>" | "<=" | ">=" | "==" | "!=" | "&&" | "||" | "~^" | "^~" | "~&"
+                        | "~|" | "**" | "+:" | "-:"
+                )
+            }) {
+                out.push(t);
+                i += 2;
+            } else {
+                out.push(&text[i..i + 1]);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+impl Tokenizer {
+    /// Builds a vocabulary from an iterator of texts, keeping words that
+    /// occur at least `min_count` times.
+    pub fn build<'t, I: IntoIterator<Item = &'t str>>(texts: I, min_count: usize) -> Tokenizer {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for text in texts {
+            for tok in split_tokens(text) {
+                *counts.entry(tok.to_owned()).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(String, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        // deterministic order: by descending count, then lexicographic
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut words: Vec<String> = SPECIALS.iter().map(|s| (*s).to_owned()).collect();
+        words.extend(kept.into_iter().map(|(w, _)| w));
+        let vocab = words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
+        Tokenizer { vocab, words }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn vocab_size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Encodes text to ids (no specials added).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        split_tokens(text)
+            .into_iter()
+            .map(|t| self.vocab.get(t).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Encodes a (description, code) pair as
+    /// `<bos> desc <sep> code <eos>` and returns (ids, code_start) where
+    /// `code_start` is the index of the first code token (just after
+    /// `<sep>`), so training can mask the loss to the code region.
+    pub fn encode_pair(&self, description: &str, code: &str) -> (Vec<usize>, usize) {
+        let mut ids = vec![BOS];
+        ids.extend(self.encode(description));
+        ids.push(SEP);
+        let code_start = ids.len();
+        ids.extend(self.encode(code));
+        ids.push(EOS);
+        (ids, code_start)
+    }
+
+    /// Encodes a prompt for generation: `<bos> desc <sep>`.
+    pub fn encode_prompt(&self, description: &str) -> Vec<usize> {
+        let mut ids = vec![BOS];
+        ids.extend(self.encode(description));
+        ids.push(SEP);
+        ids
+    }
+
+    /// Decodes ids back to text with single spaces (whitespace is not
+    /// preserved; Verilog tokenization is whitespace-insensitive so the
+    /// result still parses).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id == BOS || id == EOS || id == PAD || id == SEP {
+                continue;
+            }
+            let word = self.words.get(id).map(|s| s.as_str()).unwrap_or("<unk>");
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(word);
+        }
+        out
+    }
+
+    /// The word for an id.
+    pub fn word(&self, id: usize) -> Option<&str> {
+        self.words.get(id).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_handles_verilog_operators() {
+        let toks = split_tokens("assign y = a <= b ? 4'b1010 : q <<< 2;");
+        assert!(toks.contains(&"<="));
+        assert!(toks.contains(&"<<<"));
+        assert!(toks.contains(&"4'b1010"), "{toks:?}");
+        assert!(toks.contains(&";"));
+    }
+
+    #[test]
+    fn build_encode_decode_round_trip_words() {
+        let corpus = ["module m ( input a , output y ) ;", "assign y = ~ a ;"];
+        let tk = Tokenizer::build(corpus.iter().copied(), 1);
+        let ids = tk.encode("assign y = ~ a ;");
+        let text = tk.decode(&ids);
+        assert_eq!(text, "assign y = ~ a ;");
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let tk = Tokenizer::build(["module m"].iter().copied(), 1);
+        let ids = tk.encode("zebra module");
+        assert_eq!(ids[0], UNK);
+        assert_ne!(ids[1], UNK);
+    }
+
+    #[test]
+    fn pair_encoding_layout() {
+        let tk = Tokenizer::build(["an inverter", "assign y = ~ a ;"].iter().copied(), 1);
+        let (ids, code_start) = tk.encode_pair("an inverter", "assign y = ~a;");
+        assert_eq!(ids[0], BOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(ids[code_start - 1], SEP);
+        assert!(code_start > 1);
+    }
+
+    #[test]
+    fn prompt_ends_with_sep() {
+        let tk = Tokenizer::build(["a counter"].iter().copied(), 1);
+        let p = tk.encode_prompt("a counter");
+        assert_eq!(p[0], BOS);
+        assert_eq!(*p.last().unwrap(), SEP);
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let tk = Tokenizer::build(["common common common rare"].iter().copied(), 2);
+        assert_eq!(tk.encode("rare")[0], UNK);
+        assert_ne!(tk.encode("common")[0], UNK);
+    }
+
+    #[test]
+    fn vocab_is_deterministic() {
+        let corpus = ["b a b c c c", "a a b"];
+        let t1 = Tokenizer::build(corpus.iter().copied(), 1);
+        let t2 = Tokenizer::build(corpus.iter().copied(), 1);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.vocab_size(), 5 + 3);
+    }
+
+    #[test]
+    fn decoded_verilog_still_parses() {
+        let src = "module m(input a, output y);\n  assign y = ~a;\nendmodule";
+        let tk = Tokenizer::build([src].iter().copied(), 1);
+        let ids = tk.encode(src);
+        let text = tk.decode(&ids);
+        assert!(pyranet_verilog::parse(&text).is_ok(), "{text}");
+    }
+}

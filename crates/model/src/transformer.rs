@@ -1,0 +1,746 @@
+//! Decoder-only transformer language model.
+//!
+//! Pre-norm blocks with causal multi-head attention and GELU FFNs; learned
+//! token + position embeddings and a separate output head. Training builds
+//! an autograd [`Graph`] per sequence; generation uses a raw-matrix
+//! KV-cached fast path over the (LoRA-merged) weights.
+
+use crate::adam::Adam;
+use crate::config::ModelConfig;
+use crate::lora::{Adapter, LoraConfig, LoraState};
+use crate::sampler::{sample_logits, SampleOptions};
+use crate::tensor::{Graph, Matrix, TensorId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One training example: token ids, the index where code begins (loss is
+/// masked to code tokens), and the PyraNet per-sample loss weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainExample {
+    /// `<bos> desc <sep> code <eos>` token ids.
+    pub ids: Vec<usize>,
+    /// Index of the first code token.
+    pub code_start: usize,
+    /// Loss weight (layer weight in PyraNet fine-tuning; 1.0 for plain SFT).
+    pub weight: f32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LayerIdx {
+    wq: usize,
+    wk: usize,
+    wv: usize,
+    wo: usize,
+    w1: usize,
+    w2: usize,
+}
+
+/// The language model.
+#[derive(Debug, Clone)]
+pub struct TransformerLm {
+    /// Architecture + training hyperparameters.
+    pub cfg: ModelConfig,
+    vocab: usize,
+    params: Vec<Matrix>,
+    tok_emb: usize,
+    pos_emb: usize,
+    head: usize,
+    layers: Vec<LayerIdx>,
+    lora: Option<LoraState>,
+}
+
+impl TransformerLm {
+    /// Initialises a model with `vocab` tokens from `cfg.seed`.
+    pub fn new(cfg: ModelConfig, vocab: usize) -> TransformerLm {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut params = Vec::new();
+        let d = cfg.d_model;
+        let mut alloc = |rows: usize, cols: usize, rng: &mut ChaCha8Rng| {
+            let std = 0.08;
+            let m = Matrix::new(
+                rows,
+                cols,
+                (0..rows * cols).map(|_| (rng.random::<f32>() - 0.5) * 2.0 * std).collect(),
+            );
+            params.push(m);
+            params.len() - 1
+        };
+        let tok_emb = alloc(vocab, d, &mut rng);
+        let pos_emb = alloc(cfg.max_seq, d, &mut rng);
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for _ in 0..cfg.n_layers {
+            layers.push(LayerIdx {
+                wq: alloc(d, d, &mut rng),
+                wk: alloc(d, d, &mut rng),
+                wv: alloc(d, d, &mut rng),
+                wo: alloc(d, d, &mut rng),
+                w1: alloc(d, cfg.d_ff, &mut rng),
+                w2: alloc(cfg.d_ff, d, &mut rng),
+            });
+        }
+        let head = alloc(d, vocab, &mut rng);
+        TransformerLm { cfg, vocab, params, tok_emb, pos_emb, head, layers, lora: None }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Total parameter scalars (base weights).
+    pub fn param_scalars(&self) -> usize {
+        self.params.iter().map(|m| m.data.len()).sum()
+    }
+
+    /// Whether LoRA adapters are attached.
+    pub fn has_lora(&self) -> bool {
+        self.lora.is_some()
+    }
+
+    /// Attaches fresh LoRA adapters to every attention projection (q, v) —
+    /// the standard target set. Subsequent training updates only the
+    /// adapters; the base stays frozen.
+    pub fn enable_lora(&mut self, cfg: LoraConfig) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x10_7A);
+        let d = self.cfg.d_model;
+        let mut adapters = Vec::new();
+        for l in &self.layers {
+            adapters.push(Adapter::new(l.wq, d, d, &cfg, &mut rng));
+            adapters.push(Adapter::new(l.wv, d, d, &cfg, &mut rng));
+        }
+        self.lora = Some(LoraState { cfg, adapters });
+    }
+
+    /// Folds the adapters into the base weights and detaches them.
+    pub fn merge_lora(&mut self) {
+        if let Some(state) = self.lora.take() {
+            let scale = state.cfg.scale();
+            for ad in &state.adapters {
+                let delta = ad.delta(scale);
+                for (w, dx) in self.params[ad.target].data.iter_mut().zip(&delta.data) {
+                    *w += dx;
+                }
+            }
+        }
+    }
+
+    /// Number of trainable tensors in the current mode (feeds
+    /// [`Adam::new`]).
+    pub fn trainable_count(&self) -> usize {
+        match &self.lora {
+            Some(s) => s.adapters.len() * 2,
+            None => self.params.len(),
+        }
+    }
+
+    /// The effective (LoRA-merged) weight for a parameter index — used by
+    /// the inference fast path.
+    fn effective_weight(&self, idx: usize) -> Matrix {
+        let base = &self.params[idx];
+        match &self.lora {
+            Some(state) => match state.adapter_for(idx) {
+                Some(ad) => {
+                    let mut w = base.clone();
+                    let delta = ad.delta(state.cfg.scale());
+                    for (x, d) in w.data.iter_mut().zip(&delta.data) {
+                        *x += d;
+                    }
+                    w
+                }
+                None => base.clone(),
+            },
+            None => base.clone(),
+        }
+    }
+
+    /// A linear layer inside the graph, LoRA-aware. `trainables` collects
+    /// `(param_key, tensor_id)` for the optimizer; base weights become
+    /// constants in LoRA mode.
+    fn linear(
+        &self,
+        g: &mut Graph,
+        x: TensorId,
+        idx: usize,
+        trainables: &mut Vec<(TrainKey, TensorId)>,
+    ) -> TensorId {
+        match &self.lora {
+            Some(state) => {
+                let w = g.constant(self.params[idx].clone());
+                let base_out = g.matmul(x, w);
+                match state.adapter_for(idx) {
+                    Some(ad) => {
+                        let a = g.param(ad.a.clone());
+                        let b = g.param(ad.b.clone());
+                        trainables.push((TrainKey::LoraA(idx), a));
+                        trainables.push((TrainKey::LoraB(idx), b));
+                        let xa = g.matmul(x, a);
+                        let xab = g.matmul(xa, b);
+                        let scaled = g.scale(xab, state.cfg.scale());
+                        g.add(base_out, scaled)
+                    }
+                    None => base_out,
+                }
+            }
+            None => {
+                let w = g.param(self.params[idx].clone());
+                trainables.push((TrainKey::Base(idx), w));
+                g.matmul(x, w)
+            }
+        }
+    }
+
+    /// Embedding-style parameter as a graph leaf.
+    fn table(
+        &self,
+        g: &mut Graph,
+        idx: usize,
+        trainables: &mut Vec<(TrainKey, TensorId)>,
+    ) -> TensorId {
+        if self.lora.is_some() {
+            g.constant(self.params[idx].clone())
+        } else {
+            let t = g.param(self.params[idx].clone());
+            trainables.push((TrainKey::Base(idx), t));
+            t
+        }
+    }
+
+    /// Builds the forward graph up to logits for `ids`; returns the logits
+    /// node and the trainable map.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ids: &[usize],
+    ) -> (TensorId, Vec<(TrainKey, TensorId)>) {
+        let mut trainables = Vec::new();
+        let len = ids.len().min(self.cfg.max_seq);
+        let ids = &ids[..len];
+        let tok = self.table(g, self.tok_emb, &mut trainables);
+        let pos = self.table(g, self.pos_emb, &mut trainables);
+        let te = g.gather(tok, ids);
+        let positions: Vec<usize> = (0..len).collect();
+        let pe = g.gather(pos, &positions);
+        let mut x = g.add(te, pe);
+        let hs = self.cfg.head_size();
+        let scale = 1.0 / (hs as f32).sqrt();
+        for l in &self.layers {
+            let xn = g.layernorm(x);
+            let q = self.linear(g, xn, l.wq, &mut trainables);
+            let k = self.linear(g, xn, l.wk, &mut trainables);
+            let v = self.linear(g, xn, l.wv, &mut trainables);
+            let mut head_outs = Vec::with_capacity(self.cfg.n_heads);
+            for h in 0..self.cfg.n_heads {
+                let qh = g.slice_cols(q, h * hs, hs);
+                let kh = g.slice_cols(k, h * hs, hs);
+                let vh = g.slice_cols(v, h * hs, hs);
+                let scores = g.matmul_nt(qh, kh);
+                let scaled = g.scale(scores, scale);
+                let attn = g.softmax(scaled, true);
+                head_outs.push(g.matmul(attn, vh));
+            }
+            let merged = g.concat_cols(&head_outs);
+            let proj = self.linear(g, merged, l.wo, &mut trainables);
+            x = g.add(x, proj);
+            let xn = g.layernorm(x);
+            let h1 = self.linear(g, xn, l.w1, &mut trainables);
+            let h1 = g.gelu(h1);
+            let h2 = self.linear(g, h1, l.w2, &mut trainables);
+            x = g.add(x, h2);
+        }
+        let xn = g.layernorm(x);
+        let head = self.table(g, self.head, &mut trainables);
+        let logits = g.matmul(xn, head);
+        (logits, trainables)
+    }
+
+    /// Loss for one example (graph-building path; used by both training and
+    /// [`TransformerLm::nll`]).
+    fn example_loss(
+        &self,
+        g: &mut Graph,
+        ex: &TrainExample,
+    ) -> Option<(TensorId, Vec<(TrainKey, TensorId)>)> {
+        let len = ex.ids.len().min(self.cfg.max_seq);
+        if len < 2 || ex.code_start >= len {
+            return None;
+        }
+        let (logits, trainables) = self.forward(g, &ex.ids[..len]);
+        // Row i predicts ids[i+1]; rows 0..len-1 participate, weighted so
+        // only code-region targets count.
+        let rows = len - 1;
+        let logits_rows = g.slice_rows_for_loss(logits, rows);
+        let targets: Vec<usize> = ex.ids[1..len].to_vec();
+        // 0/1 masks select the code region; the cross-entropy normalises by
+        // the mask sum, so the PyraNet per-sample weight must be applied as
+        // an outer scale — otherwise a uniform weight would cancel out.
+        let masks: Vec<f32> =
+            (0..rows).map(|i| if i + 1 >= ex.code_start { 1.0 } else { 0.0 }).collect();
+        if masks.iter().all(|&w| w == 0.0) {
+            return None;
+        }
+        let ce = g.cross_entropy(logits_rows, &targets, &masks);
+        let loss = g.scale(ce, ex.weight);
+        Some((loss, trainables))
+    }
+
+    /// Runs one optimizer step over a mini-batch (gradients are averaged
+    /// across examples). Returns the mean loss, or `None` when no example
+    /// in the batch had a supervisable code region.
+    pub fn train_step(&mut self, batch: &[TrainExample], opt: &mut Adam) -> Option<f32> {
+        let mut grad_acc: std::collections::HashMap<TrainKey, Matrix> =
+            std::collections::HashMap::new();
+        let mut total_loss = 0.0;
+        let mut n = 0usize;
+        for ex in batch {
+            let mut g = Graph::new();
+            let Some((loss, trainables)) = self.example_loss(&mut g, ex) else {
+                continue;
+            };
+            total_loss += g.value(loss).data[0];
+            n += 1;
+            g.backward(loss);
+            for (key, tid) in trainables {
+                let grad = g.grad(tid);
+                grad_acc
+                    .entry(key)
+                    .and_modify(|acc| {
+                        for (a, b) in acc.data.iter_mut().zip(&grad.data) {
+                            *a += b;
+                        }
+                    })
+                    .or_insert(grad);
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let inv = 1.0 / n as f32;
+        // Deterministic parameter order for the optimizer.
+        let mut keys: Vec<TrainKey> = grad_acc.keys().copied().collect();
+        keys.sort();
+        let grads: Vec<Matrix> = keys
+            .iter()
+            .map(|k| {
+                let mut m = grad_acc.remove(k).expect("key present");
+                for x in m.data.iter_mut() {
+                    *x *= inv;
+                }
+                m
+            })
+            .collect();
+        // Collect &mut to the actual storage in the same order.
+        self.apply_grads(&keys, &grads, opt);
+        Some(total_loss / n as f32)
+    }
+
+    fn apply_grads(&mut self, keys: &[TrainKey], grads: &[Matrix], opt: &mut Adam) {
+        // Split borrows: base params vs lora adapters.
+        let mut refs: Vec<*mut Matrix> = Vec::with_capacity(keys.len());
+        for k in keys {
+            let ptr: *mut Matrix = match k {
+                TrainKey::Base(i) => &mut self.params[*i],
+                TrainKey::LoraA(t) => {
+                    let s = self.lora.as_mut().expect("lora mode");
+                    let ad = s
+                        .adapters
+                        .iter_mut()
+                        .find(|a| a.target == *t)
+                        .expect("adapter exists");
+                    &mut ad.a
+                }
+                TrainKey::LoraB(t) => {
+                    let s = self.lora.as_mut().expect("lora mode");
+                    let ad = s
+                        .adapters
+                        .iter_mut()
+                        .find(|a| a.target == *t)
+                        .expect("adapter exists");
+                    &mut ad.b
+                }
+            };
+            refs.push(ptr);
+        }
+        // SAFETY: the keys are unique (HashMap origin), so the raw pointers
+        // alias distinct matrices; we reborrow them mutably exactly once.
+        let mut borrowed: Vec<&mut Matrix> =
+            refs.into_iter().map(|p| unsafe { &mut *p }).collect();
+        opt.step(&mut borrowed[..], grads);
+    }
+
+    /// Mean negative log-likelihood of the code region of one example
+    /// (evaluation; no parameter updates).
+    pub fn nll(&self, ex: &TrainExample) -> Option<f32> {
+        let mut g = Graph::new();
+        let (loss, _) = self.example_loss(&mut g, ex)?;
+        Some(g.value(loss).data[0])
+    }
+
+    /// Greedy/stochastic generation with a KV cache. Returns only the newly
+    /// generated ids (stops at `<eos>`).
+    pub fn generate<R: Rng>(
+        &self,
+        prompt: &[usize],
+        max_new: usize,
+        opts: &SampleOptions,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let d = self.cfg.d_model;
+        let hs = self.cfg.head_size();
+        let nh = self.cfg.n_heads;
+        let scale = 1.0 / (hs as f32).sqrt();
+        // Merged weights once per call.
+        let wq: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wq)).collect();
+        let wk: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wk)).collect();
+        let wv: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wv)).collect();
+        let wo: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wo)).collect();
+        let w1: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.w1)).collect();
+        let w2: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.w2)).collect();
+        let tok = &self.params[self.tok_emb];
+        let pos = &self.params[self.pos_emb];
+        let head = &self.params[self.head];
+
+        let mut kcache: Vec<Vec<f32>> = vec![Vec::new(); self.layers.len()];
+        let mut vcache: Vec<Vec<f32>> = vec![Vec::new(); self.layers.len()];
+        let mut out = Vec::new();
+        let mut logits = vec![0.0f32; self.vocab];
+        let total_budget = (prompt.len() + max_new).min(self.cfg.max_seq);
+        for t in 0..total_budget {
+            let id = if t < prompt.len() {
+                prompt[t]
+            } else {
+                let next = sample_logits(&logits, opts, rng);
+                if next == crate::tokenizer::EOS {
+                    break;
+                }
+                out.push(next);
+                next
+            };
+            // x = tok[id] + pos[t]
+            let mut x: Vec<f32> = (0..d)
+                .map(|c| tok.data[id * d + c] + pos.data[t * d + c])
+                .collect();
+            for (li, _) in self.layers.iter().enumerate() {
+                let xn = ln_vec(&x);
+                let q = vec_mat(&xn, &wq[li]);
+                let k = vec_mat(&xn, &wk[li]);
+                let v = vec_mat(&xn, &wv[li]);
+                kcache[li].extend_from_slice(&k);
+                vcache[li].extend_from_slice(&v);
+                let steps = kcache[li].len() / d;
+                let mut merged = vec![0.0f32; d];
+                for h in 0..nh {
+                    let qh = &q[h * hs..(h + 1) * hs];
+                    // scores over cached keys
+                    let mut scores = Vec::with_capacity(steps);
+                    for s in 0..steps {
+                        let kh = &kcache[li][s * d + h * hs..s * d + (h + 1) * hs];
+                        let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+                        scores.push(dot * scale);
+                    }
+                    softmax_inplace(&mut scores);
+                    for (s, w) in scores.iter().enumerate() {
+                        let vh = &vcache[li][s * d + h * hs..s * d + (h + 1) * hs];
+                        for (j, vx) in vh.iter().enumerate() {
+                            merged[h * hs + j] += w * vx;
+                        }
+                    }
+                }
+                let proj = vec_mat(&merged, &wo[li]);
+                for (xi, p) in x.iter_mut().zip(&proj) {
+                    *xi += p;
+                }
+                let xn = ln_vec(&x);
+                let mut h1 = vec_mat(&xn, &w1[li]);
+                for v in h1.iter_mut() {
+                    *v = gelu(*v);
+                }
+                let h2 = vec_mat(&h1, &w2[li]);
+                for (xi, p) in x.iter_mut().zip(&h2) {
+                    *xi += p;
+                }
+            }
+            let xn = ln_vec(&x);
+            logits = vec_mat(&xn, head);
+        }
+        out
+    }
+}
+
+/// Stable ordering key for trainable tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum TrainKey {
+    Base(usize),
+    LoraA(usize),
+    LoraB(usize),
+}
+
+// ---- small-vector helpers for the inference fast path ----
+
+fn vec_mat(x: &[f32], w: &Matrix) -> Vec<f32> {
+    debug_assert_eq!(x.len(), w.rows);
+    let mut out = vec![0.0f32; w.cols];
+    for (k, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let row = &w.data[k * w.cols..(k + 1) * w.cols];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += xv * wv;
+        }
+    }
+    out
+}
+
+fn ln_vec(x: &[f32]) -> Vec<f32> {
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let rstd = 1.0 / (var + 1e-5).sqrt();
+    x.iter().map(|v| (v - mean) * rstd).collect()
+}
+
+fn softmax_inplace(xs: &mut [f32]) {
+    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut denom = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        denom += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= denom;
+    }
+}
+
+fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+impl Graph {
+    /// Truncates logits to the first `rows` rows for next-token loss
+    /// (`slice_cols` analogue over rows, implemented via gather-free copy).
+    pub fn slice_rows_for_loss(&mut self, logits: TensorId, rows: usize) -> TensorId {
+        // A row slice is a gather over row indices of a non-table tensor; we
+        // emulate with slice on the transposed view being wasteful, so use a
+        // dedicated cheap path: constant row-selector matrix S [rows, n]
+        // with S[i,i]=1, then S · logits.
+        let n = self.value(logits).rows;
+        if rows == n {
+            return logits;
+        }
+        let mut sel = Matrix::zeros(rows, n);
+        for i in 0..rows {
+            sel.data[i * n + i] = 1.0;
+        }
+        let s = self.constant(sel);
+        self.matmul(s, logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{Tokenizer, EOS, SEP};
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            name: "tiny".into(),
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+            learning_rate: 3e-3,
+            seed: 99,
+        }
+    }
+
+    fn toy_examples(tk: &Tokenizer) -> Vec<TrainExample> {
+        let pairs = [
+            ("an inverter", "module inv ( input a , output y ) ; assign y = ~ a ; endmodule"),
+            ("an and gate", "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule"),
+            ("an or gate", "module org ( input a , input b , output y ) ; assign y = a | b ; endmodule"),
+        ];
+        pairs
+            .iter()
+            .map(|(d, c)| {
+                let (ids, code_start) = tk.encode_pair(d, c);
+                TrainExample { ids, code_start, weight: 1.0 }
+            })
+            .collect()
+    }
+
+    fn toy_tokenizer() -> Tokenizer {
+        let corpus = [
+            "an inverter", "an and gate", "an or gate",
+            "module inv ( input a , output y ) ; assign y = ~ a ; endmodule",
+            "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule",
+            "module org ( input a , input b , output y ) ; assign y = a | b ; endmodule",
+        ];
+        Tokenizer::build(corpus.iter().copied(), 1)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let examples = toy_examples(&tk);
+        let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+        let first = lm.train_step(&examples, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..60 {
+            last = lm.train_step(&examples, &mut opt).unwrap();
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn overfit_model_reproduces_training_code() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let examples = toy_examples(&tk);
+        let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+        for _ in 0..250 {
+            lm.train_step(&examples, &mut opt);
+        }
+        let prompt = tk.encode_prompt("an inverter");
+        let opts = SampleOptions { temperature: 0.0, top_k: 0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let out = lm.generate(&prompt, 40, &opts, &mut rng);
+        let text = tk.decode(&out);
+        assert!(text.contains("assign y = ~ a"), "generated: {text}");
+        assert!(pyranet_verilog::parse(&text).is_ok(), "should parse: {text}");
+    }
+
+    #[test]
+    fn lora_trains_only_adapters() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let base_before = lm.params.clone();
+        lm.enable_lora(LoraConfig { rank: 2, alpha: 4.0 });
+        let examples = toy_examples(&tk);
+        let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+        for _ in 0..10 {
+            lm.train_step(&examples, &mut opt);
+        }
+        assert_eq!(lm.params, base_before, "base weights must stay frozen under LoRA");
+        let st = lm.lora.as_ref().unwrap();
+        assert!(
+            st.adapters.iter().any(|a| a.b.data.iter().any(|&x| x != 0.0)),
+            "adapters must have moved"
+        );
+    }
+
+    #[test]
+    fn lora_reduces_loss_and_merge_preserves_behaviour() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        lm.enable_lora(LoraConfig { rank: 4, alpha: 8.0 });
+        let examples = toy_examples(&tk);
+        let mut opt = Adam::new(lm.trainable_count(), 1e-2);
+        let first = lm.train_step(&examples, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..80 {
+            last = lm.train_step(&examples, &mut opt).unwrap();
+        }
+        assert!(last < first, "lora loss {first} -> {last}");
+        let nll_with_adapters = lm.nll(&examples[0]).unwrap();
+        lm.merge_lora();
+        assert!(!lm.has_lora());
+        let nll_merged = lm.nll(&examples[0]).unwrap();
+        assert!(
+            (nll_with_adapters - nll_merged).abs() < 1e-3,
+            "merge must preserve the function: {nll_with_adapters} vs {nll_merged}"
+        );
+    }
+
+    #[test]
+    fn fresh_lora_is_exact_noop() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let examples = toy_examples(&tk);
+        let before = lm.nll(&examples[0]).unwrap();
+        lm.enable_lora(LoraConfig { rank: 4, alpha: 8.0 });
+        let after = lm.nll(&examples[0]).unwrap();
+        assert!((before - after).abs() < 1e-5, "{before} vs {after}");
+    }
+
+    #[test]
+    fn weighted_examples_move_the_model_less() {
+        let tk = toy_tokenizer();
+        let examples = toy_examples(&tk);
+        let heavy = TrainExample { weight: 1.0, ..examples[0].clone() };
+        let light = TrainExample { weight: 0.1, ..examples[0].clone() };
+        // Gradient magnitude scales with the weight because the per-example
+        // CE normalises by total weight — so train both and compare NLL
+        // improvement on the same example after equal steps.
+        // Per-row weights inside ONE example normalise out; across a batch,
+        // rows from a 1.0-weight example dominate rows of a 0.1 one. Check
+        // the batch-mix effect instead:
+        let other = examples[1].clone();
+        let mixed_heavy = vec![heavy, other.clone()];
+        let mixed_light = vec![light, other];
+        let mut lm_h = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let mut lm_l = lm_h.clone();
+        let mut oh = Adam::new(lm_h.trainable_count(), 3e-3);
+        let mut ol = Adam::new(lm_l.trainable_count(), 3e-3);
+        for _ in 0..40 {
+            lm_h.train_step(&mixed_heavy, &mut oh);
+            lm_l.train_step(&mixed_light, &mut ol);
+        }
+        let nll_h = lm_h.nll(&examples[0]).unwrap();
+        let nll_l = lm_l.nll(&examples[0]).unwrap();
+        assert!(
+            nll_h < nll_l,
+            "the heavily-weighted run should fit example 0 better: {nll_h} vs {nll_l}"
+        );
+    }
+
+    #[test]
+    fn generation_stops_at_eos_and_respects_budget() {
+        let tk = toy_tokenizer();
+        let lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let prompt = tk.encode_prompt("an inverter");
+        let opts = SampleOptions { temperature: 0.8, top_k: 0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let out = lm.generate(&prompt, 10, &opts, &mut rng);
+        assert!(out.len() <= 10);
+        assert!(!out.contains(&EOS));
+        assert!(!out.contains(&SEP) || true, "sep may appear from an untrained model");
+    }
+
+    #[test]
+    fn degenerate_examples_are_skipped() {
+        let tk = toy_tokenizer();
+        let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let mut opt = Adam::new(lm.trainable_count(), 1e-3);
+        // code_start beyond the sequence -> no supervisable rows
+        let ex = TrainExample { ids: vec![1, 5, 6], code_start: 10, weight: 1.0 };
+        assert!(lm.train_step(&[ex], &mut opt).is_none());
+        let ex = TrainExample { ids: vec![1], code_start: 0, weight: 1.0 };
+        assert!(lm.train_step(&[ex], &mut opt).is_none());
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let tk = toy_tokenizer();
+        let a = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+        let mut cfg = tiny_cfg();
+        cfg.seed = 100;
+        let b = TransformerLm::new(cfg, tk.vocab_size());
+        let ex = &toy_examples(&tk)[0];
+        assert_ne!(a.nll(ex), b.nll(ex));
+    }
+
+    #[test]
+    fn param_scalars_counts_everything() {
+        let lm = TransformerLm::new(tiny_cfg(), 100);
+        let c = tiny_cfg();
+        let expected = 100 * c.d_model
+            + c.max_seq * c.d_model
+            + c.n_layers * (4 * c.d_model * c.d_model + 2 * c.d_model * c.d_ff)
+            + c.d_model * 100;
+        assert_eq!(lm.param_scalars(), expected);
+    }
+}

@@ -1,0 +1,229 @@
+//! The curated PyraNet dataset: layered storage, curriculum iteration,
+//! JSONL persistence.
+
+use crate::layers::Layer;
+use crate::rank::Rank;
+use pyranet_verilog::metrics::ComplexityTier;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One curated dataset entry with all PyraNet labels: rank, complexity
+/// tier, layer, and compile details (paper contribution #1: "labels include
+/// information such as the complexity level of the code, code rankings,
+/// design descriptions, and compile details").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuratedSample {
+    /// Original pool id.
+    pub id: u64,
+    /// Verilog source.
+    pub source: String,
+    /// Natural-language description (the fine-tuning input).
+    pub description: String,
+    /// Quality rank (0–20).
+    pub rank: Rank,
+    /// Complexity tier (Basic/Intermediate/Advanced/Expert).
+    pub tier: ComplexityTier,
+    /// Assigned layer.
+    pub layer: Layer,
+    /// Compile detail: file compiled only with dependency issues.
+    pub dependency_issue: bool,
+}
+
+/// The layered dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PyraNetDataset {
+    samples: Vec<CuratedSample>,
+}
+
+impl PyraNetDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> PyraNetDataset {
+        PyraNetDataset::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, s: CuratedSample) {
+        self.samples.push(s);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &CuratedSample> {
+        self.samples.iter()
+    }
+
+    /// Samples in one layer.
+    pub fn layer(&self, layer: Layer) -> impl Iterator<Item = &CuratedSample> {
+        self.samples.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// Per-layer counts, apex first (the Fig. 1-a pyramid).
+    pub fn layer_counts(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        for s in &self.samples {
+            counts[s.layer.index() - 1] += 1;
+        }
+        counts
+    }
+
+    /// Per-(layer, tier) count.
+    pub fn count_in(&self, layer: Layer, tier: ComplexityTier) -> usize {
+        self.samples.iter().filter(|s| s.layer == layer && s.tier == tier).count()
+    }
+
+    /// The PyraNet curriculum order (paper §III-B.2): layers visited apex →
+    /// base; inside each layer, complexity Basic → Intermediate → Advanced →
+    /// Expert. Ties keep insertion order (stable).
+    pub fn curriculum(&self) -> Vec<&CuratedSample> {
+        let mut out: Vec<&CuratedSample> = self.samples.iter().collect();
+        out.sort_by_key(|s| (s.layer, s.tier));
+        out
+    }
+
+    /// Writes the dataset as JSON Lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors.
+    pub fn to_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for s in &self.samples {
+            let line = serde_json::to_string(s)?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a dataset from JSON Lines. A `mut` reference can be passed for
+    /// the reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or malformed lines.
+    pub fn from_jsonl<R: BufRead>(r: R) -> std::io::Result<PyraNetDataset> {
+        let mut ds = PyraNetDataset::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            ds.push(serde_json::from_str(&line)?);
+        }
+        Ok(ds)
+    }
+}
+
+impl FromIterator<CuratedSample> for PyraNetDataset {
+    fn from_iter<I: IntoIterator<Item = CuratedSample>>(iter: I) -> Self {
+        PyraNetDataset { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<CuratedSample> for PyraNetDataset {
+    fn extend<I: IntoIterator<Item = CuratedSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, rank: u8, tier: ComplexityTier, dep: bool) -> CuratedSample {
+        let r = Rank::new(rank);
+        CuratedSample {
+            id,
+            source: format!("module m{id}; endmodule"),
+            description: format!("module {id}"),
+            rank: r,
+            tier,
+            layer: Layer::assign(r, dep),
+            dependency_issue: dep,
+        }
+    }
+
+    #[test]
+    fn layer_counts_partition() {
+        let ds: PyraNetDataset = vec![
+            sample(0, 20, ComplexityTier::Basic, false),
+            sample(1, 17, ComplexityTier::Basic, false),
+            sample(2, 12, ComplexityTier::Expert, false),
+            sample(3, 7, ComplexityTier::Basic, false),
+            sample(4, 2, ComplexityTier::Basic, false),
+            sample(5, 20, ComplexityTier::Basic, true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ds.layer_counts(), [1, 1, 1, 1, 1, 1]);
+        assert_eq!(ds.layer_counts().iter().sum::<usize>(), ds.len());
+    }
+
+    #[test]
+    fn curriculum_orders_layers_then_tiers() {
+        let ds: PyraNetDataset = vec![
+            sample(0, 12, ComplexityTier::Expert, false),
+            sample(1, 20, ComplexityTier::Advanced, false),
+            sample(2, 20, ComplexityTier::Basic, false),
+            sample(3, 17, ComplexityTier::Basic, false),
+            sample(4, 12, ComplexityTier::Basic, false),
+        ]
+        .into_iter()
+        .collect();
+        let order: Vec<u64> = ds.curriculum().iter().map(|s| s.id).collect();
+        assert_eq!(order, vec![2, 1, 3, 4, 0]);
+    }
+
+    #[test]
+    fn curriculum_is_stable_within_groups() {
+        let ds: PyraNetDataset = vec![
+            sample(10, 20, ComplexityTier::Basic, false),
+            sample(11, 20, ComplexityTier::Basic, false),
+            sample(12, 20, ComplexityTier::Basic, false),
+        ]
+        .into_iter()
+        .collect();
+        let order: Vec<u64> = ds.curriculum().iter().map(|s| s.id).collect();
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let ds: PyraNetDataset = vec![
+            sample(0, 20, ComplexityTier::Basic, false),
+            sample(1, 3, ComplexityTier::Expert, true),
+        ]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        ds.to_jsonl(&mut buf).unwrap();
+        let back = PyraNetDataset::from_jsonl(&buf[..]).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let ds = PyraNetDataset::from_jsonl("\n\n".as_bytes()).unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn layer_filter_iterates_only_that_layer() {
+        let ds: PyraNetDataset = vec![
+            sample(0, 20, ComplexityTier::Basic, false),
+            sample(1, 17, ComplexityTier::Basic, false),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ds.layer(Layer::L1).count(), 1);
+        assert_eq!(ds.layer(Layer::L2).count(), 1);
+        assert_eq!(ds.layer(Layer::L3).count(), 0);
+    }
+}

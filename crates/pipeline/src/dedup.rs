@@ -1,0 +1,234 @@
+//! Jaccard-similarity deduplication (paper §III-A.2, third bullet),
+//! accelerated with MinHash signatures and LSH banding.
+//!
+//! The paper: "We employed the Jaccard similarity algorithm to perform
+//! deduplication. This method computes the similarity between sets of
+//! tokens derived from the code samples … Code pairs with a Jaccard
+//! similarity score above a predefined threshold were identified as
+//! duplicates and subsequently removed."
+//!
+//! Exact all-pairs Jaccard is quadratic; MinHash + banding gives the same
+//! outcome in near-linear time for corpus-scale pools. Candidate pairs from
+//! LSH are *verified* with the exact Jaccard score, so the threshold
+//! semantics match the naive algorithm (up to MinHash recall, covered by
+//! the banding parameters and tested against brute force below).
+
+use pyranet_corpus::RawSample;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Number of MinHash permutations.
+const NUM_HASHES: usize = 64;
+/// LSH bands (NUM_HASHES / BANDS rows per band).
+const BANDS: usize = 16;
+
+/// Tokenizes a source into the shingle set used for Jaccard similarity.
+///
+/// Tokens are word-level (identifiers, numbers, operators collapse to
+/// single chars); 3-gram shingles make the measure order-sensitive enough
+/// that different circuits with the same vocabulary don't collide.
+pub fn shingles(source: &str) -> HashSet<u64> {
+    let mut tokens: Vec<&str> = Vec::new();
+    let bytes = source.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'$';
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_word(bytes[i]) {
+            let start = i;
+            while i < bytes.len() && is_word(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(&source[start..i]);
+        } else {
+            if !bytes[i].is_ascii_whitespace() {
+                tokens.push(&source[i..i + 1]);
+            }
+            i += 1;
+        }
+    }
+    let mut set = HashSet::with_capacity(tokens.len());
+    for w in tokens.windows(3) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        w.hash(&mut h);
+        set.insert(h.finish());
+    }
+    if set.is_empty() && !tokens.is_empty() {
+        // very short files: fall back to single-token shingles
+        for t in tokens {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            t.hash(&mut h);
+            set.insert(h.finish());
+        }
+    }
+    set
+}
+
+/// Exact Jaccard similarity between two shingle sets.
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Splitmix-style hash mixing for the MinHash permutations.
+fn mix(mut x: u64, seed: u64) -> u64 {
+    x = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// MinHash signature of a shingle set.
+pub fn minhash(shingles: &HashSet<u64>) -> [u64; NUM_HASHES] {
+    let mut sig = [u64::MAX; NUM_HASHES];
+    for &s in shingles {
+        for (k, slot) in sig.iter_mut().enumerate() {
+            let h = mix(s, k as u64);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+    sig
+}
+
+/// Removes near-duplicates, keeping the earliest (lowest-index) member of
+/// each duplicate cluster. Pairs flagged by LSH banding are verified with
+/// exact Jaccard before removal.
+pub fn dedup(pool: Vec<RawSample>, threshold: f64) -> Vec<RawSample> {
+    let sets: Vec<HashSet<u64>> = pool.iter().map(|s| shingles(&s.source)).collect();
+    let sigs: Vec<[u64; NUM_HASHES]> = sets.iter().map(minhash).collect();
+    let rows = NUM_HASHES / BANDS;
+    let mut dead = vec![false; pool.len()];
+    for band in 0..BANDS {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, sig) in sigs.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            sig[band * rows..(band + 1) * rows].hash(&mut h);
+            buckets.entry(h.finish()).or_default().push(i);
+        }
+        for bucket in buckets.values() {
+            for (bi, &i) in bucket.iter().enumerate() {
+                if dead[i] {
+                    continue;
+                }
+                for &j in &bucket[bi + 1..] {
+                    if dead[j] {
+                        continue;
+                    }
+                    if jaccard(&sets[i], &sets[j]) >= threshold {
+                        dead[j] = true;
+                    }
+                }
+            }
+        }
+    }
+    pool.into_iter().zip(dead).filter(|(_, d)| !*d).map(|(s, _)| s).collect()
+}
+
+/// Reference O(n²) implementation used to validate the LSH path in tests
+/// and benchmarks.
+pub fn dedup_naive(pool: Vec<RawSample>, threshold: f64) -> Vec<RawSample> {
+    let sets: Vec<HashSet<u64>> = pool.iter().map(|s| shingles(&s.source)).collect();
+    let mut dead = vec![false; pool.len()];
+    for i in 0..pool.len() {
+        if dead[i] {
+            continue;
+        }
+        for j in (i + 1)..pool.len() {
+            if !dead[j] && jaccard(&sets[i], &sets[j]) >= threshold {
+                dead[j] = true;
+            }
+        }
+    }
+    pool.into_iter().zip(dead).filter(|(_, d)| !*d).map(|(s, _)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_corpus::{Origin, TruthLabel};
+
+    fn raw(id: u64, src: &str) -> RawSample {
+        RawSample::new(id, src, "", Origin::Scraped, TruthLabel::Clean)
+    }
+
+    const M1: &str = "module a(input x1, input x2, input x3, output y1, output y2, output y3);\n  assign y1 = ~x1;\n  assign y2 = x1 & x2;\n  assign y3 = x2 | x3;\nendmodule";
+    const M2: &str = "module b(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule";
+
+    #[test]
+    fn jaccard_properties() {
+        let a = shingles(M1);
+        let b = shingles(M2);
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12, "reflexive");
+        assert!((jaccard(&a, &b) - jaccard(&b, &a)).abs() < 1e-12, "symmetric");
+        assert!(jaccard(&a, &b) < 0.5, "different designs are dissimilar");
+    }
+
+    #[test]
+    fn exact_duplicates_removed_keeping_first() {
+        let pool = vec![raw(0, M1), raw(1, M1), raw(2, M2), raw(3, M1)];
+        let out = dedup(pool, 0.85);
+        let ids: Vec<u64> = out.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn near_duplicates_removed() {
+        let near = format!("// a slightly edited copy\n{M1}");
+        let pool = vec![raw(0, M1), raw(1, &near)];
+        let out = dedup(pool, 0.8);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn distinct_files_survive() {
+        let pool = vec![raw(0, M1), raw(1, M2)];
+        assert_eq!(dedup(pool, 0.85).len(), 2);
+    }
+
+    #[test]
+    fn lsh_matches_naive_on_random_pool() {
+        let pool: Vec<RawSample> = (0..60)
+            .map(|i| match i % 3 {
+                0 => raw(i, M1),
+                1 => raw(i, M2),
+                _ => raw(i, &format!("module u{i}(input a, output y); assign y = a ^ 1'b{}; endmodule", i % 2)),
+            })
+            .collect();
+        let naive: Vec<u64> =
+            dedup_naive(pool.clone(), 0.95).into_iter().map(|s| s.id).collect();
+        let fast: Vec<u64> = dedup(pool, 0.95).into_iter().map(|s| s.id).collect();
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn threshold_one_keeps_only_exact_collisions() {
+        let near = format!("{M1}\n// trailing comment");
+        let pool = vec![raw(0, M1), raw(1, &near)];
+        let out = dedup(pool, 1.0);
+        assert_eq!(out.len(), 2, "not exactly identical shingle sets");
+    }
+
+    #[test]
+    fn empty_pool_ok() {
+        assert!(dedup(Vec::new(), 0.9).is_empty());
+    }
+
+    #[test]
+    fn shingles_of_empty_source_is_empty() {
+        assert!(shingles("").is_empty());
+        assert!(!shingles("module m; endmodule").is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! The Table IV erroneous-dataset construction.
+//!
+//! Paper §IV-E: "we randomly shuffled the codes, descriptions, and ranking
+//! information among the data entries, thereby creating mismatched sets of
+//! codes, descriptions, and rankings within each row". Fine-tuning on this
+//! deliberately-corrupted dataset degrades the model, which validates the
+//! integrity of the real labels.
+
+use crate::dataset::{CuratedSample, PyraNetDataset};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Produces the mismatched dataset: descriptions and (rank, tier, layer)
+/// label groups are each permuted independently of the code column, so a
+/// row's description no longer describes its code and its rank no longer
+/// reflects its quality.
+pub fn shuffle_labels<R: Rng>(dataset: &PyraNetDataset, rng: &mut R) -> PyraNetDataset {
+    let samples: Vec<&CuratedSample> = dataset.iter().collect();
+    let n = samples.len();
+    let mut desc_perm: Vec<usize> = (0..n).collect();
+    desc_perm.shuffle(rng);
+    let mut label_perm: Vec<usize> = (0..n).collect();
+    label_perm.shuffle(rng);
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let d = samples[desc_perm[i]];
+            let l = samples[label_perm[i]];
+            CuratedSample {
+                id: s.id,
+                source: s.source.clone(),
+                description: d.description.clone(),
+                rank: l.rank,
+                tier: l.tier,
+                layer: l.layer,
+                dependency_issue: l.dependency_issue,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of rows whose description still matches the code it was
+/// originally paired with (a fixed point of the permutation). Used to
+/// verify the shuffle actually decouples the columns.
+pub fn description_match_fraction(
+    original: &PyraNetDataset,
+    shuffled: &PyraNetDataset,
+) -> f64 {
+    let orig: std::collections::HashMap<u64, &str> =
+        original.iter().map(|s| (s.id, s.description.as_str())).collect();
+    let total = shuffled.len().max(1);
+    let matches = shuffled
+        .iter()
+        .filter(|s| orig.get(&s.id).is_some_and(|d| *d == s.description))
+        .count();
+    matches as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+    use crate::rank::Rank;
+    use pyranet_verilog::metrics::ComplexityTier;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn make_dataset(n: u64) -> PyraNetDataset {
+        (0..n)
+            .map(|id| {
+                let rank = Rank::new((id % 21) as u8);
+                CuratedSample {
+                    id,
+                    source: format!("module m{id}(input a, output y); assign y = a; endmodule"),
+                    description: format!("unique description {id}"),
+                    rank,
+                    tier: ComplexityTier::Basic,
+                    layer: Layer::assign(rank, false),
+                    dependency_issue: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shuffle_preserves_size_and_sources() {
+        let ds = make_dataset(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let bad = shuffle_labels(&ds, &mut rng);
+        assert_eq!(bad.len(), ds.len());
+        let mut orig_sources: Vec<&str> = ds.iter().map(|s| s.source.as_str()).collect();
+        let mut bad_sources: Vec<&str> = bad.iter().map(|s| s.source.as_str()).collect();
+        orig_sources.sort_unstable();
+        bad_sources.sort_unstable();
+        assert_eq!(orig_sources, bad_sources, "codes are kept, only labels move");
+    }
+
+    #[test]
+    fn shuffle_preserves_description_multiset() {
+        let ds = make_dataset(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let bad = shuffle_labels(&ds, &mut rng);
+        let mut a: Vec<&str> = ds.iter().map(|s| s.description.as_str()).collect();
+        let mut b: Vec<&str> = bad.iter().map(|s| s.description.as_str()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_decouples_descriptions_from_code() {
+        let ds = make_dataset(200);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let bad = shuffle_labels(&ds, &mut rng);
+        let frac = description_match_fraction(&ds, &bad);
+        assert!(frac < 0.05, "only ~1/n fixed points expected, got {frac}");
+    }
+
+    #[test]
+    fn unshuffled_match_fraction_is_one() {
+        let ds = make_dataset(20);
+        assert_eq!(description_match_fraction(&ds, &ds), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_shuffles_to_empty() {
+        let ds = PyraNetDataset::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(shuffle_labels(&ds, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The six PyraNet layers (paper §III-A.5) and their loss weights
+//! (§III-B.1, Fig. 1-b).
+
+use crate::rank::Rank;
+use serde::{Deserialize, Serialize};
+
+/// One of the six dataset layers. `L1` is the apex (rank 20), `L6` the base
+/// (dependency issues or rank 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Rank exactly 20 — the highest tier.
+    L1,
+    /// Ranks 19–15.
+    L2,
+    /// Ranks 14–10.
+    L3,
+    /// Ranks 9–5.
+    L4,
+    /// Ranks 4–1.
+    L5,
+    /// Dependency issues or rank 0.
+    L6,
+}
+
+impl Layer {
+    /// All layers, apex first (the order fine-tuning visits them).
+    pub const ALL: [Layer; 6] = [Layer::L1, Layer::L2, Layer::L3, Layer::L4, Layer::L5, Layer::L6];
+
+    /// Assigns a layer from a rank and the dependency-issue flag, following
+    /// the paper's bands exactly.
+    pub fn assign(rank: Rank, dependency_issue: bool) -> Layer {
+        if dependency_issue {
+            return Layer::L6;
+        }
+        match rank.value() {
+            20 => Layer::L1,
+            15..=19 => Layer::L2,
+            10..=14 => Layer::L3,
+            5..=9 => Layer::L4,
+            1..=4 => Layer::L5,
+            _ => Layer::L6,
+        }
+    }
+
+    /// The fine-tuning loss weight for this layer: 1.0, 0.8, 0.6, 0.4, 0.2,
+    /// 0.1 from apex to base (paper Fig. 1-b).
+    pub fn loss_weight(self) -> f64 {
+        match self {
+            Layer::L1 => 1.0,
+            Layer::L2 => 0.8,
+            Layer::L3 => 0.6,
+            Layer::L4 => 0.4,
+            Layer::L5 => 0.2,
+            Layer::L6 => 0.1,
+        }
+    }
+
+    /// 1-based layer index.
+    pub fn index(self) -> usize {
+        match self {
+            Layer::L1 => 1,
+            Layer::L2 => 2,
+            Layer::L3 => 3,
+            Layer::L4 => 4,
+            Layer::L5 => 5,
+            Layer::L6 => 6,
+        }
+    }
+
+    /// Inclusive rank band for display (`None` for L6).
+    pub fn rank_band(self) -> Option<(u8, u8)> {
+        match self {
+            Layer::L1 => Some((20, 20)),
+            Layer::L2 => Some((15, 19)),
+            Layer::L3 => Some((10, 14)),
+            Layer::L4 => Some((5, 9)),
+            Layer::L5 => Some((1, 4)),
+            Layer::L6 => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Layer {}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_a_partition_of_ranks() {
+        // every (rank, dep) combination maps to exactly one layer, and the
+        // bands match the paper
+        for r in 0..=20u8 {
+            let layer = Layer::assign(Rank::new(r), false);
+            let expected = match r {
+                20 => Layer::L1,
+                15..=19 => Layer::L2,
+                10..=14 => Layer::L3,
+                5..=9 => Layer::L4,
+                1..=4 => Layer::L5,
+                _ => Layer::L6,
+            };
+            assert_eq!(layer, expected, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn dependency_issue_forces_l6() {
+        for r in 0..=20u8 {
+            assert_eq!(Layer::assign(Rank::new(r), true), Layer::L6);
+        }
+    }
+
+    #[test]
+    fn loss_weights_match_paper() {
+        let w: Vec<f64> = Layer::ALL.iter().map(|l| l.loss_weight()).collect();
+        assert_eq!(w, vec![1.0, 0.8, 0.6, 0.4, 0.2, 0.1]);
+    }
+
+    #[test]
+    fn weights_strictly_decrease() {
+        for pair in Layer::ALL.windows(2) {
+            assert!(pair[0].loss_weight() > pair[1].loss_weight());
+        }
+    }
+
+    #[test]
+    fn layers_order_apex_first() {
+        assert!(Layer::L1 < Layer::L6);
+        assert_eq!(Layer::L1.index(), 1);
+        assert_eq!(Layer::L6.index(), 6);
+    }
+
+    #[test]
+    fn rank_bands_cover_1_to_20() {
+        let mut covered = [false; 21];
+        for l in Layer::ALL {
+            if let Some((lo, hi)) = l.rank_band() {
+                for r in lo..=hi {
+                    assert!(!covered[r as usize], "rank {r} covered twice");
+                    covered[r as usize] = true;
+                }
+            }
+        }
+        for r in 1..=20 {
+            assert!(covered[r], "rank {r} uncovered");
+        }
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Layer::L3.to_string(), "Layer 3");
+    }
+}

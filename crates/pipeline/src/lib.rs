@@ -1,0 +1,223 @@
+//! # pyranet-pipeline
+//!
+//! The PyraNet curation pipeline (paper §III-A): filters a noisy Verilog
+//! pool into the six-layer quality pyramid.
+//!
+//! Stage order follows the paper exactly — cheap filters first, the
+//! (computationally heaviest) syntax check last:
+//!
+//! 1. **Empty/broken files** ([`filter::filter_broken`]) — encoding
+//!    failures and empty bodies are discarded.
+//! 2. **Module declaration** ([`filter::filter_no_module`]) — files with no
+//!    `module` keyword are discarded.
+//! 3. **Deduplication** ([`dedup`]) — Jaccard similarity over token sets,
+//!    accelerated with MinHash + LSH banding; pairs above the threshold are
+//!    collapsed to the earliest representative.
+//! 4. **Syntax check** ([`pyranet_verilog::check_source`]) — the Icarus
+//!    substitute; syntax errors are discarded, dependency issues survive
+//!    into Layer 6.
+//!
+//! Survivors are then **ranked 0–20** ([`rank`]) by the deterministic
+//! style/efficiency judge, **complexity-labelled** ([`pyranet_verilog::metrics`])
+//! into Basic/Intermediate/Advanced/Expert, and **organised into six
+//! layers** ([`layers`]) with the paper's loss weights. [`dataset`] holds
+//! the result, with curriculum-ordered iteration and JSONL persistence.
+//! [`erroneous`] implements the Table IV label-shuffling ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use pyranet_corpus::CorpusBuilder;
+//! use pyranet_pipeline::Pipeline;
+//!
+//! let pool = CorpusBuilder::new(1).scraped_files(200).llm_generation(false).build();
+//! let outcome = Pipeline::new().run(pool.samples);
+//! assert!(outcome.dataset.len() > 0);
+//! assert!(outcome.funnel.collected >= outcome.funnel.curated);
+//! ```
+
+pub mod dataset;
+pub mod dedup;
+pub mod erroneous;
+pub mod filter;
+pub mod layers;
+pub mod rank;
+pub mod stats;
+
+pub use dataset::{CuratedSample, PyraNetDataset};
+pub use layers::Layer;
+pub use rank::{rank_sample, Rank};
+pub use stats::Funnel;
+
+use pyranet_corpus::RawSample;
+use pyranet_verilog::metrics::ComplexityTier;
+use pyranet_verilog::{check_source, SyntaxVerdict};
+
+/// Configuration for a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Jaccard similarity threshold above which two files are duplicates.
+    pub jaccard_threshold: f64,
+}
+
+impl Pipeline {
+    /// Pipeline with the default 0.85 Jaccard threshold.
+    pub fn new() -> Pipeline {
+        Pipeline { jaccard_threshold: 0.85 }
+    }
+
+    /// Sets the dedup threshold.
+    pub fn jaccard_threshold(mut self, t: f64) -> Pipeline {
+        self.jaccard_threshold = t;
+        self
+    }
+
+    /// Runs the full curation pipeline over a raw pool.
+    pub fn run(&self, pool: Vec<RawSample>) -> PipelineOutcome {
+        let mut funnel = Funnel { collected: pool.len(), ..Funnel::default() };
+
+        // Stage 1: empty/broken.
+        let (alive, rejected) = filter::filter_broken(pool);
+        funnel.rejected_broken = rejected;
+
+        // Stage 2: module declaration.
+        let (alive, rejected) = filter::filter_no_module(alive);
+        funnel.rejected_no_module = rejected;
+
+        // Stage 3: dedup.
+        let before = alive.len();
+        let alive = dedup::dedup(alive, self.jaccard_threshold);
+        funnel.rejected_duplicates = before - alive.len();
+
+        // Stage 4: syntax check (+ rank + complexity for survivors).
+        let mut dataset = PyraNetDataset::default();
+        for s in alive {
+            match check_source(&s.source) {
+                SyntaxVerdict::SyntaxError { .. } => {
+                    funnel.rejected_syntax += 1;
+                }
+                verdict => {
+                    let curated = curate_survivor(s, &verdict);
+                    dataset.push(curated);
+                }
+            }
+        }
+        funnel.curated = dataset.len();
+        PipelineOutcome { dataset, funnel }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+/// Builds the curated record for a sample that survived the syntax check.
+fn curate_survivor(s: RawSample, verdict: &SyntaxVerdict) -> CuratedSample {
+    let dependency_issue = matches!(verdict, SyntaxVerdict::DependencyIssue { .. });
+    // Rank + complexity need the parsed module; dependency-issue files still
+    // parse, so both paths succeed here.
+    let (rank, tier) = match pyranet_verilog::parse_module(&s.source) {
+        Ok(module) => {
+            let rank = rank_sample(&module, &s.source);
+            let tier = ComplexityTier::classify(
+                pyranet_verilog::metrics::measure(&module).score(),
+            );
+            (rank, tier)
+        }
+        Err(_) => (Rank::new(0), ComplexityTier::Basic),
+    };
+    let layer = Layer::assign(rank, dependency_issue);
+    CuratedSample {
+        id: s.id,
+        source: s.source,
+        description: s.description,
+        rank,
+        tier,
+        layer,
+        dependency_issue,
+    }
+}
+
+/// The result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The curated, layered dataset.
+    pub dataset: PyraNetDataset,
+    /// Per-stage rejection statistics (the §III-A.5 funnel).
+    pub funnel: Funnel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_corpus::{CorpusBuilder, TruthLabel};
+
+    #[test]
+    fn pipeline_recovers_truth_labels() {
+        let pool = CorpusBuilder::new(3).scraped_files(400).build();
+        let truth: std::collections::HashMap<u64, TruthLabel> =
+            pool.samples.iter().map(|s| (s.id, s.truth)).collect();
+        let outcome = Pipeline::new().run(pool.samples);
+        for s in outcome.dataset.iter() {
+            match truth[&s.id] {
+                TruthLabel::SyntaxBroken => panic!("syntax-broken sample {} survived", s.id),
+                TruthLabel::EmptyOrBinary => panic!("broken file {} survived", s.id),
+                TruthLabel::DependencyBroken => {
+                    assert!(s.dependency_issue, "{}", s.id);
+                    assert_eq!(s.layer, Layer::L6);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn funnel_conserves_samples() {
+        let pool = CorpusBuilder::new(4).scraped_files(300).build();
+        let n = pool.samples.len();
+        let outcome = Pipeline::new().run(pool.samples);
+        let f = &outcome.funnel;
+        assert_eq!(f.collected, n, "collected matches input");
+        assert_eq!(
+            f.rejected_broken
+                + f.rejected_no_module
+                + f.rejected_duplicates
+                + f.rejected_syntax
+                + f.curated,
+            n,
+            "every sample is accounted for exactly once"
+        );
+    }
+
+    #[test]
+    fn clean_samples_rank_higher_than_sloppy() {
+        let pool = CorpusBuilder::new(5).scraped_files(600).build();
+        let truth: std::collections::HashMap<u64, TruthLabel> =
+            pool.samples.iter().map(|s| (s.id, s.truth)).collect();
+        let outcome = Pipeline::new().run(pool.samples);
+        let mut clean = (0.0, 0.0);
+        let mut sloppy = (0.0, 0.0);
+        for s in outcome.dataset.iter() {
+            match truth[&s.id] {
+                TruthLabel::Clean => {
+                    clean.0 += f64::from(s.rank.value());
+                    clean.1 += 1.0;
+                }
+                TruthLabel::Sloppy => {
+                    sloppy.0 += f64::from(s.rank.value());
+                    sloppy.1 += 1.0;
+                }
+                _ => {}
+            }
+        }
+        assert!(clean.1 > 0.0 && sloppy.1 > 0.0);
+        let clean_avg = clean.0 / clean.1;
+        let sloppy_avg = sloppy.0 / sloppy.1;
+        assert!(
+            clean_avg > sloppy_avg + 2.0,
+            "clean avg {clean_avg:.1} vs sloppy avg {sloppy_avg:.1}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Funnel statistics (paper §III-A.5: 2.4 M collected → 692,238 curated).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage counts for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Funnel {
+    /// Raw pool size.
+    pub collected: usize,
+    /// Rejected by the empty/broken filter.
+    pub rejected_broken: usize,
+    /// Rejected for lacking a module declaration.
+    pub rejected_no_module: usize,
+    /// Removed as near-duplicates.
+    pub rejected_duplicates: usize,
+    /// Rejected by the syntax check.
+    pub rejected_syntax: usize,
+    /// Survivors (curated dataset size).
+    pub curated: usize,
+}
+
+impl Funnel {
+    /// Survival rate, curated / collected.
+    pub fn survival_rate(&self) -> f64 {
+        if self.collected == 0 {
+            0.0
+        } else {
+            self.curated as f64 / self.collected as f64
+        }
+    }
+
+    /// Renders the funnel as aligned text rows (used by the `funnel` bench
+    /// binary).
+    pub fn render(&self) -> String {
+        format!(
+            "collected            {:>10}\n\
+             - empty/broken       {:>10}\n\
+             - no module decl     {:>10}\n\
+             - duplicates         {:>10}\n\
+             - syntax errors      {:>10}\n\
+             = curated            {:>10}  ({:.1}% survival)",
+            self.collected,
+            self.rejected_broken,
+            self.rejected_no_module,
+            self.rejected_duplicates,
+            self.rejected_syntax,
+            self.curated,
+            self.survival_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_rate_basics() {
+        let f = Funnel { collected: 100, curated: 29, ..Funnel::default() };
+        assert!((f.survival_rate() - 0.29).abs() < 1e-12);
+        assert_eq!(Funnel::default().survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let f = Funnel {
+            collected: 2_400_000,
+            rejected_broken: 500_000,
+            rejected_no_module: 100_000,
+            rejected_duplicates: 800_000,
+            rejected_syntax: 307_762,
+            curated: 692_238,
+        };
+        let r = f.render();
+        assert!(r.contains("2400000"));
+        assert!(r.contains("692238"));
+        assert!(r.contains("28.8% survival"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Training telemetry.
+
+use serde::{Deserialize, Serialize};
+
+/// Loss trajectory for one training phase (one layer×tier group for
+/// PyraNet, one epoch set for plain SFT).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase label, e.g. `"L1/Basic"` or `"sft"`.
+    pub name: String,
+    /// Loss weight in effect.
+    pub loss_weight: f64,
+    /// Number of examples in the phase.
+    pub examples: usize,
+    /// Mean loss of the first optimizer step.
+    pub first_loss: f32,
+    /// Mean loss of the last optimizer step.
+    pub last_loss: f32,
+}
+
+/// A full fine-tuning run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Recipe name.
+    pub recipe: String,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl TrainReport {
+    /// Creates an empty report for a recipe.
+    pub fn new(recipe: impl Into<String>) -> TrainReport {
+        TrainReport { recipe: recipe.into(), phases: Vec::new() }
+    }
+
+    /// Total examples across phases.
+    pub fn total_examples(&self) -> usize {
+        self.phases.iter().map(|p| p.examples).sum()
+    }
+
+    /// Renders the Fig. 1-b style schedule: phase order with loss weights.
+    pub fn render_schedule(&self) -> String {
+        let mut out = format!("fine-tuning schedule: {}\n", self.recipe);
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "  step {:>2}: {:<16} weight {:.1}  ({} examples, loss {:.3} -> {:.3})\n",
+                i + 1,
+                p.name,
+                p.loss_weight,
+                p.examples,
+                p.first_loss,
+                p.last_loss
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_renders_phases_in_order() {
+        let mut r = TrainReport::new("pyranet");
+        r.phases.push(PhaseReport {
+            name: "L1/Basic".into(),
+            loss_weight: 1.0,
+            examples: 10,
+            first_loss: 3.0,
+            last_loss: 1.0,
+        });
+        r.phases.push(PhaseReport {
+            name: "L2/Basic".into(),
+            loss_weight: 0.8,
+            examples: 20,
+            first_loss: 2.0,
+            last_loss: 0.9,
+        });
+        let s = r.render_schedule();
+        let p1 = s.find("L1/Basic").unwrap();
+        let p2 = s.find("L2/Basic").unwrap();
+        assert!(p1 < p2);
+        assert!(s.contains("weight 1.0"));
+        assert!(s.contains("weight 0.8"));
+        assert_eq!(r.total_examples(), 30);
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain supervised fine-tuning — the **PyraNet-Dataset** experiment.
+//!
+//! Paper §IV-C, first experiment: "we fine-tuned the … models using each
+//! available (data, description) pair from the dataset … the loss weights
+//! were set to 1.0" with random sampling (no curriculum).
+
+use crate::data::{shuffle_examples, to_examples};
+use crate::report::{PhaseReport, TrainReport};
+use crate::TrainConfig;
+use pyranet_model::transformer::TrainExample;
+use pyranet_model::{Adam, Tokenizer, TransformerLm};
+use pyranet_pipeline::PyraNetDataset;
+
+/// Plain SFT over every dataset entry with uniform weight 1.0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SftTrainer;
+
+impl SftTrainer {
+    /// Runs the recipe, mutating `lm` in place. LoRA adapters are attached
+    /// per the config and merged back afterwards, so the returned model is
+    /// self-contained.
+    pub fn run(
+        lm: &mut TransformerLm,
+        tk: &Tokenizer,
+        dataset: &PyraNetDataset,
+        cfg: &TrainConfig,
+    ) -> TrainReport {
+        let mut examples = to_examples(dataset.iter(), tk, 1.0);
+        let mut report = TrainReport::new("PyraNet-Dataset (plain SFT)");
+        run_phase(lm, &mut examples, cfg, "sft", 1.0, &mut report);
+        report
+    }
+}
+
+/// Shared phase runner: shuffles, truncates, batches, trains `cfg.epochs`
+/// passes, records a [`PhaseReport`]. Used by all recipes.
+pub(crate) fn run_phase(
+    lm: &mut TransformerLm,
+    examples: &mut Vec<TrainExample>,
+    cfg: &TrainConfig,
+    name: &str,
+    loss_weight: f64,
+    report: &mut TrainReport,
+) {
+    run_phase_with_order(lm, examples, cfg, name, loss_weight, report, true);
+}
+
+/// [`run_phase`] with explicit control over shuffling — the curriculum
+/// ablation trains in the given order.
+pub(crate) fn run_phase_with_order(
+    lm: &mut TransformerLm,
+    examples: &mut Vec<TrainExample>,
+    cfg: &TrainConfig,
+    name: &str,
+    loss_weight: f64,
+    report: &mut TrainReport,
+    shuffle: bool,
+) {
+    if examples.is_empty() {
+        return;
+    }
+    if shuffle {
+        shuffle_examples(examples, cfg.seed ^ name.len() as u64);
+    }
+    if let Some(cap) = cfg.max_examples_per_phase {
+        examples.truncate(cap);
+    }
+    if let Some(lora) = cfg.lora {
+        if !lm.has_lora() {
+            lm.enable_lora(lora);
+        }
+    }
+    let mut opt = Adam::new(lm.trainable_count(), cfg.learning_rate);
+    let mut first = None;
+    let mut last = 0.0f32;
+    for _epoch in 0..cfg.epochs {
+        for batch in examples.chunks(cfg.batch_size) {
+            if let Some(loss) = lm.train_step(batch, &mut opt) {
+                if first.is_none() {
+                    first = Some(loss);
+                }
+                last = loss;
+            }
+        }
+    }
+    // Fold adapters so later phases/evaluation see one coherent model.
+    lm.merge_lora();
+    report.phases.push(PhaseReport {
+        name: name.to_owned(),
+        loss_weight,
+        examples: examples.len(),
+        first_loss: first.unwrap_or(0.0),
+        last_loss: last,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::build_tokenizer;
+    use pyranet_corpus::CorpusBuilder;
+    use pyranet_model::ModelConfig;
+    use pyranet_pipeline::Pipeline;
+
+    fn small_dataset() -> PyraNetDataset {
+        let pool = CorpusBuilder::new(21).scraped_files(120).llm_generation(false).build();
+        Pipeline::new().run(pool.samples).dataset
+    }
+
+    fn tiny_model(vocab: usize) -> TransformerLm {
+        let cfg = ModelConfig {
+            name: "tiny".into(),
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 160,
+            learning_rate: 3e-3,
+            seed: 5,
+        };
+        TransformerLm::new(cfg, vocab)
+    }
+
+    #[test]
+    fn sft_improves_loss() {
+        let ds = small_dataset();
+        let tk = build_tokenizer(ds.iter());
+        let mut lm = tiny_model(tk.vocab_size());
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_examples_per_phase: Some(24),
+            ..TrainConfig::default()
+        };
+        let report = SftTrainer::run(&mut lm, &tk, &ds, &cfg);
+        assert_eq!(report.phases.len(), 1);
+        let p = &report.phases[0];
+        assert!(p.last_loss < p.first_loss, "{} -> {}", p.first_loss, p.last_loss);
+        assert!(!lm.has_lora(), "adapters merged after the run");
+    }
+
+    #[test]
+    fn sft_respects_example_cap() {
+        let ds = small_dataset();
+        let tk = build_tokenizer(ds.iter());
+        let mut lm = tiny_model(tk.vocab_size());
+        let cfg = TrainConfig {
+            epochs: 1,
+            max_examples_per_phase: Some(5),
+            ..TrainConfig::default()
+        };
+        let report = SftTrainer::run(&mut lm, &tk, &ds, &cfg);
+        assert_eq!(report.phases[0].examples, 5);
+    }
+
+    #[test]
+    fn full_finetune_mode_works_too() {
+        let ds = small_dataset();
+        let tk = build_tokenizer(ds.iter());
+        let mut lm = tiny_model(tk.vocab_size());
+        let cfg = TrainConfig {
+            epochs: 1,
+            lora: None,
+            max_examples_per_phase: Some(8),
+            ..TrainConfig::default()
+        };
+        let report = SftTrainer::run(&mut lm, &tk, &ds, &cfg);
+        assert_eq!(report.total_examples(), 8);
+    }
+}

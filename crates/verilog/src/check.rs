@@ -1,0 +1,548 @@
+//! Semantic checking — the Icarus Verilog stand-in.
+//!
+//! The paper's pipeline (§III-A.2) runs Icarus over every candidate file
+//! and separates two failure classes:
+//!
+//! * **syntax errors** — the file is discarded;
+//! * **dependency issues** — missing imports / undefined references; the
+//!   file is kept but lands in Layer 6.
+//!
+//! [`check_source`] reproduces that decision boundary: lex/parse failures
+//! and intra-module semantic violations (undeclared signals, assigns to
+//! inputs, `reg` driven by `assign`, …) are [`SyntaxVerdict::SyntaxError`];
+//! references to modules not defined in the same file are
+//! [`SyntaxVerdict::DependencyIssue`].
+
+use crate::ast::*;
+use crate::parser::parse;
+use std::collections::{HashMap, HashSet};
+
+/// The three-way verdict of the syntax-check pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyntaxVerdict {
+    /// Parses and passes all intra-file semantic checks.
+    Clean,
+    /// Parses, but instantiates modules that are not defined in the file —
+    /// the paper's "dependency issues" class (kept, demoted to Layer 6).
+    DependencyIssue {
+        /// The undefined module names, sorted and deduplicated.
+        missing_modules: Vec<String>,
+    },
+    /// Fails to lex, parse, or violates intra-module semantics.
+    SyntaxError {
+        /// 1-based line of the first error (0 when unknown).
+        line: u32,
+        /// Description of the first error.
+        message: String,
+    },
+}
+
+impl SyntaxVerdict {
+    /// True when the sample would survive the pipeline (clean or
+    /// dependency-only).
+    pub fn is_compilable(&self) -> bool {
+        !matches!(self, SyntaxVerdict::SyntaxError { .. })
+    }
+
+    /// True when the verdict is [`SyntaxVerdict::Clean`].
+    pub fn is_clean(&self) -> bool {
+        matches!(self, SyntaxVerdict::Clean)
+    }
+}
+
+/// Checks a source string end to end (lex, parse, semantics, dependencies).
+///
+/// ```
+/// use pyranet_verilog::{check_source, SyntaxVerdict};
+///
+/// assert!(check_source("module m(input a, output y); assign y = a; endmodule").is_clean());
+/// assert!(matches!(
+///     check_source("module m(input a, output y); missing u0(.p(a)); endmodule"),
+///     SyntaxVerdict::DependencyIssue { .. }
+/// ));
+/// assert!(!check_source("module m(input a oops").is_compilable());
+/// ```
+pub fn check_source(src: &str) -> SyntaxVerdict {
+    let file = match parse(src) {
+        Ok(f) => f,
+        Err(e) => {
+            return SyntaxVerdict::SyntaxError { line: e.line, message: e.message };
+        }
+    };
+    check_file(&file)
+}
+
+/// Checks an already-parsed file.
+pub fn check_file(file: &SourceFile) -> SyntaxVerdict {
+    if file.modules.is_empty() {
+        return SyntaxVerdict::SyntaxError {
+            line: 0,
+            message: "file contains no module declaration".into(),
+        };
+    }
+    let defined: HashSet<&str> = file.modules.iter().map(|m| m.name.as_str()).collect();
+    let mut missing: Vec<String> = Vec::new();
+    for m in &file.modules {
+        if let Err(e) = check_module(m) {
+            return e;
+        }
+        collect_missing(&m.items, &defined, &mut missing);
+    }
+    if missing.is_empty() {
+        SyntaxVerdict::Clean
+    } else {
+        missing.sort();
+        missing.dedup();
+        SyntaxVerdict::DependencyIssue { missing_modules: missing }
+    }
+}
+
+fn collect_missing(items: &[Item], defined: &HashSet<&str>, out: &mut Vec<String>) {
+    for item in items {
+        match item {
+            Item::Instance(inst) if !defined.contains(inst.module.as_str()) => {
+                out.push(inst.module.clone());
+            }
+            Item::Generate(inner) => collect_missing(inner, defined, out),
+            _ => {}
+        }
+    }
+}
+
+/// Everything the checker knows about a declared name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SigClass {
+    Wire,
+    Reg,
+    Integer,
+    Genvar,
+    Param,
+}
+
+struct Scope {
+    signals: HashMap<String, SigClass>,
+    /// Signals driven by continuous assigns (a reg here is an error).
+    assign_driven: HashSet<String>,
+    /// Signals driven from always blocks (a wire here is an error).
+    proc_driven: HashSet<String>,
+}
+
+fn check_module(m: &Module) -> Result<(), SyntaxVerdict> {
+    let mut scope = Scope {
+        signals: HashMap::new(),
+        assign_driven: HashSet::new(),
+        proc_driven: HashSet::new(),
+    };
+    let err = |line: u32, msg: String| {
+        Err(SyntaxVerdict::SyntaxError { line, message: msg })
+    };
+
+    let mut port_dirs: HashMap<&str, PortDir> = HashMap::new();
+    for p in &m.ports {
+        if port_dirs.insert(&p.name, p.dir).is_some() {
+            return err(m.line, format!("port `{}` declared twice", p.name));
+        }
+        let class = if p.is_reg { SigClass::Reg } else { SigClass::Wire };
+        scope.signals.insert(p.name.clone(), class);
+    }
+    for p in &m.params {
+        scope.signals.insert(p.name.clone(), SigClass::Param);
+    }
+
+    // First pass: declarations (Verilog allows use-before-declare for nets in
+    // many tools, and scraped code relies on it, so collect all declarations
+    // up front).
+    collect_decls(&m.items, &mut scope, m.line)?;
+
+    // Second pass: check drivers and references.
+    check_items(&m.items, m, &mut scope)?;
+
+    // Port-direction rules: inputs must not be driven inside the module.
+    for p in &m.ports {
+        if p.dir == PortDir::Input
+            && (scope.assign_driven.contains(&p.name) || scope.proc_driven.contains(&p.name))
+        {
+            return err(m.line, format!("input port `{}` is driven inside the module", p.name));
+        }
+    }
+    Ok(())
+}
+
+fn collect_decls(items: &[Item], scope: &mut Scope, mline: u32) -> Result<(), SyntaxVerdict> {
+    for item in items {
+        match item {
+            Item::Net(d) => {
+                for n in &d.names {
+                    let class = match d.kind {
+                        NetKind::Wire => SigClass::Wire,
+                        NetKind::Reg => SigClass::Reg,
+                        NetKind::Integer => SigClass::Integer,
+                        NetKind::Genvar => SigClass::Genvar,
+                    };
+                    let prev = scope.signals.insert(n.name.clone(), class);
+                    // Re-declaring a port name with a body `wire`/`reg` is a
+                    // legal non-ANSI idiom; keep the stronger class.
+                    if let Some(prev) = prev {
+                        if prev == SigClass::Reg && class == SigClass::Wire {
+                            scope.signals.insert(n.name.clone(), SigClass::Reg);
+                        }
+                        if prev != class
+                            && !matches!(
+                                (prev, class),
+                                (SigClass::Wire, SigClass::Reg) | (SigClass::Reg, SigClass::Wire)
+                            )
+                        {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: mline,
+                                message: format!(
+                                    "`{}` redeclared with a conflicting kind",
+                                    n.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Item::Param(p) => {
+                scope.signals.insert(p.name.clone(), SigClass::Param);
+            }
+            Item::Generate(inner) => collect_decls(inner, scope, mline)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_items(items: &[Item], m: &Module, scope: &mut Scope) -> Result<(), SyntaxVerdict> {
+    for item in items {
+        match item {
+            Item::Net(d) => {
+                for n in &d.names {
+                    if let Some(init) = &n.init {
+                        check_expr(init, scope, m.line)?;
+                        scope.assign_driven.insert(n.name.clone());
+                    }
+                }
+            }
+            Item::Param(_) => {}
+            Item::Assign(a) => {
+                check_expr(&a.rhs, scope, a.line)?;
+                for t in a.lhs.targets() {
+                    match scope.signals.get(t) {
+                        None => {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: a.line,
+                                message: format!("assignment to undeclared signal `{t}`"),
+                            });
+                        }
+                        Some(SigClass::Reg) | Some(SigClass::Integer) => {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: a.line,
+                                message: format!(
+                                    "continuous assignment to `{t}`, which is declared `reg`"
+                                ),
+                            });
+                        }
+                        Some(SigClass::Param) => {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: a.line,
+                                message: format!("assignment to parameter `{t}`"),
+                            });
+                        }
+                        _ => {}
+                    }
+                    scope.assign_driven.insert(t.to_owned());
+                }
+                check_lvalue_exprs(&a.lhs, scope, a.line)?;
+            }
+            Item::Always(a) => {
+                if let Sensitivity::Edges(es) = &a.sensitivity {
+                    for e in es {
+                        if !scope.signals.contains_key(&e.signal) {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: a.line,
+                                message: format!(
+                                    "sensitivity list references undeclared signal `{}`",
+                                    e.signal
+                                ),
+                            });
+                        }
+                    }
+                }
+                check_stmt(&a.body, scope, a.line, true)?;
+            }
+            Item::Initial(body) => {
+                check_stmt(body, scope, m.line, false)?;
+            }
+            Item::Instance(inst) => {
+                for (_, e) in &inst.params {
+                    check_expr(e, scope, inst.line)?;
+                }
+                let mut seen = HashSet::new();
+                for (name, e) in &inst.ports {
+                    if let Some(n) = name {
+                        if !seen.insert(n.clone()) {
+                            return Err(SyntaxVerdict::SyntaxError {
+                                line: inst.line,
+                                message: format!(
+                                    "port `{n}` connected twice on instance `{}`",
+                                    inst.name
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(e) = e {
+                        check_expr(e, scope, inst.line)?;
+                    }
+                }
+            }
+            Item::Generate(inner) => check_items(inner, m, scope)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_lvalue_exprs(lv: &LValue, scope: &Scope, line: u32) -> Result<(), SyntaxVerdict> {
+    match lv {
+        LValue::Ident(_) => Ok(()),
+        LValue::Index(_, e) => check_expr(e, scope, line),
+        LValue::Range(_, a, b) => {
+            check_expr(a, scope, line)?;
+            check_expr(b, scope, line)
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                check_lvalue_exprs(p, scope, line)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    scope: &mut Scope,
+    line: u32,
+    procedural_drive: bool,
+) -> Result<(), SyntaxVerdict> {
+    match stmt {
+        Stmt::Blocking(lv, e) | Stmt::NonBlocking(lv, e) => {
+            check_expr(e, scope, line)?;
+            check_lvalue_exprs(lv, scope, line)?;
+            for t in lv.targets() {
+                match scope.signals.get(t) {
+                    None => {
+                        return Err(SyntaxVerdict::SyntaxError {
+                            line,
+                            message: format!("assignment to undeclared signal `{t}`"),
+                        });
+                    }
+                    Some(SigClass::Wire) if procedural_drive => {
+                        return Err(SyntaxVerdict::SyntaxError {
+                            line,
+                            message: format!(
+                                "procedural assignment to `{t}`, which is declared `wire`"
+                            ),
+                        });
+                    }
+                    Some(SigClass::Param) => {
+                        return Err(SyntaxVerdict::SyntaxError {
+                            line,
+                            message: format!("assignment to parameter `{t}`"),
+                        });
+                    }
+                    _ => {}
+                }
+                if procedural_drive {
+                    scope.proc_driven.insert(t.to_owned());
+                }
+            }
+            Ok(())
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            check_expr(cond, scope, line)?;
+            check_stmt(then_branch, scope, line, procedural_drive)?;
+            if let Some(e) = else_branch {
+                check_stmt(e, scope, line, procedural_drive)?;
+            }
+            Ok(())
+        }
+        Stmt::Case { subject, arms, .. } => {
+            check_expr(subject, scope, line)?;
+            for arm in arms {
+                for l in &arm.labels {
+                    check_expr(l, scope, line)?;
+                }
+                check_stmt(&arm.body, scope, line, procedural_drive)?;
+            }
+            Ok(())
+        }
+        Stmt::For { init, cond, step, body } => {
+            check_stmt(init, scope, line, procedural_drive)?;
+            check_expr(cond, scope, line)?;
+            check_stmt(step, scope, line, procedural_drive)?;
+            check_stmt(body, scope, line, procedural_drive)
+        }
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                check_stmt(s, scope, line, procedural_drive)?;
+            }
+            Ok(())
+        }
+        Stmt::SystemCall(_, args) => {
+            for a in args {
+                // String formats reference signals loosely; only check
+                // non-string args.
+                if !matches!(a, Expr::StringLit(_)) {
+                    check_expr(a, scope, line)?;
+                }
+            }
+            Ok(())
+        }
+        Stmt::Empty => Ok(()),
+    }
+}
+
+fn check_expr(e: &Expr, scope: &Scope, line: u32) -> Result<(), SyntaxVerdict> {
+    let mut idents = Vec::new();
+    e.collect_idents(&mut idents);
+    for id in idents {
+        if !scope.signals.contains_key(id) {
+            return Err(SyntaxVerdict::SyntaxError {
+                line,
+                message: format!("reference to undeclared signal `{id}`"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_module_is_clean() {
+        let v = check_source(
+            "module m(input [3:0] a, b, output [4:0] s); assign s = a + b; endmodule",
+        );
+        assert_eq!(v, SyntaxVerdict::Clean);
+        assert!(v.is_compilable());
+    }
+
+    #[test]
+    fn undeclared_rhs_signal_is_syntax_error() {
+        let v = check_source("module m(input a, output y); assign y = a & ghost; endmodule");
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn undeclared_lhs_signal_is_syntax_error() {
+        let v = check_source("module m(input a, output y); assign ghost = a; endmodule");
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn assign_to_reg_is_syntax_error() {
+        let v = check_source(
+            "module m(input a, output reg y); assign y = a; endmodule",
+        );
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn procedural_drive_of_wire_is_syntax_error() {
+        let v = check_source(
+            "module m(input clk, input a, output y); always @(posedge clk) y <= a; endmodule",
+        );
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn driving_input_is_syntax_error() {
+        let v = check_source("module m(input a, output y); assign a = y; endmodule");
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn missing_module_is_dependency_issue() {
+        let v = check_source(
+            "module top(input a, output y); helper u0(.x(a), .y(y)); endmodule",
+        );
+        match v {
+            SyntaxVerdict::DependencyIssue { missing_modules } => {
+                assert_eq!(missing_modules, vec!["helper".to_string()]);
+            }
+            other => panic!("expected dependency issue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defined_submodule_is_clean() {
+        let v = check_source(
+            "module top(input a, output y); inv u0(.i(a), .o(y)); endmodule\n\
+             module inv(input i, output o); assign o = ~i; endmodule",
+        );
+        assert_eq!(v, SyntaxVerdict::Clean);
+    }
+
+    #[test]
+    fn parse_failure_is_syntax_error_with_line() {
+        let v = check_source("module m(input a, output y);\nassign y = ;\nendmodule");
+        match v {
+            SyntaxVerdict::SyntaxError { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_source_is_syntax_error() {
+        assert!(matches!(check_source(""), SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn duplicate_port_is_syntax_error() {
+        let v = check_source("module m(input a, input a, output y); assign y = a; endmodule");
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn duplicate_port_connection_is_syntax_error() {
+        let v = check_source(
+            "module top(input a, output y); inv u0(.i(a), .i(a), .o(y)); endmodule\n\
+             module inv(input i, output o); assign o = ~i; endmodule",
+        );
+        assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn missing_modules_sorted_and_deduped() {
+        let v = check_source(
+            "module top(input a, output y);\n\
+             zeta u0(.p(a));\n alpha u1(.p(a));\n zeta u2(.p(y));\nendmodule",
+        );
+        match v {
+            SyntaxVerdict::DependencyIssue { missing_modules } => {
+                assert_eq!(missing_modules, vec!["alpha".to_string(), "zeta".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_before_declare_net_is_ok() {
+        let v = check_source(
+            "module m(input a, output y); assign y = t; wire t; assign t = ~a; endmodule",
+        );
+        assert_eq!(v, SyntaxVerdict::Clean);
+    }
+
+    #[test]
+    fn integer_loop_variable_is_ok() {
+        let v = check_source(
+            "module m(input [7:0] a, output reg [7:0] y); integer i;\n\
+             always @* for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i]; endmodule",
+        );
+        assert_eq!(v, SyntaxVerdict::Clean);
+    }
+}

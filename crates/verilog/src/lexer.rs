@@ -1,0 +1,581 @@
+//! Hand-written lexer for the Verilog-2001 subset.
+//!
+//! The lexer is also the first line of defence in the curation pipeline:
+//! encoding problems, unterminated comments/strings and malformed literals
+//! all surface here as [`LexError`], which the pipeline maps to the paper's
+//! "broken file" rejection class.
+
+use crate::token::{Keyword, Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number where the error occurred.
+    pub line: u32,
+    /// Human-readable description, lowercase without trailing punctuation.
+    pub message: String,
+}
+
+impl LexError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        LexError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Streaming lexer over a source string.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use pyranet_verilog::Lexer;
+/// let tokens = Lexer::new("assign y = a & b;").tokenize()?;
+/// assert_eq!(tokens.len(), 7); // assign y = a & b ; (Eof excluded)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lexes the whole input, excluding the trailing [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError`] on unterminated comments/strings, malformed
+    /// based literals, or bytes that cannot start any token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            if tok.kind == TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(tok);
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError::new(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                // Compiler directives (`timescale, `define, …) are skipped to
+                // the end of the line; the subset does not expand macros.
+                Some(b'`') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(b) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, line));
+        };
+        let kind = match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_ident(),
+            b'\\' => self.lex_escaped_ident()?,
+            b'0'..=b'9' => self.lex_number(false)?,
+            b'\'' => self.lex_number(true)?,
+            b'"' => self.lex_string()?,
+            _ => self.lex_symbol()?,
+        };
+        Ok(Token::new(kind, line))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn lex_escaped_ident(&mut self) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        self.bump(); // backslash
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(LexError::new(line, "empty escaped identifier"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| LexError::new(line, "escaped identifier is not valid utf-8"))?;
+        Ok(TokenKind::Ident(format!("\\{text}")))
+    }
+
+    /// Lexes a numeric literal. `tick_first` is true when the literal starts
+    /// with `'` (an unsized based literal like `'b1010`).
+    fn lex_number(&mut self, tick_first: bool) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        let mut width: u64 = 0;
+        if !tick_first {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+            let clean: String = digits.chars().filter(|c| *c != '_').collect();
+            width = clean
+                .parse::<u64>()
+                .map_err(|_| LexError::new(line, format!("integer literal `{digits}` overflows")))?;
+            if self.peek() != Some(b'\'') {
+                return Ok(TokenKind::UnsizedNumber(width));
+            }
+        }
+        // based literal: `'` [sS]? base digits
+        self.bump(); // tick
+        let mut signed_marker = false;
+        if matches!(self.peek(), Some(b's') | Some(b'S')) {
+            signed_marker = true;
+            self.bump();
+        }
+        let _ = signed_marker; // kept for future signed-literal support
+        let base = match self.peek() {
+            Some(b'b') | Some(b'B') => 2u8,
+            Some(b'o') | Some(b'O') => 8,
+            Some(b'd') | Some(b'D') => 10,
+            Some(b'h') | Some(b'H') => 16,
+            other => {
+                return Err(LexError::new(
+                    line,
+                    format!("expected base marker after `'`, found {other:?}"),
+                ));
+            }
+        };
+        self.bump();
+        self.skip_trivia()?; // Verilog allows whitespace between base and digits
+        let mut value: u64 = 0;
+        let mut ndigits = 0usize;
+        let mut has_unknown = false;
+        while let Some(b) = self.peek() {
+            let digit: Option<u64> = match (base, b) {
+                (_, b'_') => {
+                    self.bump();
+                    continue;
+                }
+                (_, b'x') | (_, b'X') | (_, b'z') | (_, b'Z') | (_, b'?') => {
+                    has_unknown = true;
+                    Some(0)
+                }
+                (2, b'0'..=b'1') => Some((b - b'0') as u64),
+                (8, b'0'..=b'7') => Some((b - b'0') as u64),
+                (10, b'0'..=b'9') => Some((b - b'0') as u64),
+                (16, b'0'..=b'9') => Some((b - b'0') as u64),
+                (16, b'a'..=b'f') => Some((b - b'a' + 10) as u64),
+                (16, b'A'..=b'F') => Some((b - b'A' + 10) as u64),
+                _ => None,
+            };
+            match digit {
+                Some(d) => {
+                    value = value
+                        .checked_mul(base as u64)
+                        .and_then(|v| v.checked_add(d))
+                        .unwrap_or(u64::MAX);
+                    ndigits += 1;
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        if ndigits == 0 {
+            return Err(LexError::new(line, "based literal has no digits"));
+        }
+        if width > u16::MAX as u64 {
+            return Err(LexError::new(line, "literal width is unreasonably large"));
+        }
+        Ok(TokenKind::SizedNumber { width: width as u16, base, value, has_unknown })
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::StringLit(s)),
+                Some(b'\\') => {
+                    match self.bump() {
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(other) => s.push(other as char),
+                        None => return Err(LexError::new(line, "unterminated string literal")),
+                    }
+                }
+                Some(b'\n') | None => {
+                    return Err(LexError::new(line, "unterminated string literal"));
+                }
+                Some(other) => s.push(other as char),
+            }
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<TokenKind, LexError> {
+        use TokenKind::*;
+        let line = self.line;
+        let b = self.bump().expect("caller checked peek");
+        let kind = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'#' => Hash,
+            b'@' => At,
+            b'?' => Question,
+            b':' => Colon,
+            b'+' => {
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    PlusColon
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    MinusColon
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.peek() == Some(b'*') {
+                    self.bump();
+                    Power
+                } else {
+                    Star
+                }
+            }
+            b'/' => Slash,
+            b'%' => Percent,
+            b'=' => match (self.peek(), self.peek2()) {
+                (Some(b'='), Some(b'=')) => {
+                    self.bump();
+                    self.bump();
+                    CaseEq
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    EqEq
+                }
+                _ => Assign,
+            },
+            b'!' => match (self.peek(), self.peek2()) {
+                (Some(b'='), Some(b'=')) => {
+                    self.bump();
+                    self.bump();
+                    CaseNotEq
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    NotEq
+                }
+                _ => Bang,
+            },
+            b'<' => match (self.peek(), self.peek2()) {
+                (Some(b'<'), Some(b'<')) => {
+                    self.bump();
+                    self.bump();
+                    AShl
+                }
+                (Some(b'<'), _) => {
+                    self.bump();
+                    Shl
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    LtEq
+                }
+                _ => Lt,
+            },
+            b'>' => match (self.peek(), self.peek2()) {
+                (Some(b'>'), Some(b'>')) => {
+                    self.bump();
+                    self.bump();
+                    AShr
+                }
+                (Some(b'>'), _) => {
+                    self.bump();
+                    Shr
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    GtEq
+                }
+                _ => Gt,
+            },
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    OrOr
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if self.peek() == Some(b'~') {
+                    self.bump();
+                    Xnor
+                } else {
+                    Caret
+                }
+            }
+            b'~' => match self.peek() {
+                Some(b'^') => {
+                    self.bump();
+                    Xnor
+                }
+                Some(b'&') => {
+                    self.bump();
+                    Nand
+                }
+                Some(b'|') => {
+                    self.bump();
+                    Nor
+                }
+                _ => Tilde,
+            },
+            other => {
+                return Err(LexError::new(
+                    line,
+                    format!("unexpected byte 0x{other:02x} in input"),
+                ));
+            }
+        };
+        // silence unused warning for peek3 in case future lookahead shrinks
+        let _ = self.peek3();
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().expect("lex").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assign() {
+        assert_eq!(
+            kinds("assign y = a ^ b;"),
+            vec![
+                Keyword(crate::token::Keyword::Assign),
+                Ident("y".into()),
+                Assign,
+                Ident("a".into()),
+                Caret,
+                Ident("b".into()),
+                Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_numbers() {
+        assert_eq!(
+            kinds("4'b1010 8'hFF 'd42 16'habcd"),
+            vec![
+                SizedNumber { width: 4, base: 2, value: 10, has_unknown: false },
+                SizedNumber { width: 8, base: 16, value: 255, has_unknown: false },
+                SizedNumber { width: 0, base: 10, value: 42, has_unknown: false },
+                SizedNumber { width: 16, base: 16, value: 0xabcd, has_unknown: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_unknown_digits() {
+        match &kinds("4'b10xz")[0] {
+            SizedNumber { has_unknown, value, .. } => {
+                assert!(has_unknown);
+                assert_eq!(*value, 0b1000);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000"), vec![UnsizedNumber(1000)]);
+        assert_eq!(
+            kinds("8'b1010_1010"),
+            vec![SizedNumber { width: 8, base: 2, value: 0b1010_1010, has_unknown: false }]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a // line\n b /* block \n multi */ c"), vec![
+            Ident("a".into()),
+            Ident("b".into()),
+            Ident("c".into()),
+        ]);
+    }
+
+    #[test]
+    fn directives_are_skipped() {
+        assert_eq!(kinds("`timescale 1ns/1ps\nwire"), vec![Keyword(crate::token::Keyword::Wire)]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("/* oops").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+        assert!(Lexer::new("\"abc\ndef\"").tokenize().is_err());
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != === !== << >> <<< >>> && || ** ~^ ~& ~| +: -:"),
+            vec![
+                LtEq, GtEq, EqEq, NotEq, CaseEq, CaseNotEq, Shl, Shr, AShl, AShr, AndAnd, OrOr,
+                Power, Xnor, Nand, Nor, PlusColon, MinusColon
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn escaped_identifier() {
+        assert_eq!(kinds("\\my+sig x"), vec![Ident("\\my+sig".into()), Ident("x".into())]);
+    }
+
+    #[test]
+    fn based_literal_without_digits_errors() {
+        assert!(Lexer::new("4'b;").tokenize().is_err());
+    }
+
+    #[test]
+    fn system_identifiers() {
+        assert_eq!(kinds("$display"), vec![Ident("$display".into())]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(kinds("").is_empty());
+        assert!(kinds("   \n\t ").is_empty());
+    }
+}

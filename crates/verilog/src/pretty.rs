@@ -1,0 +1,578 @@
+//! Canonical source regeneration from the AST.
+//!
+//! The corpus generators build [`crate::ast`] values and print them with
+//! this module; the test suite checks `parse(pretty(m)) == m` on everything
+//! the generators can emit, which pins down both the printer and the parser.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+
+/// Renders a one-line ANSI module header (the "interface line" VerilogEval
+/// supplies in its prompts): `module counter(input clk, output reg [7:0] q);`.
+pub fn interface_line(m: &Module) -> String {
+    let mut s = format!("module {}(", m.name);
+    for (i, p) in m.ports.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(match p.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        });
+        if p.is_reg {
+            s.push_str(" reg");
+        }
+        if let Some(r) = &p.range {
+            let _ = write!(s, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb));
+        }
+        s.push(' ');
+        s.push_str(&p.name);
+    }
+    s.push_str(");");
+    s
+}
+
+/// Pretty-prints a whole source file.
+pub fn print_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, m) in file.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Pretty-prints a single module with two-space indentation.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = pyranet_verilog::parse_module("module m(input a, output y); assign y = ~a; endmodule")?;
+/// let src = pyranet_verilog::pretty::print_module(&m);
+/// assert!(src.starts_with("module m"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    s.push_str("module ");
+    s.push_str(&m.name);
+    if !m.params.is_empty() {
+        s.push_str(" #(\n");
+        for (i, p) in m.params.iter().enumerate() {
+            let _ = write!(s, "  parameter {} = {}", p.name, print_expr(&p.value));
+            s.push_str(if i + 1 < m.params.len() { ",\n" } else { "\n" });
+        }
+        s.push(')');
+    }
+    if m.ports.is_empty() {
+        s.push_str(";\n");
+    } else {
+        s.push_str(" (\n");
+        for (i, p) in m.ports.iter().enumerate() {
+            s.push_str("  ");
+            s.push_str(match p.dir {
+                PortDir::Input => "input",
+                PortDir::Output => "output",
+                PortDir::Inout => "inout",
+            });
+            if p.is_reg {
+                s.push_str(" reg");
+            }
+            if p.signed {
+                s.push_str(" signed");
+            }
+            if let Some(r) = &p.range {
+                let _ = write!(s, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb));
+            }
+            s.push(' ');
+            s.push_str(&p.name);
+            s.push_str(if i + 1 < m.ports.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(");\n");
+    }
+    for item in &m.items {
+        print_item(&mut s, item, 1);
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn print_item(s: &mut String, item: &Item, level: usize) {
+    match item {
+        Item::Net(d) => {
+            indent(s, level);
+            s.push_str(match d.kind {
+                NetKind::Wire => "wire",
+                NetKind::Reg => "reg",
+                NetKind::Integer => "integer",
+                NetKind::Genvar => "genvar",
+            });
+            if d.signed {
+                s.push_str(" signed");
+            }
+            if let Some(r) = &d.range {
+                let _ = write!(s, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb));
+            }
+            s.push(' ');
+            for (i, n) in d.names.iter().enumerate() {
+                s.push_str(&n.name);
+                if let Some(u) = &n.unpacked {
+                    let _ = write!(s, " [{}:{}]", print_expr(&u.msb), print_expr(&u.lsb));
+                }
+                if let Some(init) = &n.init {
+                    let _ = write!(s, " = {}", print_expr(init));
+                }
+                if i + 1 < d.names.len() {
+                    s.push_str(", ");
+                }
+            }
+            s.push_str(";\n");
+        }
+        Item::Param(p) => {
+            indent(s, level);
+            let _ = write!(
+                s,
+                "{} {} = {};\n",
+                if p.local { "localparam" } else { "parameter" },
+                p.name,
+                print_expr(&p.value)
+            );
+        }
+        Item::Assign(a) => {
+            indent(s, level);
+            let _ = write!(s, "assign {} = {};\n", print_lvalue(&a.lhs), print_expr(&a.rhs));
+        }
+        Item::Always(a) => {
+            indent(s, level);
+            s.push_str("always @");
+            match &a.sensitivity {
+                Sensitivity::Star => s.push('*'),
+                Sensitivity::Signals(sig) => {
+                    let _ = write!(s, "({})", sig.join(" or "));
+                }
+                Sensitivity::Edges(es) => {
+                    s.push('(');
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(" or ");
+                        }
+                        let _ = write!(
+                            s,
+                            "{} {}",
+                            if e.edge == Edge::Pos { "posedge" } else { "negedge" },
+                            e.signal
+                        );
+                    }
+                    s.push(')');
+                }
+            }
+            s.push(' ');
+            print_stmt(s, &a.body, level, true);
+        }
+        Item::Initial(body) => {
+            indent(s, level);
+            s.push_str("initial ");
+            print_stmt(s, body, level, true);
+        }
+        Item::Instance(inst) => {
+            indent(s, level);
+            s.push_str(&inst.module);
+            if !inst.params.is_empty() {
+                s.push_str(" #(");
+                for (i, (name, e)) in inst.params.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    match name {
+                        Some(n) => {
+                            let _ = write!(s, ".{n}({})", print_expr(e));
+                        }
+                        None => s.push_str(&print_expr(e)),
+                    }
+                }
+                s.push(')');
+            }
+            s.push(' ');
+            s.push_str(&inst.name);
+            s.push('(');
+            for (i, (name, e)) in inst.ports.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                match (name, e) {
+                    (Some(n), Some(e)) => {
+                        let _ = write!(s, ".{n}({})", print_expr(e));
+                    }
+                    (Some(n), None) => {
+                        let _ = write!(s, ".{n}()");
+                    }
+                    (None, Some(e)) => s.push_str(&print_expr(e)),
+                    (None, None) => {}
+                }
+            }
+            s.push_str(");\n");
+        }
+        Item::Generate(items) => {
+            indent(s, level);
+            s.push_str("generate\n");
+            for it in items {
+                print_item(s, it, level + 1);
+            }
+            indent(s, level);
+            s.push_str("endgenerate\n");
+        }
+    }
+}
+
+/// `inline_lead` means the caller already printed the leading indent (e.g.
+/// after `always @* `).
+fn print_stmt(s: &mut String, stmt: &Stmt, level: usize, inline_lead: bool) {
+    if !inline_lead {
+        indent(s, level);
+    }
+    match stmt {
+        Stmt::Block(stmts) => {
+            s.push_str("begin\n");
+            for st in stmts {
+                print_stmt(s, st, level + 1, false);
+            }
+            indent(s, level);
+            s.push_str("end\n");
+        }
+        Stmt::Blocking(lv, e) => {
+            let _ = write!(s, "{} = {};\n", print_lvalue(lv), print_expr(e));
+        }
+        Stmt::NonBlocking(lv, e) => {
+            let _ = write!(s, "{} <= {};\n", print_lvalue(lv), print_expr(e));
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            let _ = write!(s, "if ({}) ", print_expr(cond));
+            print_stmt(s, then_branch, level, true);
+            if let Some(e) = else_branch {
+                indent(s, level);
+                s.push_str("else ");
+                print_stmt(s, e, level, true);
+            }
+        }
+        Stmt::Case { kind, subject, arms } => {
+            let kw = match kind {
+                CaseKind::Case => "case",
+                CaseKind::Casez => "casez",
+                CaseKind::Casex => "casex",
+            };
+            let _ = write!(s, "{kw} ({})\n", print_expr(subject));
+            for arm in arms {
+                indent(s, level + 1);
+                if arm.labels.is_empty() {
+                    s.push_str("default: ");
+                } else {
+                    let labels: Vec<String> = arm.labels.iter().map(print_expr).collect();
+                    let _ = write!(s, "{}: ", labels.join(", "));
+                }
+                print_stmt(s, &arm.body, level + 1, true);
+            }
+            indent(s, level);
+            s.push_str("endcase\n");
+        }
+        Stmt::For { init, cond, step, body } => {
+            s.push_str("for (");
+            print_assign_inline(s, init);
+            let _ = write!(s, "; {}; ", print_expr(cond));
+            print_assign_inline(s, step);
+            s.push_str(") ");
+            print_stmt(s, body, level, true);
+        }
+        Stmt::SystemCall(name, args) => {
+            s.push_str(name);
+            if !args.is_empty() {
+                s.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&print_expr(a));
+                }
+                s.push(')');
+            }
+            s.push_str(";\n");
+        }
+        Stmt::Empty => s.push_str(";\n"),
+    }
+}
+
+fn print_assign_inline(s: &mut String, stmt: &Stmt) {
+    match stmt {
+        Stmt::Blocking(lv, e) => {
+            let _ = write!(s, "{} = {}", print_lvalue(lv), print_expr(e));
+        }
+        Stmt::NonBlocking(lv, e) => {
+            let _ = write!(s, "{} <= {}", print_lvalue(lv), print_expr(e));
+        }
+        other => {
+            // Only assignments are legal in for-headers; anything else is a
+            // generator bug, render as empty to keep output parseable.
+            debug_assert!(false, "non-assignment in for header: {other:?}");
+        }
+    }
+}
+
+/// Pretty-prints an lvalue.
+pub fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(n) => n.clone(),
+        LValue::Index(n, e) => format!("{n}[{}]", print_expr(e)),
+        LValue::Range(n, a, b) => format!("{n}[{}:{}]", print_expr(a), print_expr(b)),
+        LValue::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_lvalue).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary(op, _, _) => {
+            use BinaryOp::*;
+            match op {
+                LogicalOr => 1,
+                LogicalAnd => 2,
+                BitOr => 3,
+                BitXor | BitXnor => 4,
+                BitAnd => 5,
+                Eq | Ne | CaseEq | CaseNe => 6,
+                Lt | Le | Gt | Ge => 7,
+                Shl | Shr | AShl | AShr => 8,
+                Add | Sub => 9,
+                Mul | Div | Mod => 10,
+                Pow => 11,
+            }
+        }
+        Expr::Ternary(_, _, _) => 0,
+        Expr::Unary(_, _) => 12,
+        _ => 13,
+    }
+}
+
+/// Pretty-prints an expression with minimal necessary parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Ident(n) => n.clone(),
+        Expr::Literal { width, value, base, has_unknown: _ } => {
+            if *width == 0 && *base == 10 {
+                format!("{value}")
+            } else {
+                let marker = match base {
+                    2 => 'b',
+                    8 => 'o',
+                    16 => 'h',
+                    _ => 'd',
+                };
+                let digits = match base {
+                    2 => format!("{value:b}"),
+                    8 => format!("{value:o}"),
+                    16 => format!("{value:x}"),
+                    _ => format!("{value}"),
+                };
+                if *width == 0 {
+                    format!("'{marker}{digits}")
+                } else {
+                    format!("{width}'{marker}{digits}")
+                }
+            }
+        }
+        Expr::StringLit(s) => format!("{s:?}"),
+        Expr::Unary(op, inner) => {
+            use UnaryOp::*;
+            let sym = match op {
+                Neg => "-",
+                Plus => "+",
+                LogicalNot => "!",
+                BitNot => "~",
+                RedAnd => "&",
+                RedOr => "|",
+                RedXor => "^",
+                RedNand => "~&",
+                RedNor => "~|",
+                RedXnor => "~^",
+            };
+            let needs = precedence(inner) < 12;
+            if needs {
+                format!("{sym}({})", print_expr(inner))
+            } else {
+                format!("{sym}{}", print_expr(inner))
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            use BinaryOp::*;
+            let sym = match op {
+                Add => "+",
+                Sub => "-",
+                Mul => "*",
+                Div => "/",
+                Mod => "%",
+                Pow => "**",
+                BitAnd => "&",
+                BitOr => "|",
+                BitXor => "^",
+                BitXnor => "~^",
+                LogicalAnd => "&&",
+                LogicalOr => "||",
+                Eq => "==",
+                Ne => "!=",
+                CaseEq => "===",
+                CaseNe => "!==",
+                Lt => "<",
+                Le => "<=",
+                Gt => ">",
+                Ge => ">=",
+                Shl => "<<",
+                Shr => ">>",
+                AShl => "<<<",
+                AShr => ">>>",
+            };
+            let prec = precedence(e);
+            let left = if precedence(a) < prec {
+                format!("({})", print_expr(a))
+            } else {
+                print_expr(a)
+            };
+            // Right child needs parens when equal precedence (left-assoc).
+            let right = if precedence(b) <= prec {
+                format!("({})", print_expr(b))
+            } else {
+                print_expr(b)
+            };
+            format!("{left} {sym} {right}")
+        }
+        Expr::Ternary(c, a, b) => {
+            let cond = if precedence(c) <= 0 {
+                format!("({})", print_expr(c))
+            } else {
+                print_expr(c)
+            };
+            format!("{cond} ? {} : {}", print_expr(a), print_expr(b))
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repeat(n, inner) => {
+            format!("{{{}{{{}}}}}", print_expr(n), print_expr(inner))
+        }
+        Expr::Index(n, i) => format!("{n}[{}]", print_expr(i)),
+        Expr::RangeSelect(n, a, b) => {
+            format!("{n}[{}:{}]", print_expr(a), print_expr(b))
+        }
+        Expr::IndexedSelect { name, base, width, ascending } => {
+            format!(
+                "{name}[{} {}: {}]",
+                print_expr(base),
+                if *ascending { "+" } else { "-" },
+                print_expr(width)
+            )
+        }
+        Expr::Call(f, args) => {
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{f}({})", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let mut f1 = parse(src).expect("first parse");
+        let printed = print_file(&f1);
+        let mut f2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        f1.strip_lines();
+        f2.strip_lines();
+        assert_eq!(f1, f2, "round trip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_half_adder() {
+        round_trip(
+            "module half_adder(input a, input b, output s, output c);\n\
+             assign s = a ^ b; assign c = a & b; endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_counter() {
+        round_trip(
+            "module counter #(parameter W = 4)(input clk, input rst, output reg [W-1:0] q);\n\
+             always @(posedge clk) begin if (rst) q <= 0; else q <= q + 1'b1; end endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_case() {
+        round_trip(
+            "module dec(input [1:0] s, output reg [3:0] y);\n\
+             always @* case (s) 2'd0: y = 4'b0001; 2'd1: y = 4'b0010; \
+             2'd2: y = 4'b0100; default: y = 4'b1000; endcase endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_instance() {
+        round_trip(
+            "module top(input a, output y); inv u0(.in(a), .out(y)); endmodule\n\
+             module inv(input in, output out); assign out = ~in; endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_for_loop() {
+        round_trip(
+            "module rev(input [7:0] a, output reg [7:0] y); integer i;\n\
+             always @* for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i]; endmodule",
+        );
+    }
+
+    #[test]
+    fn parens_preserved_for_precedence() {
+        // (a + b) * c must not print as a + b * c
+        let src = "module m(input [7:0] a, b, c, output [7:0] y); assign y = (a + b) * c; endmodule";
+        round_trip(src);
+        let f = parse(src).unwrap();
+        let printed = print_file(&f);
+        assert!(printed.contains("(a + b) * c"), "{printed}");
+    }
+
+    #[test]
+    fn sub_right_assoc_parens() {
+        // a - (b - c) must keep the parens
+        let src = "module m(input [7:0] a, b, c, output [7:0] y); assign y = a - (b - c); endmodule";
+        round_trip(src);
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(print_expr(&Expr::number(42)), "42");
+        assert_eq!(print_expr(&Expr::sized(4, 10, 2)), "4'b1010");
+        assert_eq!(print_expr(&Expr::sized(8, 255, 16)), "8'hff");
+        assert_eq!(print_expr(&Expr::sized(3, 5, 10)), "3'd5");
+    }
+
+    #[test]
+    fn round_trips_concat_and_repeat() {
+        round_trip(
+            "module m(input [3:0] a, output [15:0] y, output [7:0] z);\n\
+             assign y = {4{a}}; assign z = {a, a[3:0]}; endmodule",
+        );
+    }
+}

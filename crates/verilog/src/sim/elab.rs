@@ -1,0 +1,680 @@
+//! Elaboration: flattening a hierarchical design into one scope.
+//!
+//! Instances are inlined recursively; a child signal `s` inside instance
+//! `u0` becomes `u0.s` in the flat scope. Parameters are const-evaluated
+//! (with instance overrides applied) and recorded as constants.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Elaboration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ElabError {
+    fn new(message: impl Into<String>) -> Self {
+        ElabError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl Error for ElabError {}
+
+/// Description of one flat signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatSignal {
+    /// Flat (dotted) name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Number of words when this is a memory (unpacked array), else 0.
+    pub depth: u32,
+    /// Lowest memory address (for `mem [4:19]`-style declarations).
+    pub mem_base: u64,
+}
+
+/// A flattened design ready for simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatDesign {
+    /// All signals, including constants for parameters.
+    pub signals: Vec<FlatSignal>,
+    /// Continuous assignments (including the port-binding assigns created
+    /// during flattening).
+    pub assigns: Vec<ContinuousAssign>,
+    /// Always blocks with flat signal names.
+    pub always: Vec<AlwaysBlock>,
+    /// Initial constant values (parameters and net initialisers with
+    /// constant right-hand sides).
+    pub constants: Vec<(String, u64)>,
+    /// Names of the top module's input ports.
+    pub inputs: Vec<String>,
+    /// Names of the top module's output ports.
+    pub outputs: Vec<String>,
+}
+
+impl FlatDesign {
+    /// Finds a flat signal by name.
+    pub fn signal(&self, name: &str) -> Option<&FlatSignal> {
+        self.signals.iter().find(|s| s.name == name)
+    }
+}
+
+/// Maximum instance-inlining depth (guards against recursive instantiation).
+const MAX_DEPTH: u32 = 32;
+
+/// Flattens `top` (and everything it instantiates) from `file`.
+///
+/// # Errors
+///
+/// Fails on: missing top module, undefined instantiated modules, recursive
+/// instantiation deeper than 32, non-constant ranges, output ports connected
+/// to non-lvalue expressions, and widths over 64 bits.
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<FlatDesign, ElabError> {
+    let by_name: HashMap<&str, &Module> =
+        file.modules.iter().map(|m| (m.name.as_str(), m)).collect();
+    let top_mod = by_name
+        .get(top)
+        .ok_or_else(|| ElabError::new(format!("top module `{top}` not found")))?;
+    let mut design = FlatDesign::default();
+    let mut ctx = Ctx { modules: &by_name, design: &mut design };
+    flatten_module(&mut ctx, top_mod, "", &HashMap::new(), 0)?;
+    for p in top_mod.ports.iter() {
+        match p.dir {
+            PortDir::Input => design.inputs.push(p.name.clone()),
+            PortDir::Output => design.outputs.push(p.name.clone()),
+            PortDir::Inout => {
+                design.inputs.push(p.name.clone());
+                design.outputs.push(p.name.clone());
+            }
+        }
+    }
+    Ok(design)
+}
+
+struct Ctx<'a> {
+    modules: &'a HashMap<&'a str, &'a Module>,
+    design: &'a mut FlatDesign,
+}
+
+/// Const-evaluates an expression given parameter values.
+fn const_eval(e: &Expr, params: &HashMap<String, u64>) -> Result<u64, ElabError> {
+    match e {
+        Expr::Literal { value, .. } => Ok(*value),
+        Expr::Ident(n) => params
+            .get(n)
+            .copied()
+            .ok_or_else(|| ElabError::new(format!("`{n}` is not a constant in this context"))),
+        Expr::Unary(op, a) => {
+            let a = const_eval(a, params)?;
+            Ok(match op {
+                UnaryOp::Neg => a.wrapping_neg(),
+                UnaryOp::Plus => a,
+                UnaryOp::BitNot => !a,
+                UnaryOp::LogicalNot => u64::from(a == 0),
+                UnaryOp::RedAnd => u64::from(a == u64::MAX),
+                UnaryOp::RedOr => u64::from(a != 0),
+                UnaryOp::RedXor => u64::from(a.count_ones() % 2 == 1),
+                UnaryOp::RedNand => u64::from(a != u64::MAX),
+                UnaryOp::RedNor => u64::from(a == 0),
+                UnaryOp::RedXnor => u64::from(a.count_ones() % 2 == 0),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let a = const_eval(a, params)?;
+            let b = const_eval(b, params)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a / b
+                    }
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a % b
+                    }
+                }
+                BinaryOp::Pow => a.checked_pow(b.min(63) as u32).unwrap_or(u64::MAX),
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::BitXnor => !(a ^ b),
+                BinaryOp::LogicalAnd => u64::from(a != 0 && b != 0),
+                BinaryOp::LogicalOr => u64::from(a != 0 || b != 0),
+                BinaryOp::Eq | BinaryOp::CaseEq => u64::from(a == b),
+                BinaryOp::Ne | BinaryOp::CaseNe => u64::from(a != b),
+                BinaryOp::Lt => u64::from(a < b),
+                BinaryOp::Le => u64::from(a <= b),
+                BinaryOp::Gt => u64::from(a > b),
+                BinaryOp::Ge => u64::from(a >= b),
+                BinaryOp::Shl | BinaryOp::AShl => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a << b
+                    }
+                }
+                BinaryOp::Shr | BinaryOp::AShr => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a >> b
+                    }
+                }
+            })
+        }
+        Expr::Ternary(c, a, b) => {
+            if const_eval(c, params)? != 0 {
+                const_eval(a, params)
+            } else {
+                const_eval(b, params)
+            }
+        }
+        other => Err(ElabError::new(format!("expression is not constant: {other:?}"))),
+    }
+}
+
+fn range_width(r: &Range, params: &HashMap<String, u64>) -> Result<(u32, u64), ElabError> {
+    let msb = const_eval(&r.msb, params)? as i64;
+    let lsb = const_eval(&r.lsb, params)? as i64;
+    let width = (msb - lsb).unsigned_abs() + 1;
+    if width == 0 || width > 64 {
+        return Err(ElabError::new(format!("range [{msb}:{lsb}] has unsupported width {width}")));
+    }
+    Ok((width as u32, msb.min(lsb) as u64))
+}
+
+/// Prefix helper: dotted path under an instance prefix.
+fn flat_name(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+fn flatten_module(
+    ctx: &mut Ctx<'_>,
+    module: &Module,
+    prefix: &str,
+    overrides: &HashMap<String, u64>,
+    depth: u32,
+) -> Result<(), ElabError> {
+    if depth > MAX_DEPTH {
+        return Err(ElabError::new(format!(
+            "instance nesting deeper than {MAX_DEPTH}; recursive instantiation?"
+        )));
+    }
+
+    // Resolve parameters: header params (with overrides) then body params.
+    let mut params: HashMap<String, u64> = HashMap::new();
+    for p in &module.params {
+        let v = match overrides.get(&p.name) {
+            Some(v) => *v,
+            None => const_eval(&p.value, &params)?,
+        };
+        params.insert(p.name.clone(), v);
+    }
+    collect_body_params(&module.items, overrides, &mut params)?;
+
+    // Declare port signals.
+    for p in &module.ports {
+        let (width, _) = match &p.range {
+            Some(r) => range_width(r, &params)?,
+            None => (1, 0),
+        };
+        push_signal(ctx, flat_name(prefix, &p.name), width, 0, 0);
+    }
+
+    flatten_items(ctx, &module.items, module, prefix, &params, depth)?;
+
+    // Record parameter constants as pseudo-signals so expressions can read
+    // them at runtime.
+    for (name, value) in &params {
+        let flat = flat_name(prefix, name);
+        if ctx.design.signal(&flat).is_none() {
+            push_signal(ctx, flat.clone(), 64, 0, 0);
+        }
+        ctx.design.constants.push((flat, *value));
+    }
+    Ok(())
+}
+
+fn collect_body_params(
+    items: &[Item],
+    overrides: &HashMap<String, u64>,
+    params: &mut HashMap<String, u64>,
+) -> Result<(), ElabError> {
+    for item in items {
+        match item {
+            Item::Param(p) => {
+                let v = match overrides.get(&p.name) {
+                    Some(v) if !p.local => *v,
+                    _ => const_eval(&p.value, params)?,
+                };
+                params.insert(p.name.clone(), v);
+            }
+            Item::Generate(inner) => collect_body_params(inner, overrides, params)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn push_signal(ctx: &mut Ctx<'_>, name: String, width: u32, depth: u32, mem_base: u64) {
+    if ctx.design.signal(&name).is_none() {
+        ctx.design.signals.push(FlatSignal { name, width, depth, mem_base });
+    }
+}
+
+fn flatten_items(
+    ctx: &mut Ctx<'_>,
+    items: &[Item],
+    module: &Module,
+    prefix: &str,
+    params: &HashMap<String, u64>,
+    depth: u32,
+) -> Result<(), ElabError> {
+    for item in items {
+        match item {
+            Item::Net(d) => {
+                let (width, _) = match &d.range {
+                    Some(r) => range_width(r, params)?,
+                    None => {
+                        if d.kind == NetKind::Integer {
+                            (32, 0)
+                        } else {
+                            (1, 0)
+                        }
+                    }
+                };
+                for n in &d.names {
+                    let flat = flat_name(prefix, &n.name);
+                    match &n.unpacked {
+                        Some(u) => {
+                            let msb = const_eval(&u.msb, params)? as i64;
+                            let lsb = const_eval(&u.lsb, params)? as i64;
+                            let words = (msb - lsb).unsigned_abs() + 1;
+                            if words > 1 << 20 {
+                                return Err(ElabError::new(format!(
+                                    "memory `{}` with {words} words is too large",
+                                    n.name
+                                )));
+                            }
+                            push_signal(ctx, flat, width, words as u32, msb.min(lsb) as u64);
+                        }
+                        None => push_signal(ctx, flat, width, 0, 0),
+                    }
+                    if let Some(init) = &n.init {
+                        let flat = flat_name(prefix, &n.name);
+                        if let Ok(v) = const_eval(init, params) {
+                            ctx.design.constants.push((flat, v));
+                        } else {
+                            ctx.design.assigns.push(ContinuousAssign {
+                                lhs: LValue::Ident(flat),
+                                rhs: rename_expr(init, prefix),
+                                line: 0,
+                            });
+                        }
+                    }
+                }
+            }
+            Item::Param(_) => {} // handled in collect_body_params
+            Item::Assign(a) => {
+                ctx.design.assigns.push(ContinuousAssign {
+                    lhs: rename_lvalue(&a.lhs, prefix),
+                    rhs: rename_expr(&a.rhs, prefix),
+                    line: a.line,
+                });
+            }
+            Item::Always(a) => {
+                ctx.design.always.push(AlwaysBlock {
+                    sensitivity: rename_sensitivity(&a.sensitivity, prefix),
+                    body: rename_stmt(&a.body, prefix),
+                    line: a.line,
+                });
+            }
+            Item::Initial(_) => {
+                // Initial blocks are testbench constructs; synthesizable
+                // designs under simulation ignore them.
+            }
+            Item::Instance(inst) => {
+                flatten_instance(ctx, inst, module, prefix, params, depth)?;
+            }
+            Item::Generate(inner) => {
+                flatten_items(ctx, inner, module, prefix, params, depth)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn flatten_instance(
+    ctx: &mut Ctx<'_>,
+    inst: &Instance,
+    _parent: &Module,
+    prefix: &str,
+    params: &HashMap<String, u64>,
+    depth: u32,
+) -> Result<(), ElabError> {
+    let child = *ctx
+        .modules
+        .get(inst.module.as_str())
+        .ok_or_else(|| ElabError::new(format!("module `{}` is not defined", inst.module)))?;
+    let child_prefix = flat_name(prefix, &inst.name);
+
+    // Parameter overrides.
+    let mut overrides = HashMap::new();
+    for (i, (name, e)) in inst.params.iter().enumerate() {
+        let v = const_eval(e, params)?;
+        let pname = match name {
+            Some(n) => n.clone(),
+            None => child
+                .params
+                .get(i)
+                .map(|p| p.name.clone())
+                .ok_or_else(|| ElabError::new("too many positional parameter overrides"))?,
+        };
+        overrides.insert(pname, v);
+    }
+
+    flatten_module(ctx, child, &child_prefix, &overrides, depth + 1)?;
+
+    // Port bindings.
+    for (i, (name, conn)) in inst.ports.iter().enumerate() {
+        let port = match name {
+            Some(n) => child
+                .port(n)
+                .ok_or_else(|| {
+                    ElabError::new(format!("module `{}` has no port `{n}`", child.name))
+                })?
+                .clone(),
+            None => child
+                .ports
+                .get(i)
+                .cloned()
+                .ok_or_else(|| ElabError::new("too many positional port connections"))?,
+        };
+        let Some(conn) = conn else { continue };
+        let child_sig = flat_name(&child_prefix, &port.name);
+        let conn_renamed = rename_expr(conn, prefix);
+        match port.dir {
+            PortDir::Input => {
+                ctx.design.assigns.push(ContinuousAssign {
+                    lhs: LValue::Ident(child_sig),
+                    rhs: conn_renamed,
+                    line: inst.line,
+                });
+            }
+            PortDir::Output | PortDir::Inout => {
+                let lhs = expr_to_lvalue(&conn_renamed).ok_or_else(|| {
+                    ElabError::new(format!(
+                        "output port `{}` of instance `{}` is connected to a non-assignable expression",
+                        port.name, inst.name
+                    ))
+                })?;
+                ctx.design.assigns.push(ContinuousAssign {
+                    lhs,
+                    rhs: Expr::Ident(child_sig),
+                    line: inst.line,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Index(n, i) => Some(LValue::Index(n.clone(), (**i).clone())),
+        Expr::RangeSelect(n, a, b) => {
+            Some(LValue::Range(n.clone(), (**a).clone(), (**b).clone()))
+        }
+        Expr::Concat(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                out.push(expr_to_lvalue(p)?);
+            }
+            Some(LValue::Concat(out))
+        }
+        _ => None,
+    }
+}
+
+// ---- renaming (prefixing) walkers ----
+
+fn rename_sensitivity(s: &Sensitivity, prefix: &str) -> Sensitivity {
+    match s {
+        Sensitivity::Star => Sensitivity::Star,
+        Sensitivity::Signals(sig) => {
+            Sensitivity::Signals(sig.iter().map(|s| flat_name(prefix, s)).collect())
+        }
+        Sensitivity::Edges(es) => Sensitivity::Edges(
+            es.iter()
+                .map(|e| EdgeSpec { edge: e.edge, signal: flat_name(prefix, &e.signal) })
+                .collect(),
+        ),
+    }
+}
+
+fn rename_lvalue(lv: &LValue, prefix: &str) -> LValue {
+    match lv {
+        LValue::Ident(n) => LValue::Ident(flat_name(prefix, n)),
+        LValue::Index(n, e) => LValue::Index(flat_name(prefix, n), rename_expr(e, prefix)),
+        LValue::Range(n, a, b) => {
+            LValue::Range(flat_name(prefix, n), rename_expr(a, prefix), rename_expr(b, prefix))
+        }
+        LValue::Concat(parts) => {
+            LValue::Concat(parts.iter().map(|p| rename_lvalue(p, prefix)).collect())
+        }
+    }
+}
+
+fn rename_stmt(s: &Stmt, prefix: &str) -> Stmt {
+    match s {
+        Stmt::Blocking(lv, e) => Stmt::Blocking(rename_lvalue(lv, prefix), rename_expr(e, prefix)),
+        Stmt::NonBlocking(lv, e) => {
+            Stmt::NonBlocking(rename_lvalue(lv, prefix), rename_expr(e, prefix))
+        }
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: rename_expr(cond, prefix),
+            then_branch: Box::new(rename_stmt(then_branch, prefix)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(rename_stmt(e, prefix))),
+        },
+        Stmt::Case { kind, subject, arms } => Stmt::Case {
+            kind: *kind,
+            subject: rename_expr(subject, prefix),
+            arms: arms
+                .iter()
+                .map(|a| CaseArm {
+                    labels: a.labels.iter().map(|l| rename_expr(l, prefix)).collect(),
+                    body: rename_stmt(&a.body, prefix),
+                })
+                .collect(),
+        },
+        Stmt::For { init, cond, step, body } => Stmt::For {
+            init: Box::new(rename_stmt(init, prefix)),
+            cond: rename_expr(cond, prefix),
+            step: Box::new(rename_stmt(step, prefix)),
+            body: Box::new(rename_stmt(body, prefix)),
+        },
+        Stmt::Block(stmts) => Stmt::Block(stmts.iter().map(|s| rename_stmt(s, prefix)).collect()),
+        Stmt::SystemCall(n, args) => {
+            Stmt::SystemCall(n.clone(), args.iter().map(|a| rename_expr(a, prefix)).collect())
+        }
+        Stmt::Empty => Stmt::Empty,
+    }
+}
+
+fn rename_expr(e: &Expr, prefix: &str) -> Expr {
+    match e {
+        Expr::Ident(n) => Expr::Ident(flat_name(prefix, n)),
+        Expr::Literal { .. } | Expr::StringLit(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rename_expr(a, prefix))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rename_expr(a, prefix)),
+            Box::new(rename_expr(b, prefix)),
+        ),
+        Expr::Ternary(c, a, b) => Expr::Ternary(
+            Box::new(rename_expr(c, prefix)),
+            Box::new(rename_expr(a, prefix)),
+            Box::new(rename_expr(b, prefix)),
+        ),
+        Expr::Concat(es) => Expr::Concat(es.iter().map(|x| rename_expr(x, prefix)).collect()),
+        Expr::Repeat(n, x) => {
+            Expr::Repeat(Box::new(rename_expr(n, prefix)), Box::new(rename_expr(x, prefix)))
+        }
+        Expr::Index(n, i) => {
+            Expr::Index(flat_name(prefix, n), Box::new(rename_expr(i, prefix)))
+        }
+        Expr::RangeSelect(n, a, b) => Expr::RangeSelect(
+            flat_name(prefix, n),
+            Box::new(rename_expr(a, prefix)),
+            Box::new(rename_expr(b, prefix)),
+        ),
+        Expr::IndexedSelect { name, base, width, ascending } => Expr::IndexedSelect {
+            name: flat_name(prefix, name),
+            base: Box::new(rename_expr(base, prefix)),
+            width: Box::new(rename_expr(width, prefix)),
+            ascending: *ascending,
+        },
+        Expr::Call(f, args) => {
+            Expr::Call(f.clone(), args.iter().map(|a| rename_expr(a, prefix)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn flattens_single_module() {
+        let f = parse("module m(input [3:0] a, output [3:0] y); assign y = ~a; endmodule").unwrap();
+        let d = elaborate(&f, "m").unwrap();
+        assert_eq!(d.inputs, vec!["a"]);
+        assert_eq!(d.outputs, vec!["y"]);
+        assert_eq!(d.signal("a").unwrap().width, 4);
+        assert_eq!(d.assigns.len(), 1);
+    }
+
+    #[test]
+    fn flattens_hierarchy_with_prefixes() {
+        let f = parse(
+            "module top(input a, output y); inv u0(.i(a), .o(y)); endmodule\n\
+             module inv(input i, output o); assign o = ~i; endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&f, "top").unwrap();
+        assert!(d.signal("u0.i").is_some());
+        assert!(d.signal("u0.o").is_some());
+        // 1 child assign + 2 port bindings
+        assert_eq!(d.assigns.len(), 3);
+    }
+
+    #[test]
+    fn parameter_override_applies() {
+        let f = parse(
+            "module top(input [7:0] a, output [7:0] y); pass #(.W(8)) u0(.i(a), .o(y)); endmodule\n\
+             module pass #(parameter W = 4)(input [W-1:0] i, output [W-1:0] o); assign o = i; endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&f, "top").unwrap();
+        assert_eq!(d.signal("u0.i").unwrap().width, 8);
+    }
+
+    #[test]
+    fn missing_module_errors() {
+        let f = parse("module top(input a, output y); nope u0(.p(a), .q(y)); endmodule").unwrap();
+        assert!(elaborate(&f, "top").is_err());
+    }
+
+    #[test]
+    fn missing_top_errors() {
+        let f = parse("module m(input a, output y); assign y = a; endmodule").unwrap();
+        assert!(elaborate(&f, "zzz").is_err());
+    }
+
+    #[test]
+    fn recursive_instantiation_errors() {
+        let f = parse(
+            "module a(input x, output y); a u0(.x(x), .y(y)); endmodule",
+        )
+        .unwrap();
+        let err = elaborate(&f, "a").unwrap_err();
+        assert!(err.message.contains("recursive") || err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn localparam_recorded_as_constant() {
+        let f = parse(
+            "module m(input a, output y); localparam ONE = 1; assign y = a & ONE; endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&f, "m").unwrap();
+        assert!(d.constants.iter().any(|(n, v)| n == "ONE" && *v == 1));
+    }
+
+    #[test]
+    fn memory_declared_with_depth() {
+        let f = parse(
+            "module m(input clk, input [3:0] a, input [7:0] d, input we, output reg [7:0] q);\n\
+             reg [7:0] mem [0:15];\n\
+             always @(posedge clk) begin if (we) mem[a] <= d; q <= mem[a]; end endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&f, "m").unwrap();
+        let mem = d.signal("mem").unwrap();
+        assert_eq!(mem.width, 8);
+        assert_eq!(mem.depth, 16);
+    }
+
+    #[test]
+    fn positional_connections_map_in_order() {
+        let f = parse(
+            "module top(input a, input b, output y); and2 u0(a, b, y); endmodule\n\
+             module and2(input p, input q, output r); assign r = p & q; endmodule",
+        )
+        .unwrap();
+        let d = elaborate(&f, "top").unwrap();
+        // input bindings `u0.p = a`, `u0.q = b`, plus the child's own
+        // `u0.r = u0.p & u0.q`
+        assert_eq!(
+            d.assigns
+                .iter()
+                .filter(|a| matches!(&a.lhs, LValue::Ident(n) if n.starts_with("u0.")))
+                .count(),
+            3
+        );
+        assert!(d
+            .assigns
+            .iter()
+            .any(|a| matches!(&a.lhs, LValue::Ident(n) if n == "y")
+                && matches!(&a.rhs, Expr::Ident(n) if n == "u0.r")));
+    }
+
+    #[test]
+    fn width_over_64_errors() {
+        let f = parse("module m(input [127:0] a, output y); assign y = a[0]; endmodule").unwrap();
+        assert!(elaborate(&f, "m").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Event-driven two-state simulation of the Verilog subset.
+//!
+//! The VerilogEval-substitute benchmark (crate `pyranet-eval`) decides
+//! functional correctness by driving a candidate module with stimulus
+//! vectors and comparing its outputs against a golden reference — the same
+//! check VerilogEval performs with a commercial simulator. This module is
+//! that simulator:
+//!
+//! * [`elab`] flattens a multi-module design into a single scope (instances
+//!   are inlined with `inst.signal` renaming, parameters become constants);
+//! * [`engine`] owns the signal store and runs the evaluation loop —
+//!   continuous assigns and `@*` blocks settle to a fixpoint, edge-sensitive
+//!   blocks fire on signal transitions with proper non-blocking commit
+//!   ordering.
+//!
+//! Values are two-state (`0`/`1`) vectors of up to 64 bits ([`Value`]).
+//! `x`/`z` digits in literals are read as `0`, which matches how the corpus
+//! generators and benchmark problems use them.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use pyranet_verilog::Simulator;
+//!
+//! let src = "module counter(input clk, input rst, output reg [3:0] q);\n\
+//!            always @(posedge clk) begin\n\
+//!              if (rst) q <= 4'd0; else q <= q + 4'd1;\n\
+//!            end\nendmodule";
+//! let mut sim = Simulator::from_source(src, "counter")?;
+//! sim.set("rst", 1)?;
+//! sim.clock("clk")?;
+//! sim.set("rst", 0)?;
+//! sim.clock("clk")?;
+//! sim.clock("clk")?;
+//! assert_eq!(sim.get("q")?.as_u64(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod elab;
+mod engine;
+mod value;
+
+pub use elab::{elaborate, ElabError, FlatDesign};
+pub use engine::{SimError, Simulator};
+pub use value::Value;

@@ -1,0 +1,159 @@
+//! Two-state bit-vector values.
+
+use std::fmt;
+
+/// A two-state logic vector of 1–64 bits.
+///
+/// Bits above `width` are always zero (a maintained invariant; all
+/// constructors and operations mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    bits: u64,
+    width: u32,
+}
+
+impl Value {
+    /// Maximum supported width.
+    pub const MAX_WIDTH: u32 = 64;
+
+    /// Creates a value, masking `bits` to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`Value::MAX_WIDTH`].
+    pub fn new(bits: u64, width: u32) -> Value {
+        assert!(width >= 1 && width <= Self::MAX_WIDTH, "width {width} out of range");
+        Value { bits: bits & Self::mask(width), width }
+    }
+
+    /// A single-bit value.
+    pub fn bit(b: bool) -> Value {
+        Value { bits: u64::from(b), width: 1 }
+    }
+
+    /// All-zero value of the given width.
+    pub fn zero(width: u32) -> Value {
+        Value::new(0, width)
+    }
+
+    /// The low-bits mask for a width.
+    pub fn mask(width: u32) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The raw bits (upper bits zero).
+    pub fn as_u64(self) -> u64 {
+        self.bits
+    }
+
+    /// The declared width in bits.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// True when any bit is set.
+    pub fn is_truthy(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Reinterprets at a new width (truncating or zero-extending).
+    pub fn resize(self, width: u32) -> Value {
+        Value::new(self.bits, width)
+    }
+
+    /// Sign-extends from the current width into 64 bits, returning the raw
+    /// two's-complement value (used by arithmetic right shift and signed
+    /// comparisons).
+    pub fn to_signed(self) -> i64 {
+        if self.width == 64 {
+            self.bits as i64
+        } else {
+            let sign = 1u64 << (self.width - 1);
+            if self.bits & sign != 0 {
+                (self.bits | !Self::mask(self.width)) as i64
+            } else {
+                self.bits as i64
+            }
+        }
+    }
+
+    /// Extracts the single bit at `index` (0 when out of range, matching the
+    /// permissive behaviour of reading past a vector in two-state sim).
+    pub fn bit_at(self, index: u32) -> bool {
+        if index >= 64 {
+            false
+        } else {
+            (self.bits >> index) & 1 == 1
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::bit(false)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_on_construction() {
+        assert_eq!(Value::new(0xFF, 4).as_u64(), 0xF);
+        assert_eq!(Value::new(u64::MAX, 64).as_u64(), u64::MAX);
+        assert_eq!(Value::new(0b10, 1).as_u64(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 out of range")]
+    fn zero_width_panics() {
+        let _ = Value::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 65 out of range")]
+    fn overwide_panics() {
+        let _ = Value::new(1, 65);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Value::new(0xF, 4).to_signed(), -1);
+        assert_eq!(Value::new(0x7, 4).to_signed(), 7);
+        assert_eq!(Value::new(0x8, 4).to_signed(), -8);
+        assert_eq!(Value::new(u64::MAX, 64).to_signed(), -1);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Value::new(0b1010, 4);
+        assert!(!v.bit_at(0));
+        assert!(v.bit_at(1));
+        assert!(v.bit_at(3));
+        assert!(!v.bit_at(63));
+        assert!(!v.bit_at(200));
+    }
+
+    #[test]
+    fn resize_truncates_and_extends() {
+        let v = Value::new(0b1111, 4);
+        assert_eq!(v.resize(2).as_u64(), 0b11);
+        assert_eq!(v.resize(8).as_u64(), 0b1111);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Value::new(255, 8).to_string(), "8'hff");
+    }
+}

@@ -1,0 +1,314 @@
+//! Token definitions for the Verilog lexer.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Creates a token at the given line.
+    pub fn new(kind: TokenKind, line: u32) -> Self {
+        Token { kind, line }
+    }
+}
+
+/// The set of token kinds recognised by the lexer.
+///
+/// This covers the Verilog-2001 synthesizable subset that the PyraNet corpus
+/// generators emit and the curation pipeline must judge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (including escaped identifiers, with the backslash kept).
+    Ident(String),
+    /// A reserved keyword such as `module` or `assign`.
+    Keyword(Keyword),
+    /// An unsized decimal literal, e.g. `42`.
+    UnsizedNumber(u64),
+    /// A sized/based literal, e.g. `4'b1010`: (width, base, value, has_unknown).
+    ///
+    /// `has_unknown` is set when the literal contains `x`/`z` digits; the
+    /// two-state simulator treats those bits as zero but the parser keeps
+    /// the fact around for linting.
+    SizedNumber {
+        /// Bit width before the base marker (0 when written as `'b…`).
+        width: u16,
+        /// Numeric base: 2, 8, 10 or 16.
+        base: u8,
+        /// Value with `x`/`z` digits mapped to 0.
+        value: u64,
+        /// Whether the literal contained `x` or `z` digits.
+        has_unknown: bool,
+    },
+    /// A string literal (without the surrounding quotes).
+    StringLit(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `<=` in statement position (also the comparison operator; the parser
+    /// disambiguates by context).
+    LtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `**`
+    Power,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~^` or `^~`
+    Xnor,
+    /// `~&`
+    Nand,
+    /// `~|`
+    Nor,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    CaseEq,
+    /// `!==`
+    CaseNotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<<<`
+    AShl,
+    /// `>>>`
+    AShr,
+    /// `+:` (indexed part-select, ascending)
+    PlusColon,
+    /// `-:` (indexed part-select, descending)
+    MinusColon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::UnsizedNumber(v) => write!(f, "number `{v}`"),
+            TokenKind::SizedNumber { width, base, value, .. } => {
+                write!(f, "sized number `{width}'{base}:{value}`")
+            }
+            TokenKind::StringLit(s) => write!(f, "string {s:?}"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Hash => f.write_str("`#`"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::Question => f.write_str("`?`"),
+            TokenKind::Assign => f.write_str("`=`"),
+            TokenKind::LtEq => f.write_str("`<=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Power => f.write_str("`**`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::Tilde => f.write_str("`~`"),
+            TokenKind::Amp => f.write_str("`&`"),
+            TokenKind::Pipe => f.write_str("`|`"),
+            TokenKind::Caret => f.write_str("`^`"),
+            TokenKind::Xnor => f.write_str("`~^`"),
+            TokenKind::Nand => f.write_str("`~&`"),
+            TokenKind::Nor => f.write_str("`~|`"),
+            TokenKind::AndAnd => f.write_str("`&&`"),
+            TokenKind::OrOr => f.write_str("`||`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::NotEq => f.write_str("`!=`"),
+            TokenKind::CaseEq => f.write_str("`===`"),
+            TokenKind::CaseNotEq => f.write_str("`!==`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::GtEq => f.write_str("`>=`"),
+            TokenKind::Shl => f.write_str("`<<`"),
+            TokenKind::Shr => f.write_str("`>>`"),
+            TokenKind::AShl => f.write_str("`<<<`"),
+            TokenKind::AShr => f.write_str("`>>>`"),
+            TokenKind::PlusColon => f.write_str("`+:`"),
+            TokenKind::MinusColon => f.write_str("`-:`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words recognised by the lexer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Looks up a keyword from its source text.
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The source text of this keyword.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Module => "module",
+    Endmodule => "endmodule",
+    Input => "input",
+    Output => "output",
+    Inout => "inout",
+    Wire => "wire",
+    Reg => "reg",
+    Integer => "integer",
+    Real => "real",
+    Parameter => "parameter",
+    Localparam => "localparam",
+    Assign => "assign",
+    Always => "always",
+    Initial => "initial",
+    Begin => "begin",
+    End => "end",
+    If => "if",
+    Else => "else",
+    Case => "case",
+    Casez => "casez",
+    Casex => "casex",
+    Endcase => "endcase",
+    Default => "default",
+    For => "for",
+    While => "while",
+    Repeat => "repeat",
+    Forever => "forever",
+    Posedge => "posedge",
+    Negedge => "negedge",
+    Or => "or",
+    Signed => "signed",
+    Unsigned => "unsigned",
+    Generate => "generate",
+    Endgenerate => "endgenerate",
+    Genvar => "genvar",
+    Function => "function",
+    Endfunction => "endfunction",
+    Task => "task",
+    Endtask => "endtask",
+    Supply0 => "supply0",
+    Supply1 => "supply1",
+    Tri => "tri",
+    Wand => "wand",
+    Wor => "wor",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Module, Keyword::Endmodule, Keyword::Posedge, Keyword::Casez] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_str("adder"), None);
+        assert_eq!(Keyword::from_str(""), None);
+        assert_eq!(Keyword::from_str("Module"), None, "keywords are case-sensitive");
+    }
+
+    #[test]
+    fn token_display_is_nonempty() {
+        let kinds = [
+            TokenKind::Ident("x".into()),
+            TokenKind::UnsizedNumber(7),
+            TokenKind::SizedNumber { width: 4, base: 2, value: 10, has_unknown: false },
+            TokenKind::LtEq,
+            TokenKind::Eof,
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

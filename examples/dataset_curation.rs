@@ -1,0 +1,73 @@
+//! Dataset curation in detail: run each pipeline stage by hand, inspect
+//! the rejects, and export the curated dataset as JSON Lines — the format
+//! the released PyraNet dataset uses on HuggingFace.
+//!
+//! ```sh
+//! cargo run -p pyranet --release --example dataset_curation
+//! ```
+
+use pyranet::corpus::CorpusBuilder;
+use pyranet::pipeline::{dedup, filter, rank, Pipeline};
+use pyranet::verilog::{check_source, SyntaxVerdict};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The raw pool: a 1:2000-scale stand-in for the paper's 2.4 M scraped
+    // files + 150 k LLM generations.
+    let pool = CorpusBuilder::new(7).scraped_files(800).build();
+    println!("pooled {} raw files", pool.samples.len());
+
+    // Stage 1: empty/broken files (encoding errors, no content).
+    let (alive, rejected) = filter::filter_broken(pool.samples);
+    println!("stage 1 (empty/broken):     -{rejected}");
+
+    // Stage 2: files without a module declaration.
+    let (alive, rejected) = filter::filter_no_module(alive);
+    println!("stage 2 (module decl):      -{rejected}");
+
+    // Stage 3: Jaccard deduplication (MinHash + LSH under the hood).
+    let before = alive.len();
+    let alive = dedup::dedup(alive, 0.85);
+    println!("stage 3 (jaccard dedup):    -{}", before - alive.len());
+
+    // Stage 4: the syntax check — run last because it is the most
+    // expensive, exactly as the paper orders the stages.
+    let mut clean = 0;
+    let mut dependency = 0;
+    let mut syntax = 0;
+    for s in &alive {
+        match check_source(&s.source) {
+            SyntaxVerdict::Clean => clean += 1,
+            SyntaxVerdict::DependencyIssue { .. } => dependency += 1,
+            SyntaxVerdict::SyntaxError { .. } => syntax += 1,
+        }
+    }
+    println!("stage 4 (icarus-substitute): -{syntax} syntax errors");
+    println!("survivors: {clean} clean + {dependency} with dependency issues");
+
+    // Rank one survivor the way the judge does (Fig. 3).
+    if let Some(s) = alive.iter().find(|s| check_source(&s.source).is_clean()) {
+        let module = pyranet::verilog::parse_module(&s.source)?;
+        let r = rank::rank_sample(&module, &s.source);
+        println!("\nexample ranking — {}:", rank::render_response(r));
+        println!("{}", s.source.lines().take(4).collect::<Vec<_>>().join("\n"));
+    }
+
+    // Or just run the whole pipeline in one call and export it.
+    let pool = CorpusBuilder::new(7).scraped_files(800).build();
+    let outcome = Pipeline::new().run(pool.samples);
+    println!("\n== full pipeline ==\n{}", outcome.funnel.render());
+
+    let path = std::env::temp_dir().join("pyranet_dataset.jsonl");
+    let file = std::fs::File::create(&path)?;
+    outcome.dataset.to_jsonl(std::io::BufWriter::new(file))?;
+    println!("\nwrote {} curated samples to {}", outcome.dataset.len(), path.display());
+
+    // Round-trip to prove the artifact is self-contained.
+    let reread = pyranet::PyraNetDataset::from_jsonl(std::io::BufReader::new(
+        std::fs::File::open(&path)?,
+    ))?;
+    assert_eq!(reread.len(), outcome.dataset.len());
+    println!("re-read OK ({} samples)", reread.len());
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Fine-tune a base model three ways (baseline / PyraNet-Dataset /
+//! PyraNet-Architecture) and score each on the VerilogEval substitute —
+//! a miniature of the paper's Table I for one base model.
+//!
+//! ```sh
+//! cargo run -p pyranet --release --example finetune_and_eval
+//! ```
+
+use pyranet::eval::EvalOptions;
+use pyranet::experiment::{evaluate_model, Recipe};
+use pyranet::train::TrainConfig;
+use pyranet::{
+    BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder,
+};
+
+fn main() {
+    println!("building dataset …");
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: 800,
+        seed: 11,
+        ..BuildOptions::default()
+    })
+    .build();
+    println!("curated {} samples, layers {:?}", built.dataset.len(), built.dataset.layer_counts());
+
+    let experiment = Experiment::new(built.dataset);
+    let opts = ExperimentOptions {
+        train: TrainConfig {
+            epochs: 2,
+            max_examples_per_phase: Some(100),
+            ..TrainConfig::default()
+        },
+        eval: EvalOptions {
+            samples_per_problem: 5,
+            max_new_tokens: 120,
+            ..EvalOptions::default()
+        },
+    };
+
+    let base_cfg = ModelConfig::codellama_7b();
+    println!("pretraining base {} …", base_cfg.name);
+    let base = experiment.pretrain_base(&base_cfg, &opts);
+
+    println!(
+        "{:<48} {:>7} {:>7} {:>7} {:>7}",
+        "model", "M p@1", "M p@5", "H p@1", "H p@5"
+    );
+    for recipe in [Recipe::Baseline, Recipe::PyraNetDataset, Recipe::PyraNetArchitecture] {
+        let run = experiment.run(&base, recipe, &opts);
+        let evals = evaluate_model(&run.model, &experiment.tokenizer, &opts.eval);
+        println!(
+            "{:<48} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            run.name,
+            evals.machine.pass_at(1),
+            evals.machine.pass_at(5),
+            evals.human.pass_at(1),
+            evals.human.pass_at(5),
+        );
+        if recipe == Recipe::PyraNetArchitecture {
+            println!("\n{}", run.report.render_schedule());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a PyraNet dataset end to end and look inside it.
+//!
+//! ```sh
+//! cargo run -p pyranet --release --example quickstart
+//! ```
+
+use pyranet::{BuildOptions, Layer, PyraNetBuilder};
+
+fn main() {
+    // 1. Synthesize a noisy "scraped" pool and curate it (filters, Jaccard
+    //    dedup, syntax check, ranking, complexity labels, six layers).
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: 600,
+        seed: 42,
+        ..BuildOptions::default()
+    })
+    .build();
+
+    println!("== curation funnel ==");
+    println!("{}", built.funnel.render());
+
+    // 2. The six-layer pyramid (Fig. 1-a).
+    println!("\n== layer pyramid ==");
+    let counts = built.dataset.layer_counts();
+    for layer in Layer::ALL {
+        println!(
+            "  {layer}: {:>5} samples, loss weight {:.1}",
+            counts[layer.index() - 1],
+            layer.loss_weight()
+        );
+    }
+
+    // 3. Peek at the apex: the best-ranked samples.
+    println!("\n== a Layer 1 sample ==");
+    if let Some(best) = built.dataset.layer(Layer::L1).next() {
+        println!("rank: {}", best.rank);
+        println!("tier: {}", best.tier);
+        println!("description: {}", best.description);
+        println!("--- code ---\n{}", best.source);
+    } else {
+        println!("(no rank-20 sample in this small pool — rerun with more files)");
+    }
+
+    // 4. The curriculum order fine-tuning would follow.
+    println!("== first five curriculum entries ==");
+    for s in built.dataset.curriculum().iter().take(5) {
+        println!("  {} / {} (rank {})", s.layer, s.tier, s.rank.value());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-style invariants over real pipeline outputs (the DESIGN.md
+//! invariant list).
+
+use pyranet::pipeline::erroneous::shuffle_labels;
+use pyranet::{BuildOptions, Layer, PyraNetBuilder, PyraNetDataset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn build(seed: u64, n: usize) -> PyraNetDataset {
+    PyraNetBuilder::new(BuildOptions {
+        scraped_files: n,
+        seed,
+        llm_generation: false,
+        ..BuildOptions::default()
+    })
+    .build()
+    .dataset
+}
+
+#[test]
+fn layer_assignment_is_a_partition() {
+    for seed in [1u64, 2, 3] {
+        let ds = build(seed, 250);
+        let counts = ds.layer_counts();
+        assert_eq!(counts.iter().sum::<usize>(), ds.len(), "seed {seed}");
+        for s in ds.iter() {
+            // band membership matches the stored layer
+            let expected = Layer::assign(s.rank, s.dependency_issue);
+            assert_eq!(s.layer, expected, "sample {}", s.id);
+        }
+    }
+}
+
+#[test]
+fn rank_bands_respected_within_layers() {
+    let ds = build(5, 300);
+    for s in ds.iter() {
+        if s.dependency_issue {
+            assert_eq!(s.layer, Layer::L6);
+            continue;
+        }
+        match s.layer.rank_band() {
+            Some((lo, hi)) => {
+                assert!(
+                    (lo..=hi).contains(&s.rank.value()),
+                    "rank {} outside {:?} for {}",
+                    s.rank.value(),
+                    (lo, hi),
+                    s.layer
+                );
+            }
+            None => assert_eq!(s.rank.value(), 0),
+        }
+    }
+}
+
+#[test]
+fn curriculum_is_sorted_by_layer_then_tier() {
+    let ds = build(6, 300);
+    let order = ds.curriculum();
+    for pair in order.windows(2) {
+        let a = (pair[0].layer, pair[0].tier);
+        let b = (pair[1].layer, pair[1].tier);
+        assert!(a <= b, "curriculum out of order: {a:?} then {b:?}");
+    }
+}
+
+#[test]
+fn jsonl_round_trip_is_lossless_for_real_data() {
+    let ds = build(7, 250);
+    let mut buf = Vec::new();
+    ds.to_jsonl(&mut buf).expect("serialize");
+    let back = PyraNetDataset::from_jsonl(&buf[..]).expect("deserialize");
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn shuffling_preserves_marginals_but_breaks_joints() {
+    let ds = build(8, 300);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let bad = shuffle_labels(&ds, &mut rng);
+    assert_eq!(bad.len(), ds.len());
+    // marginal rank histogram unchanged
+    let hist = |d: &PyraNetDataset| {
+        let mut h = [0usize; 21];
+        for s in d.iter() {
+            h[s.rank.value() as usize] += 1;
+        }
+        h
+    };
+    assert_eq!(hist(&ds), hist(&bad));
+    // but the (code → rank) joint is broken for a solid majority of rows
+    let orig_rank: std::collections::HashMap<u64, u8> =
+        ds.iter().map(|s| (s.id, s.rank.value())).collect();
+    let moved = bad.iter().filter(|s| orig_rank[&s.id] != s.rank.value()).count();
+    assert!(moved * 3 > ds.len(), "only {moved}/{} rows changed rank", ds.len());
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let a = build(9, 200);
+    let b = build(9, 200);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn larger_pools_curate_more_samples() {
+    let small = build(10, 150);
+    let large = build(10, 500);
+    assert!(large.len() > small.len());
+}
+
+#[test]
+fn l1_is_never_the_largest_compilable_layer_band() {
+    // Paper Fig. 1-a: the apex (rank exactly 20) is far smaller than the
+    // L2/L3 bulk. With style-varied corpora, rank-20-perfect files are rare.
+    let ds = build(11, 600);
+    let counts = ds.layer_counts();
+    let l1 = counts[0];
+    let bulk = counts[1].max(counts[2]);
+    assert!(
+        l1 <= bulk,
+        "L1 ({l1}) should not out-size the L2/L3 bulk ({bulk}); counts {counts:?}"
+    );
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: corpus synthesis → curation → fine-tuning →
+//! evaluation, checking the qualitative shapes the paper reports.
+
+use pyranet::eval::EvalOptions;
+use pyranet::experiment::{evaluate_model, Recipe};
+use pyranet::train::TrainConfig;
+use pyranet::{BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder};
+
+fn small_experiment() -> Experiment {
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: 300,
+        seed: 77,
+        ..BuildOptions::default()
+    })
+    .build();
+    assert!(built.dataset.len() > 100, "need a usable dataset, got {}", built.dataset.len());
+    Experiment::new(built.dataset)
+}
+
+fn quick_options() -> ExperimentOptions {
+    ExperimentOptions {
+        train: TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            max_examples_per_phase: Some(40),
+            ..TrainConfig::default()
+        },
+        eval: EvalOptions {
+            samples_per_problem: 3,
+            max_new_tokens: 90,
+            temperature: 0.4,
+            ..EvalOptions::default()
+        },
+    }
+}
+
+fn small_base() -> ModelConfig {
+    ModelConfig {
+        name: "codeLlama-7B-analog".into(),
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 64,
+        max_seq: 256,
+        learning_rate: 3e-3,
+        seed: 0x7B00,
+    }
+}
+
+#[test]
+fn finetuning_beats_the_untrained_model() {
+    let experiment = small_experiment();
+    let opts = quick_options();
+    // A *completely untrained* model (no pretraining at all).
+    let raw = pyranet::model::TransformerLm::new(small_base(), experiment.tokenizer.vocab_size());
+    let raw_eval = evaluate_model(&raw, &experiment.tokenizer, &opts.eval);
+
+    let base = experiment.pretrain_base(&small_base(), &opts);
+    let tuned = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    let tuned_eval = evaluate_model(&tuned.model, &experiment.tokenizer, &opts.eval);
+
+    // The untrained model produces word salad (syntax rate ~0%); even the
+    // micro-budget fine-tune must beat it. The margin is small here because
+    // the CI-sized model/budget is a fraction of the bench scale.
+    assert!(
+        tuned_eval.machine.syntax_rate() > raw_eval.machine.syntax_rate(),
+        "tuned syntax {:.1}% vs raw {:.1}%",
+        tuned_eval.machine.syntax_rate(),
+        raw_eval.machine.syntax_rate()
+    );
+    assert!(
+        tuned_eval.machine.pass_at(3) >= raw_eval.machine.pass_at(3),
+        "tuned {:.1} vs raw {:.1}",
+        tuned_eval.machine.pass_at(3),
+        raw_eval.machine.pass_at(3)
+    );
+}
+
+#[test]
+fn machine_split_is_not_harder_than_human_for_tuned_models() {
+    // Table I: every fine-tuned model scores higher on Machine than Human
+    // (in-distribution phrasing is easier). Check the tuned model follows.
+    let experiment = small_experiment();
+    let opts = quick_options();
+    let base = experiment.pretrain_base(&small_base(), &opts);
+    let tuned = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    let e = evaluate_model(&tuned.model, &experiment.tokenizer, &opts.eval);
+    assert!(
+        e.machine.pass_at(3) >= e.human.pass_at(3),
+        "machine {:.1} vs human {:.1}",
+        e.machine.pass_at(3),
+        e.human.pass_at(3)
+    );
+}
+
+#[test]
+fn pyranet_architecture_trains_more_phases_than_sft() {
+    let experiment = small_experiment();
+    let opts = quick_options();
+    let base = experiment.pretrain_base(&small_base(), &opts);
+    let sft = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    let pyra = experiment.run(&base, Recipe::PyraNetArchitecture, &opts);
+    assert_eq!(sft.report.phases.len(), 1);
+    assert!(pyra.report.phases.len() >= 6, "one phase per populated layer×tier group");
+    // Weights follow the pyramid downwards.
+    let first = pyra.report.phases.first().expect("phases");
+    let last = pyra.report.phases.last().expect("phases");
+    assert!(first.loss_weight > last.loss_weight);
+}
+
+#[test]
+fn erroneous_dataset_degrades_training_signal() {
+    // Table IV's mechanism: with shuffled labels the description no longer
+    // predicts the code, so the conditional model cannot fit — its training
+    // loss stays higher than on the correct dataset.
+    let experiment = small_experiment();
+    let opts = ExperimentOptions {
+        train: TrainConfig {
+            epochs: 2,
+            max_examples_per_phase: Some(60),
+            ..TrainConfig::default()
+        },
+        ..quick_options()
+    };
+    let base = experiment.pretrain_base(&small_base(), &opts);
+    let good = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    let bad = experiment.run(&base, Recipe::Erroneous, &opts);
+    let good_last = good.report.phases[0].last_loss;
+    let bad_last = bad.report.phases[0].last_loss;
+    assert!(
+        bad_last > good_last,
+        "shuffled labels should be harder to fit: correct {good_last} vs erroneous {bad_last}"
+    );
+}

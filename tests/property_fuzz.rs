@@ -1,0 +1,161 @@
+//! Property-based fuzzing across the substrate boundaries: random
+//! parameters into the generators, random stimulus into paired
+//! simulations, random pools into the pipeline.
+
+use proptest::prelude::*;
+use pyranet::corpus::families::DesignFamily;
+use pyranet::corpus::gen::generate;
+use pyranet::corpus::style::StyleOptions;
+use pyranet::verilog::{check_source, parse, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any parameterisation of the width-generic families yields clean,
+    /// parseable, checkable Verilog.
+    #[test]
+    fn arbitrary_widths_generate_clean_code(
+        width in 2u32..12,
+        seed in 0u64..1_000,
+    ) {
+        let families = [
+            DesignFamily::BehavioralAdder { width },
+            DesignFamily::Comparator { width },
+            DesignFamily::Counter { width },
+            DesignFamily::ShiftRegister { width },
+            DesignFamily::Parity { width, even: seed % 2 == 0 },
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for family in families {
+            let d = generate(&family, &StyleOptions::clean(), &mut rng);
+            prop_assert!(check_source(&d.source).is_clean(), "{family:?}\n{}", d.source);
+        }
+    }
+
+    /// The behavioural adder simulates exactly like Rust integer addition
+    /// for every width and operand pair.
+    #[test]
+    fn adder_matches_rust_arithmetic(
+        width in 2u32..16,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        cin in 0u64..=1,
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = generate(
+            &DesignFamily::BehavioralAdder { width },
+            &StyleOptions::clean(),
+            &mut rng,
+        );
+        let mut sim = Simulator::from_source(&d.source, &format!("adder_{width}"))
+            .expect("build adder");
+        sim.set("a", a).expect("set");
+        sim.set("b", b).expect("set");
+        sim.set("cin", cin).expect("set");
+        let sum = sim.get("sum").expect("get").as_u64();
+        let cout = sim.get("cout").expect("get").as_u64();
+        prop_assert_eq!((cout << width) | sum, a + b + cin);
+    }
+
+    /// The comparator agrees with Rust's ordering for all operands.
+    #[test]
+    fn comparator_matches_rust_ordering(
+        width in 2u32..16,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = generate(&DesignFamily::Comparator { width }, &StyleOptions::clean(), &mut rng);
+        let mut sim = Simulator::from_source(&d.source, &format!("comparator_{width}"))
+            .expect("build comparator");
+        sim.set("a", a).expect("set");
+        sim.set("b", b).expect("set");
+        prop_assert_eq!(sim.get("lt").expect("get").as_u64(), u64::from(a < b));
+        prop_assert_eq!(sim.get("eq").expect("get").as_u64(), u64::from(a == b));
+        prop_assert_eq!(sim.get("gt").expect("get").as_u64(), u64::from(a > b));
+    }
+
+    /// A counter clocked n times from reset reads n mod 2^width.
+    #[test]
+    fn counter_counts_any_number_of_cycles(
+        width in 2u32..10,
+        cycles in 0usize..40,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = generate(&DesignFamily::Counter { width }, &StyleOptions::clean(), &mut rng);
+        let mut sim = Simulator::from_source(&d.source, &format!("counter_{width}"))
+            .expect("build counter");
+        sim.set("rst", 1).expect("set");
+        sim.clock("clk").expect("clock");
+        sim.set("rst", 0).expect("set");
+        sim.set("en", 1).expect("set");
+        for _ in 0..cycles {
+            sim.clock("clk").expect("clock");
+        }
+        let mask = (1u64 << width) - 1;
+        prop_assert_eq!(sim.get("count").expect("get").as_u64(), cycles as u64 & mask);
+    }
+
+    /// Pretty-print round trip holds for every generated design at any
+    /// seed/style combination.
+    #[test]
+    fn print_parse_roundtrip_under_random_styles(
+        seed in 0u64..500,
+        sloppiness in 0.0f64..1.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let catalog = DesignFamily::catalog();
+        let family = &catalog[(seed as usize) % catalog.len()];
+        let style = StyleOptions::sampled(sloppiness, &mut rng);
+        let d = generate(family, &style, &mut rng);
+        let mut original = parse(&d.source).expect("parse");
+        let printed = pyranet::verilog::pretty::print_file(&original);
+        let mut reparsed = parse(&printed).expect("reparse");
+        original.strip_lines();
+        reparsed.strip_lines();
+        prop_assert_eq!(original, reparsed);
+    }
+
+    /// The ranking judge is deterministic and bounded for arbitrary
+    /// generated samples.
+    #[test]
+    fn rank_is_deterministic_and_bounded(seed in 0u64..500, sloppiness in 0.0f64..1.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let catalog = DesignFamily::catalog();
+        let family = &catalog[(seed as usize) % catalog.len()];
+        let style = StyleOptions::sampled(sloppiness, &mut rng);
+        let d = generate(family, &style, &mut rng);
+        let module = pyranet::verilog::parse_module(&d.source).expect("parse");
+        let r1 = pyranet::pipeline::rank::rank_sample(&module, &d.source);
+        let r2 = pyranet::pipeline::rank::rank_sample(&module, &d.source);
+        prop_assert_eq!(r1, r2);
+        prop_assert!(r1.value() >= 1 && r1.value() <= 20);
+    }
+
+    /// MinHash/LSH dedup never removes both members down to zero and never
+    /// keeps exact duplicates at threshold < 1.
+    #[test]
+    fn dedup_properties_on_random_pools(seed in 0u64..200, n in 2usize..30) {
+        use pyranet::corpus::{Origin, RawSample, TruthLabel};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let catalog = DesignFamily::catalog();
+        let mut pool = Vec::new();
+        for i in 0..n {
+            let family = &catalog[(seed as usize + i) % 7];
+            let d = generate(family, &StyleOptions::clean(), &mut rng);
+            pool.push(RawSample::new(i as u64, d.source, "", Origin::Scraped, TruthLabel::Clean));
+        }
+        // duplicate the first entry verbatim
+        let dup = RawSample::new(999, pool[0].source.clone(), "", Origin::Scraped, TruthLabel::Duplicate);
+        pool.push(dup);
+        let out = pyranet::pipeline::dedup::dedup(pool, 0.95);
+        prop_assert!(!out.is_empty());
+        prop_assert!(!out.iter().any(|s| s.id == 999), "verbatim duplicate must be removed");
+    }
+}
