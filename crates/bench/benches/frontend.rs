@@ -68,8 +68,7 @@ fn bench_lint_and_metrics(c: &mut Criterion) {
 
 fn bench_simulation(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(12);
-    let counter =
-        generate(&DesignFamily::Counter { width: 8 }, &StyleOptions::clean(), &mut rng);
+    let counter = generate(&DesignFamily::Counter { width: 8 }, &StyleOptions::clean(), &mut rng);
     c.bench_function("sim_counter_100_cycles", |b| {
         b.iter(|| {
             let mut sim = Simulator::from_source(&counter.source, "counter_8").expect("build");

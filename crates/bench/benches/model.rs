@@ -48,18 +48,14 @@ fn bench_generation(c: &mut Criterion) {
     g.throughput(Throughput::Elements(tokens));
     g.bench_function("kv_cached_64_tokens", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        b.iter(|| {
-            std::hint::black_box(lm.generate(&prompt, tokens as usize, &opts, &mut rng))
-        })
+        b.iter(|| std::hint::black_box(lm.generate(&prompt, tokens as usize, &opts, &mut rng)))
     });
     g.finish();
 }
 
 fn bench_nll(c: &mut Criterion) {
     let (lm, _tk, exs) = setup();
-    c.bench_function("nll_forward_only", |b| {
-        b.iter(|| std::hint::black_box(lm.nll(&exs[0])))
-    });
+    c.bench_function("nll_forward_only", |b| b.iter(|| std::hint::black_box(lm.nll(&exs[0]))));
 }
 
 criterion_group! {

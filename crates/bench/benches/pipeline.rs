@@ -42,21 +42,32 @@ fn bench_ranking(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     c.bench_function("pipeline_200_files", |b| {
         b.iter_with_setup(
-            || {
-                CorpusBuilder::new(33)
-                    .scraped_files(200)
-                    .llm_generation(false)
-                    .build()
-                    .samples
-            },
+            || CorpusBuilder::new(33).scraped_files(200).llm_generation(false).build().samples,
             |pool| std::hint::black_box(Pipeline::new().run(pool)),
         )
     });
 }
 
+fn bench_thread_sweep(c: &mut Criterion) {
+    // Thread-count sweep over the full curation pipeline. Outputs are
+    // identical at every point of the sweep (see tests/determinism.rs);
+    // only wall time may differ, and only on multi-core hosts.
+    let pool = CorpusBuilder::new(34).scraped_files(400).llm_generation(false).build();
+    let mut g = c.benchmark_group("pipeline_threads");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("curate_400", threads), &threads, |b, &t| {
+            b.iter_with_setup(
+                || pool.samples.clone(),
+                |p| std::hint::black_box(Pipeline::new().threads(t).run(p)),
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dedup, bench_ranking, bench_end_to_end
+    targets = bench_dedup, bench_ranking, bench_end_to_end, bench_thread_sweep
 }
 criterion_main!(benches);

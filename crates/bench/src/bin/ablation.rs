@@ -34,10 +34,7 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(
-            "ABLATION — loss weighting and curriculum, separately and combined",
-            &rows
-        )
+        format_table("ABLATION — loss weighting and curriculum, separately and combined", &rows)
     );
     eprintln!("[ablation] total {:.1?}", t0.elapsed());
 }

@@ -19,13 +19,7 @@ fn main() {
             None => "dependency issues / rank 0".to_owned(),
         };
         let bar_len = (n * 48).div_ceil(max).max(usize::from(n > 0));
-        println!(
-            "  {:<8} {:<28} {:>7}  |{}",
-            layer.to_string(),
-            band,
-            n,
-            "#".repeat(bar_len)
-        );
+        println!("  {:<8} {:<28} {:>7}  |{}", layer.to_string(), band, n, "#".repeat(bar_len));
     }
     println!();
     println!(

@@ -17,10 +17,18 @@ fn main() {
         println!("    {:<28} {}", p.id, truncate(&p.description, 70));
     }
     println!();
-    println!("  estimator sanity: n=10, c=3 -> pass@1 {:.3}, pass@5 {:.3}, pass@10 {:.3}",
-        pass_at_k(10, 3, 1), pass_at_k(10, 3, 5), pass_at_k(10, 3, 10));
+    println!(
+        "  estimator sanity: n=10, c=3 -> pass@1 {:.3}, pass@5 {:.3}, pass@10 {:.3}",
+        pass_at_k(10, 3, 1),
+        pass_at_k(10, 3, 5),
+        pass_at_k(10, 3, 10)
+    );
 }
 
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n { s.to_owned() } else { format!("{}…", &s[..n]) }
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n])
+    }
 }

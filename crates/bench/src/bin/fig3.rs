@@ -22,8 +22,5 @@ fn main() {
     // and missing comments, which the paper's example keeps.
     let clean = "// Half adder.\nmodule half_adder(\n  input a,\n  input b,\n  output sum,\n  output cout\n);\n  assign sum = a ^ b; // xor\n  assign cout = a & b;\nendmodule\n";
     let m2 = pyranet::verilog::parse_module(clean).expect("clean sample parses");
-    println!(
-        "(style-clean variant scores: {})",
-        render_response(rank_sample(&m2, clean))
-    );
+    println!("(style-clean variant scores: {})", render_response(rank_sample(&m2, clean)));
 }

@@ -11,26 +11,13 @@ use pyranet::{BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetB
 use rand::SeedableRng;
 
 fn main() {
-    let scraped: usize = std::env::var("PROBE_FILES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
-    let cap: usize = std::env::var("PROBE_CAP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(80);
-    let epochs: usize = std::env::var("PROBE_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-    let lr: f32 = std::env::var("PROBE_LR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3e-3);
-    let lora: i64 = std::env::var("PROBE_LORA")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
+    let scraped: usize =
+        std::env::var("PROBE_FILES").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
+    let cap: usize = std::env::var("PROBE_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
+    let epochs: usize =
+        std::env::var("PROBE_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let lr: f32 = std::env::var("PROBE_LR").ok().and_then(|v| v.parse().ok()).unwrap_or(3e-3);
+    let lora: i64 = std::env::var("PROBE_LORA").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
 
     let built = PyraNetBuilder::new(BuildOptions {
         scraped_files: scraped,
@@ -48,7 +35,7 @@ fn main() {
             batch_size: 8,
             learning_rate: lr,
             max_examples_per_phase: Some(cap),
-            lora: (lora > 0).then(|| pyranet::model::lora::LoraConfig {
+            lora: (lora > 0).then_some(pyranet::model::lora::LoraConfig {
                 rank: lora as usize,
                 alpha: 2.0 * lora as f32,
             }),
@@ -64,7 +51,10 @@ fn main() {
     let run = experiment.run(&base, Recipe::PyraNetDataset, &opts);
     eprintln!("finetune: {:.1?}", t.elapsed());
     for p in &run.report.phases {
-        eprintln!("  phase {}: loss {:.3} -> {:.3} ({} ex)", p.name, p.first_loss, p.last_loss, p.examples);
+        eprintln!(
+            "  phase {}: loss {:.3} -> {:.3} ({} ex)",
+            p.name, p.first_loss, p.last_loss, p.examples
+        );
     }
 
     let temp: f32 = std::env::var("PROBE_TEMP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.3);

@@ -65,7 +65,10 @@ fn main() {
 
     println!(
         "{}",
-        format_table("TABLE I — PyraNet vs SOTA models on the VerilogEval substitute", &results.rows)
+        format_table(
+            "TABLE I — PyraNet vs SOTA models on the VerilogEval substitute",
+            &results.rows
+        )
     );
     match save_table1(&results) {
         Ok(path) => eprintln!("[table1] cached results at {}", path.display()),

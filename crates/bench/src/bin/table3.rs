@@ -7,14 +7,7 @@
 use pyranet_bench::{load_table1, Table1Results};
 
 fn gain(a: &[f64; 6], b: &[f64; 6]) -> [f64; 6] {
-    [
-        a[0] - b[0],
-        a[1] - b[1],
-        a[2] - b[2],
-        a[3] - b[3],
-        a[4] - b[4],
-        a[5] - b[5],
-    ]
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3], a[4] - b[4], a[5] - b[5]]
 }
 
 fn print_row(label: &str, vs: &str, g: &[f64; 6]) {
@@ -43,16 +36,40 @@ fn main() {
     let pairs = [
         ("codeLlama-7B-analog PyraNet-Dataset", "codeLlama-7B-analog (baseline)", "vs Baseline"),
         ("codeLlama-7B-analog PyraNet-Dataset", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
-        ("codeLlama-7B-analog PyraNet-Architecture", "codeLlama-7B-analog (baseline)", "vs Baseline"),
-        ("codeLlama-7B-analog PyraNet-Architecture", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
+        (
+            "codeLlama-7B-analog PyraNet-Architecture",
+            "codeLlama-7B-analog (baseline)",
+            "vs Baseline",
+        ),
+        (
+            "codeLlama-7B-analog PyraNet-Architecture",
+            "MG-Verilog-CodeLlama-7B [23]",
+            "vs MG-Verilog",
+        ),
         ("codeLlama-13B-analog PyraNet-Dataset", "codeLlama-13B-analog (baseline)", "vs Baseline"),
         ("codeLlama-13B-analog PyraNet-Dataset", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
-        ("codeLlama-13B-analog PyraNet-Architecture", "codeLlama-13B-analog (baseline)", "vs Baseline"),
-        ("codeLlama-13B-analog PyraNet-Architecture", "MG-Verilog-CodeLlama-7B [23]", "vs MG-Verilog"),
-        ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "DeepSeek-Coder-7B-analog (baseline)", "vs Baseline"),
+        (
+            "codeLlama-13B-analog PyraNet-Architecture",
+            "codeLlama-13B-analog (baseline)",
+            "vs Baseline",
+        ),
+        (
+            "codeLlama-13B-analog PyraNet-Architecture",
+            "MG-Verilog-CodeLlama-7B [23]",
+            "vs MG-Verilog",
+        ),
+        (
+            "DeepSeek-Coder-7B-analog PyraNet-Dataset",
+            "DeepSeek-Coder-7B-analog (baseline)",
+            "vs Baseline",
+        ),
         ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "RTLCoder-DeepSeek [18]", "vs RTL-Coder"),
         ("DeepSeek-Coder-7B-analog PyraNet-Dataset", "OriGen-DeepSeek [22]", "vs OriGen"),
-        ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "DeepSeek-Coder-7B-analog (baseline)", "vs Baseline"),
+        (
+            "DeepSeek-Coder-7B-analog PyraNet-Architecture",
+            "DeepSeek-Coder-7B-analog (baseline)",
+            "vs Baseline",
+        ),
         ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "RTLCoder-DeepSeek [18]", "vs RTL-Coder"),
         ("DeepSeek-Coder-7B-analog PyraNet-Architecture", "OriGen-DeepSeek [22]", "vs OriGen"),
     ];

@@ -8,7 +8,7 @@
 //! pyranet rank <file.v>           # 0–20 quality rank + findings
 //! pyranet complexity <file.v>     # Basic/Intermediate/Advanced/Expert
 //! pyranet sim <file.v> <top> ...  # drive a module interactively
-//! pyranet build-dataset [--files N] [--seed S] [--out F.jsonl]
+//! pyranet build-dataset [--files N] [--seed S] [--threads T] [--out F.jsonl]
 //! pyranet stats <dataset.jsonl>   # layer pyramid of a built dataset
 //! ```
 
@@ -48,7 +48,7 @@ fn print_usage() {
         "pyranet — PyraNet dataset toolchain\n\n\
          USAGE:\n  pyranet check <file.v>\n  pyranet rank <file.v>\n  \
          pyranet complexity <file.v>\n  pyranet sim <file.v> <top> [name=value]... [--clock clk] [--cycles N]\n  \
-         pyranet build-dataset [--files N] [--seed S] [--out dataset.jsonl]\n  \
+         pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
          pyranet stats <dataset.jsonl>"
     );
 }
@@ -63,7 +63,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     match check_source(&src) {
         SyntaxVerdict::Clean => println!("{path}: clean"),
         SyntaxVerdict::DependencyIssue { missing_modules } => {
-            println!("{path}: compiles with dependency issues (missing: {})", missing_modules.join(", "));
+            println!(
+                "{path}: compiles with dependency issues (missing: {})",
+                missing_modules.join(", ")
+            );
         }
         SyntaxVerdict::SyntaxError { line, message } => {
             println!("{path}:{line}: syntax error: {message}");
@@ -149,15 +152,31 @@ fn parse_value(s: &str) -> Result<u64, String> {
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut files = 1200usize;
     let mut seed = BuildOptions::default().seed;
+    let mut threads = 0usize;
     let mut out = "pyranet_dataset.jsonl".to_owned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--files" => {
-                files = it.next().ok_or("--files needs a number")?.parse().map_err(|e| format!("{e}"))?;
+                files = it
+                    .next()
+                    .ok_or("--files needs a number")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--seed" => {
-                seed = it.next().ok_or("--seed needs a number")?.parse().map_err(|e| format!("{e}"))?;
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -166,6 +185,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let built = PyraNetBuilder::new(BuildOptions {
         scraped_files: files,
         seed,
+        threads,
         ..BuildOptions::default()
     })
     .build();

@@ -108,11 +108,8 @@ impl Experiment {
     /// the evaluation prompts (a real subword tokenizer covers English; a
     /// word-level one must be given the words).
     pub fn new(dataset: PyraNetDataset) -> Experiment {
-        let eval_texts: Vec<String> = machine_split()
-            .into_iter()
-            .chain(human_split())
-            .map(|p| p.description)
-            .collect();
+        let eval_texts: Vec<String> =
+            machine_split().into_iter().chain(human_split()).map(|p| p.description).collect();
         let tokenizer = {
             let mut texts: Vec<&str> = vec!["Interface:"];
             for s in dataset.iter() {
@@ -140,12 +137,7 @@ impl Experiment {
     }
 
     /// Runs one recipe on a clone of `base`.
-    pub fn run(
-        &self,
-        base: &TransformerLm,
-        recipe: Recipe,
-        opts: &ExperimentOptions,
-    ) -> RecipeRun {
+    pub fn run(&self, base: &TransformerLm, recipe: Recipe, opts: &ExperimentOptions) -> RecipeRun {
         let mut model = base.clone();
         let tk = &self.tokenizer;
         let report = match recipe {
@@ -155,18 +147,14 @@ impl Experiment {
                 PyraNetTrainer::run(&mut model, tk, &self.dataset, &opts.train)
             }
             Recipe::MgVerilog => MgVerilog::run(&mut model, tk, &self.dataset, &opts.train),
-            Recipe::RtlCoder => {
-                RtlCoder::default().run(&mut model, tk, &self.dataset, &opts.train)
-            }
+            Recipe::RtlCoder => RtlCoder::default().run(&mut model, tk, &self.dataset, &opts.train),
             Recipe::OriGen => OriGen::default().run(&mut model, tk, &self.dataset, &opts.train),
             Recipe::Erroneous => {
                 let mut rng = ChaCha8Rng::seed_from_u64(opts.train.seed ^ 0xBAD);
                 let shuffled = pyranet_pipeline::erroneous::shuffle_labels(&self.dataset, &mut rng);
                 SftTrainer::run(&mut model, tk, &shuffled, &opts.train)
             }
-            Recipe::WeightingOnly => {
-                WeightingOnly::run(&mut model, tk, &self.dataset, &opts.train)
-            }
+            Recipe::WeightingOnly => WeightingOnly::run(&mut model, tk, &self.dataset, &opts.train),
             Recipe::CurriculumOnly => {
                 CurriculumOnly::run(&mut model, tk, &self.dataset, &opts.train)
             }
@@ -249,9 +237,8 @@ mod tests {
         assert!(pyra.report.phases.len() > plain.report.phases.len(), "layer×tier phases");
         // distinct fine-tunes must change weights differently
         let probe = {
-            let (ids, code_start) = exp
-                .tokenizer
-                .encode_pair("a counter", "module counter ( input clk ) ; endmodule");
+            let (ids, code_start) =
+                exp.tokenizer.encode_pair("a counter", "module counter ( input clk ) ; endmodule");
             pyranet_model::transformer::TrainExample { ids, code_start, weight: 1.0 }
         };
         let a = plain.model.nll(&probe).unwrap();

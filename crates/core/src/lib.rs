@@ -65,6 +65,10 @@ pub struct BuildOptions {
     pub llm_generation: bool,
     /// Jaccard dedup threshold.
     pub jaccard_threshold: f64,
+    /// Worker threads for the corpus and curation hot paths (`0` = auto,
+    /// honouring the `PYRANET_THREADS` environment variable). Outputs are
+    /// identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for BuildOptions {
@@ -74,6 +78,7 @@ impl Default for BuildOptions {
             seed: 0xDAC_2025,
             llm_generation: true,
             jaccard_threshold: 0.85,
+            threads: 0,
         }
     }
 }
@@ -106,10 +111,12 @@ impl PyraNetBuilder {
         let pool = CorpusBuilder::new(self.options.seed)
             .scraped_files(self.options.scraped_files)
             .llm_generation(self.options.llm_generation)
+            .threads(self.options.threads)
             .build();
         let gen_funnel = pool.gen_funnel;
         let outcome = Pipeline::new()
             .jaccard_threshold(self.options.jaccard_threshold)
+            .threads(self.options.threads)
             .run(pool.samples);
         Built { dataset: outcome.dataset, funnel: outcome.funnel, gen_funnel }
     }
@@ -136,7 +143,12 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let opts = BuildOptions { scraped_files: 100, seed: 9, llm_generation: false, ..BuildOptions::default() };
+        let opts = BuildOptions {
+            scraped_files: 100,
+            seed: 9,
+            llm_generation: false,
+            ..BuildOptions::default()
+        };
         let a = PyraNetBuilder::new(opts.clone()).build();
         let b = PyraNetBuilder::new(opts).build();
         assert_eq!(a.dataset, b.dataset);

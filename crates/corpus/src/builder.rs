@@ -13,6 +13,7 @@ use crate::llmgen;
 use crate::sample::{Origin, RawSample, TruthLabel};
 use crate::style::StyleOptions;
 use crate::DesignFamily;
+use pyranet_exec::{par_map, stream_seed, ExecConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,12 +55,48 @@ pub struct CorpusBuilder {
     scraped: usize,
     mix: PoolMix,
     with_llm_generation: bool,
+    threads: usize,
 }
+
+/// What sample index `i` will become; decided by a cheap sequential
+/// planning pass so the expensive generation can fan out in parallel.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    Broken,
+    /// Copies sample `donor` (always an earlier clean/sloppy index).
+    Duplicate {
+        donor: usize,
+        prefix_comment: bool,
+    },
+    Syntax {
+        family: usize,
+    },
+    Dependency {
+        family: usize,
+    },
+    Sloppy {
+        family: usize,
+    },
+    Clean {
+        family: usize,
+    },
+}
+
+/// Stream tags separating the builder's independent RNG domains.
+const STREAM_PLAN: u64 = 0x504C_414E; // "PLAN"
+const STREAM_GEN: u64 = 0x4745_4E45; // "GENE"
+const STREAM_LLM: u64 = 0x4C4C_4D47; // "LLMG"
 
 impl CorpusBuilder {
     /// Creates a builder with the paper-shaped default mix.
     pub fn new(seed: u64) -> CorpusBuilder {
-        CorpusBuilder { seed, scraped: 2400, mix: PoolMix::default(), with_llm_generation: true }
+        CorpusBuilder {
+            seed,
+            scraped: 2400,
+            mix: PoolMix::default(),
+            with_llm_generation: true,
+            threads: 0,
+        }
     }
 
     /// Sets the number of scraped files (paper scale / 1000 by default).
@@ -80,74 +117,152 @@ impl CorpusBuilder {
         self
     }
 
+    /// Sets the worker-thread count for sample generation (`0` = auto).
+    /// The pool is identical at any value.
+    pub fn threads(mut self, threads: usize) -> CorpusBuilder {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the pool.
+    ///
+    /// Three phases keep the output independent of the thread count:
+    /// a sequential *plan* pass (category, family, donor choices — the
+    /// only cross-sample state is the donor bank), a parallel *generate*
+    /// pass where sample `i` draws from its own RNG stream
+    /// `stream_seed(seed, i)`, and a sequential *fill* pass that copies
+    /// duplicate sources from their (already generated) donors.
     pub fn build(&self) -> CorpusPool {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let catalog = DesignFamily::catalog();
-        let mut samples: Vec<RawSample> = Vec::with_capacity(self.scraped + 1024);
-        let mut id = 0u64;
-        // Pre-generate a bank of clean designs to duplicate from.
-        let mut dup_bank: Vec<RawSample> = Vec::new();
-        for _ in 0..self.scraped {
-            let family = &catalog[rng.random_range(0..catalog.len())];
+        let plan_master = stream_seed(self.seed, STREAM_PLAN);
+        let gen_master = stream_seed(self.seed, STREAM_GEN);
+
+        // Phase A: plan. Duplicates can only copy an earlier clean/sloppy
+        // sample, so donor eligibility is the one sequential dependency.
+        let mut plans: Vec<Plan> = Vec::with_capacity(self.scraped);
+        let mut donors: Vec<usize> = Vec::new();
+        for i in 0..self.scraped {
+            let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(plan_master, i as u64));
+            let family = rng.random_range(0..catalog.len());
             let roll: f64 = rng.random();
             let m = &self.mix;
-            let sample = if roll < m.broken {
-                RawSample::new(id, defect::broken_file(&mut rng), "", Origin::Scraped, TruthLabel::EmptyOrBinary)
-            } else if roll < m.broken + m.duplicates && !dup_bank.is_empty() {
+            let plan = if roll < m.broken {
+                Plan::Broken
+            } else if roll < m.broken + m.duplicates && !donors.is_empty() {
                 // duplicate an earlier sample, sometimes with cosmetic noise
-                let donor = &dup_bank[rng.random_range(0..dup_bank.len())];
-                let source = if rng.random::<f64>() < 0.5 {
-                    format!("// copied file\n{}", donor.source)
-                } else {
-                    donor.source.clone()
-                };
-                RawSample::new(id, source, donor.description.clone(), Origin::Scraped, TruthLabel::Duplicate)
+                let donor = donors[rng.random_range(0..donors.len())];
+                Plan::Duplicate { donor, prefix_comment: rng.random::<f64>() < 0.5 }
             } else if roll < m.broken + m.duplicates + m.syntax_errors {
-                let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
-                let d = generate(family, &style, &mut rng);
-                RawSample::new(
-                    id,
-                    defect::inject_syntax_error(&d.source, &mut rng),
-                    d.description,
-                    Origin::Scraped,
-                    TruthLabel::SyntaxBroken,
-                )
+                Plan::Syntax { family }
             } else if roll < m.broken + m.duplicates + m.syntax_errors + m.dependency_issues {
-                let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
-                let d = generate(family, &style, &mut rng);
-                RawSample::new(
-                    id,
-                    defect::inject_dependency_issue(&d.source, &mut rng),
-                    d.description,
-                    Origin::Scraped,
-                    TruthLabel::DependencyBroken,
-                )
+                Plan::Dependency { family }
             } else if roll
                 < m.broken + m.duplicates + m.syntax_errors + m.dependency_issues + m.sloppy
             {
-                let style = StyleOptions::sampled(0.5 + rng.random::<f64>() * 0.5, &mut rng);
-                let d = generate(family, &style, &mut rng);
-                let source = defect::degrade_text(&d.source, rng.random::<f64>(), &mut rng);
-                let s = RawSample::new(id, source, d.description, Origin::Scraped, TruthLabel::Sloppy);
-                dup_bank.push(s.clone());
-                s
+                donors.push(i);
+                Plan::Sloppy { family }
             } else {
-                // "Clean" scraped files still carry mild style variation —
-                // textbook-perfect (rank 20) files are rare in the wild,
-                // which is what keeps the paper's Layer 1 tiny.
-                let style = StyleOptions::sampled(0.3 + rng.random::<f64>() * 0.45, &mut rng);
-                let d = generate(family, &style, &mut rng);
-                let s = RawSample::new(id, d.source, d.description, Origin::Scraped, TruthLabel::Clean);
-                dup_bank.push(s.clone());
-                s
+                donors.push(i);
+                Plan::Clean { family }
             };
-            samples.push(sample);
-            id += 1;
+            plans.push(plan);
         }
+
+        // Phase B: generate all non-duplicates, one isolated RNG stream
+        // per sample index.
+        let exec = ExecConfig::new().threads(self.threads);
+        let indexed: Vec<(usize, Plan)> = plans.iter().copied().enumerate().collect();
+        let catalog_ref = &catalog;
+        let mut generated: Vec<Option<RawSample>> = par_map(&exec, indexed, |(i, plan)| {
+            let id = i as u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(gen_master, i as u64));
+            match plan {
+                Plan::Duplicate { .. } => None,
+                Plan::Broken => Some(RawSample::new(
+                    id,
+                    defect::broken_file(&mut rng),
+                    "",
+                    Origin::Scraped,
+                    TruthLabel::EmptyOrBinary,
+                )),
+                Plan::Syntax { family } => {
+                    let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
+                    let d = generate(&catalog_ref[family], &style, &mut rng);
+                    Some(RawSample::new(
+                        id,
+                        defect::inject_syntax_error(&d.source, &mut rng),
+                        d.description,
+                        Origin::Scraped,
+                        TruthLabel::SyntaxBroken,
+                    ))
+                }
+                Plan::Dependency { family } => {
+                    let style = StyleOptions::sampled(rng.random::<f64>() * 0.6, &mut rng);
+                    let d = generate(&catalog_ref[family], &style, &mut rng);
+                    Some(RawSample::new(
+                        id,
+                        defect::inject_dependency_issue(&d.source, &mut rng),
+                        d.description,
+                        Origin::Scraped,
+                        TruthLabel::DependencyBroken,
+                    ))
+                }
+                Plan::Sloppy { family } => {
+                    let style = StyleOptions::sampled(0.5 + rng.random::<f64>() * 0.5, &mut rng);
+                    let d = generate(&catalog_ref[family], &style, &mut rng);
+                    let source = defect::degrade_text(&d.source, rng.random::<f64>(), &mut rng);
+                    Some(RawSample::new(
+                        id,
+                        source,
+                        d.description,
+                        Origin::Scraped,
+                        TruthLabel::Sloppy,
+                    ))
+                }
+                Plan::Clean { family } => {
+                    // "Clean" scraped files still carry mild style variation —
+                    // textbook-perfect (rank 20) files are rare in the wild,
+                    // which is what keeps the paper's Layer 1 tiny.
+                    let style = StyleOptions::sampled(0.3 + rng.random::<f64>() * 0.45, &mut rng);
+                    let d = generate(&catalog_ref[family], &style, &mut rng);
+                    Some(RawSample::new(
+                        id,
+                        d.source,
+                        d.description,
+                        Origin::Scraped,
+                        TruthLabel::Clean,
+                    ))
+                }
+            }
+        });
+
+        // Phase C: fill duplicates from their donors (donors are never
+        // themselves duplicates, so every donor slot is populated).
+        for (i, plan) in plans.iter().enumerate() {
+            if let Plan::Duplicate { donor, prefix_comment } = *plan {
+                let donor_sample = generated[donor].as_ref().expect("donor was generated");
+                let source = if prefix_comment {
+                    format!("// copied file\n{}", donor_sample.source)
+                } else {
+                    donor_sample.source.clone()
+                };
+                let description = donor_sample.description.clone();
+                generated[i] = Some(RawSample::new(
+                    i as u64,
+                    source,
+                    description,
+                    Origin::Scraped,
+                    TruthLabel::Duplicate,
+                ));
+            }
+        }
+        let mut samples: Vec<RawSample> =
+            generated.into_iter().map(|s| s.expect("every plan filled")).collect();
+
         let mut gen_funnel = llmgen::GenFunnel::default();
         if self.with_llm_generation {
-            let (responses, funnel) = llmgen::run_generation(&mut rng, id);
+            let mut llm_rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, STREAM_LLM));
+            let (responses, funnel) = llmgen::run_generation(&mut llm_rng, self.scraped as u64);
             gen_funnel = funnel;
             samples.extend(responses.into_iter().map(|r| r.sample));
         }

@@ -90,8 +90,7 @@ pub fn apply_syntax_defect(source: &str, defect: SyntaxDefect) -> String {
 /// Appends an instantiation of a module that does not exist in the file,
 /// producing the paper's "dependency issue" class.
 pub fn inject_dependency_issue<R: Rng>(source: &str, rng: &mut R) -> String {
-    let phantoms =
-        ["clk_gate_cell", "vendor_sram_macro", "pll_wrapper", "pad_buffer", "scan_mux"];
+    let phantoms = ["clk_gate_cell", "vendor_sram_macro", "pll_wrapper", "pad_buffer", "scan_mux"];
     let phantom = phantoms[rng.random_range(0..phantoms.len())];
     match source.rfind("endmodule") {
         Some(pos) => {

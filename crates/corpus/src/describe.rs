@@ -15,11 +15,7 @@ use rand::Rng;
 ///
 /// The `ports` role map lets descriptions mention concrete port names, the
 /// way a human-written spec would.
-pub fn describe<R: Rng>(
-    family: &DesignFamily,
-    ports: &[(String, String)],
-    rng: &mut R,
-) -> String {
+pub fn describe<R: Rng>(family: &DesignFamily, ports: &[(String, String)], rng: &mut R) -> String {
     let opening = match rng.random_range(0..4) {
         0 => "Write a Verilog module that implements",
         1 => "Implement",
@@ -32,11 +28,7 @@ pub fn describe<R: Rng>(
 }
 
 fn port_name<'p>(ports: &'p [(String, String)], role: &'p str) -> &'p str {
-    ports
-        .iter()
-        .find(|(r, _)| r == role)
-        .map(|(_, n)| n.as_str())
-        .unwrap_or(role)
+    ports.iter().find(|(r, _)| r == role).map(|(_, n)| n.as_str()).unwrap_or(role)
 }
 
 fn body_text(family: &DesignFamily, ports: &[(String, String)]) -> String {
@@ -180,9 +172,8 @@ mod tests {
     #[test]
     fn descriptions_vary_in_phrasing() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let set: std::collections::HashSet<String> = (0..20)
-            .map(|_| describe(&DesignFamily::HalfAdder, &[], &mut rng))
-            .collect();
+        let set: std::collections::HashSet<String> =
+            (0..20).map(|_| describe(&DesignFamily::HalfAdder, &[], &mut rng)).collect();
         assert!(set.len() >= 2, "phrasing should vary, got {set:?}");
     }
 

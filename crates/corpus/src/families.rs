@@ -175,17 +175,36 @@ impl DesignFamily {
     pub fn category(&self) -> Category {
         use DesignFamily::*;
         match self {
-            HalfAdder | FullAdder | RippleCarryAdder { .. } | BehavioralAdder { .. }
-            | AddSub { .. } | Multiplier { .. } | Comparator { .. } | Mux { .. }
-            | Decoder { .. } | PriorityEncoder { .. } | Parity { .. } | Alu { .. }
+            HalfAdder
+            | FullAdder
+            | RippleCarryAdder { .. }
+            | BehavioralAdder { .. }
+            | AddSub { .. }
+            | Multiplier { .. }
+            | Comparator { .. }
+            | Mux { .. }
+            | Decoder { .. }
+            | PriorityEncoder { .. }
+            | Parity { .. }
+            | Alu { .. }
             | BinToGray { .. } => Category::Combinational,
             BarrelShifter { .. } | SevenSeg | Majority => Category::Combinational,
-            Counter { .. } | UpDownCounter { .. } | ModCounter { .. } | Dff
-            | ShiftRegister { .. } | Lfsr { .. } | EdgeDetector | GrayCounter { .. }
-            | SequenceDetector { .. } | Ram { .. } | RegFile { .. } | JohnsonCounter { .. }
-            | RingCounter { .. } | BcdCounter | Fifo { .. } | SaturatingCounter { .. } => {
-                Category::Sequential
-            }
+            Counter { .. }
+            | UpDownCounter { .. }
+            | ModCounter { .. }
+            | Dff
+            | ShiftRegister { .. }
+            | Lfsr { .. }
+            | EdgeDetector
+            | GrayCounter { .. }
+            | SequenceDetector { .. }
+            | Ram { .. }
+            | RegFile { .. }
+            | JohnsonCounter { .. }
+            | RingCounter { .. }
+            | BcdCounter
+            | Fifo { .. }
+            | SaturatingCounter { .. } => Category::Sequential,
         }
     }
 
@@ -217,8 +236,7 @@ impl DesignFamily {
             GrayCounter { width } => format!("gray_counter_{width}"),
             BinToGray { width } => format!("bin_to_gray_{width}"),
             SequenceDetector { pattern } => {
-                let bits: String =
-                    pattern.iter().map(|b| if *b { '1' } else { '0' }).collect();
+                let bits: String = pattern.iter().map(|b| if *b { '1' } else { '0' }).collect();
                 format!("seq_detector_{bits}")
             }
             Ram { addr_width, data_width } => format!("ram_{addr_width}x{data_width}"),
@@ -240,7 +258,10 @@ impl DesignFamily {
     pub fn base_keyword(&self) -> &'static str {
         use DesignFamily::*;
         match self {
-            HalfAdder | FullAdder | RippleCarryAdder { .. } | BehavioralAdder { .. }
+            HalfAdder
+            | FullAdder
+            | RippleCarryAdder { .. }
+            | BehavioralAdder { .. }
             | AddSub { .. } => "adder",
             Multiplier { .. } => "multiplier",
             Comparator { .. } => "comparator",
@@ -258,8 +279,9 @@ impl DesignFamily {
             SequenceDetector { .. } => "fsm",
             Ram { .. } | RegFile { .. } | Fifo { .. } => "memory",
             BarrelShifter { .. } => "shift register",
-            JohnsonCounter { .. } | RingCounter { .. } | BcdCounter
-            | SaturatingCounter { .. } => "counter",
+            JohnsonCounter { .. } | RingCounter { .. } | BcdCounter | SaturatingCounter { .. } => {
+                "counter"
+            }
             SevenSeg => "decoder",
             Majority => "parity",
         }
@@ -300,7 +322,12 @@ impl DesignFamily {
         for w in [3u32, 4, 5, 7, 8] {
             out.push(Lfsr { width: w });
         }
-        for pat in [[true, false, true].as_slice(), &[true, true, false, true], &[false, true, true], &[true, false, false, true, true]] {
+        for pat in [
+            [true, false, true].as_slice(),
+            &[true, true, false, true],
+            &[false, true, true],
+            &[true, false, false, true, true],
+        ] {
             out.push(SequenceDetector { pattern: pat.to_vec() });
         }
         for (a, d) in [(2u32, 4u32), (3, 8), (4, 8), (5, 16)] {

@@ -67,11 +67,7 @@ pub(crate) fn ripple_carry_adder(width: u32, style: &StyleOptions) -> Rendered {
     let name = format!("ripple_carry_adder_{width}");
     let hi = width - 1;
     let mut s = String::new();
-    header(
-        &mut s,
-        style,
-        &format!("{width}-bit ripple-carry adder built from full-adder cells."),
-    );
+    header(&mut s, style, &format!("{width}-bit ripple-carry adder built from full-adder cells."));
     let _ = writeln!(
         s,
         "module {name}(input [{hi}:0] {a}, input [{hi}:0] {b}, input {cin}, output [{hi}:0] {sum}, output {cout});"
@@ -145,18 +141,22 @@ pub(crate) fn addsub(width: u32, style: &StyleOptions) -> Rendered {
     let res = style.naming.port("result");
     let hi = width - 1;
     let mut s = String::new();
-    header(
-        &mut s,
-        style,
-        &format!("{width}-bit adder/subtractor: mode 0 adds, mode 1 subtracts."),
-    );
+    header(&mut s, style, &format!("{width}-bit adder/subtractor: mode 0 adds, mode 1 subtracts."));
     let _ = writeln!(
         s,
         "module addsub_{width}(input [{hi}:0] {a}, input [{hi}:0] {b}, input mode, output [{hi}:0] {res});"
     );
     let _ = writeln!(s, "  wire [{hi}:0] b_eff;");
-    let _ = writeln!(s, "  assign b_eff = mode ? ~{b} : {b};{}", inline(style, "invert for subtraction"));
-    let _ = writeln!(s, "  assign {res} = {a} + b_eff + mode;{}", inline(style, "two's complement add"));
+    let _ = writeln!(
+        s,
+        "  assign b_eff = mode ? ~{b} : {b};{}",
+        inline(style, "invert for subtraction")
+    );
+    let _ = writeln!(
+        s,
+        "  assign {res} = {a} + b_eff + mode;{}",
+        inline(style, "two's complement add")
+    );
     s.push_str("endmodule\n");
     Rendered {
         source: s,
@@ -185,11 +185,7 @@ pub(crate) fn multiplier(width: u32, style: &StyleOptions) -> Rendered {
     s.push_str("endmodule\n");
     Rendered {
         source: s,
-        ports: vec![
-            ("operand_a".into(), a),
-            ("operand_b".into(), b),
-            ("product".into(), p),
-        ],
+        ports: vec![("operand_a".into(), a), ("operand_b".into(), b), ("product".into(), p)],
     }
 }
 
@@ -246,8 +242,8 @@ mod tests {
                     sim.set("a", a).unwrap();
                     sim.set("b", b).unwrap();
                     sim.set("cin", cin).unwrap();
-                    let got = (sim.get("cout").unwrap().as_u64() << 4)
-                        | sim.get("sum").unwrap().as_u64();
+                    let got =
+                        (sim.get("cout").unwrap().as_u64() << 4) | sim.get("sum").unwrap().as_u64();
                     assert_eq!(got, a + b + cin);
                 }
             }

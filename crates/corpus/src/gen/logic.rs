@@ -52,10 +52,8 @@ pub(crate) fn decoder(width: u32, style: &StyleOptions) -> Rendered {
     header(&mut s, style, &format!("{width}-to-{n} binary decoder with enable."));
     let inhi = width - 1;
     let outhi = n - 1;
-    let _ = writeln!(
-        s,
-        "module {name}(input [{inhi}:0] addr, input {en}, output [{outhi}:0] {y});"
-    );
+    let _ =
+        writeln!(s, "module {name}(input [{inhi}:0] addr, input {en}, output [{outhi}:0] {y});");
     let one = lit(style, n, 1);
     let _ = writeln!(
         s,
@@ -66,11 +64,7 @@ pub(crate) fn decoder(width: u32, style: &StyleOptions) -> Rendered {
     s.push_str("endmodule\n");
     Rendered {
         source: s,
-        ports: vec![
-            ("addr".into(), "addr".into()),
-            ("enable".into(), en),
-            ("result".into(), y),
-        ],
+        ports: vec![("addr".into(), "addr".into()), ("enable".into(), en), ("result".into(), y)],
     }
 }
 
@@ -95,7 +89,11 @@ pub(crate) fn priority_encoder(width: u32, style: &StyleOptions) -> Rendered {
     let _ = writeln!(s, "  always @* begin");
     let _ = writeln!(s, "    {y} = {};", lit(style, width, 0));
     let _ = writeln!(s, "    for (i = 0; i < {n}; i = i + 1) begin");
-    let _ = writeln!(s, "      if (req[i]) {y} = i[{outhi}:0];{}", inline(style, "later iterations take priority"));
+    let _ = writeln!(
+        s,
+        "      if (req[i]) {y} = i[{outhi}:0];{}",
+        inline(style, "later iterations take priority")
+    );
     let _ = writeln!(s, "    end");
     let _ = writeln!(s, "  end");
     s.push_str("endmodule\n");
@@ -118,15 +116,16 @@ pub(crate) fn parity(width: u32, even: bool, style: &StyleOptions) -> Rendered {
     header(&mut s, style, &format!("{kind} parity generator over a {width}-bit word."));
     let _ = writeln!(s, "module {name}(input [{hi}:0] data, output {y});");
     if even {
-        let _ = writeln!(s, "  assign {y} = ^data;{}", inline(style, "xor-reduce: 1 when odd number of ones"));
+        let _ = writeln!(
+            s,
+            "  assign {y} = ^data;{}",
+            inline(style, "xor-reduce: 1 when odd number of ones")
+        );
     } else {
         let _ = writeln!(s, "  assign {y} = ~^data;");
     }
     s.push_str("endmodule\n");
-    Rendered {
-        source: s,
-        ports: vec![("data".into(), "data".into()), ("result".into(), y)],
-    }
+    Rendered { source: s, ports: vec![("data".into(), "data".into()), ("result".into(), y)] }
 }
 
 pub(crate) fn alu(width: u32, style: &StyleOptions) -> Rendered {
@@ -196,12 +195,10 @@ pub(crate) fn bin_to_gray(width: u32, style: &StyleOptions) -> Rendered {
     let mut s = String::new();
     header(&mut s, style, &format!("{width}-bit binary to Gray code converter."));
     let _ = writeln!(s, "module {name}(input [{hi}:0] bin, output [{hi}:0] {y});");
-    let _ = writeln!(s, "  assign {y} = bin ^ (bin >> 1);{}", inline(style, "classic gray encoding"));
+    let _ =
+        writeln!(s, "  assign {y} = bin ^ (bin >> 1);{}", inline(style, "classic gray encoding"));
     s.push_str("endmodule\n");
-    Rendered {
-        source: s,
-        ports: vec![("bin".into(), "bin".into()), ("result".into(), y)],
-    }
+    Rendered { source: s, ports: vec![("bin".into(), "bin".into()), ("result".into(), y)] }
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ pub(crate) fn ram(addr_width: u32, data_width: u32, style: &StyleOptions) -> Ren
     header(
         &mut s,
         style,
-        &format!("Single-port synchronous RAM: {words} words of {data_width} bits, read-after-write."),
+        &format!(
+            "Single-port synchronous RAM: {words} words of {data_width} bits, read-after-write."
+        ),
     );
     let _ = writeln!(
         s,

@@ -101,10 +101,7 @@ pub(crate) fn bcd_counter(style: &StyleOptions) -> Rendered {
     let _ = writeln!(s, "    if ({rst}) begin ones <= {zero}; tens <= {zero}; end");
     let _ = writeln!(s, "    else if (ones == {nine}) begin");
     let _ = writeln!(s, "      ones <= {zero};");
-    let _ = writeln!(
-        s,
-        "      if (tens == {nine}) tens <= {zero}; else tens <= tens + {one};"
-    );
+    let _ = writeln!(s, "      if (tens == {nine}) tens <= {zero}; else tens <= tens + {one};");
     let _ = writeln!(s, "    end else ones <= ones + {one};");
     let _ = writeln!(s, "  end");
     s.push_str("endmodule\n");

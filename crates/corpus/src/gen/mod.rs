@@ -183,11 +183,7 @@ mod tests {
         for family in DesignFamily::catalog() {
             let style = StyleOptions::sampled(1.0, &mut rng);
             let d = generate(&family, &style, &mut rng);
-            assert!(
-                check_source(&d.source).is_compilable(),
-                "{family:?}:\n{}",
-                d.source
-            );
+            assert!(check_source(&d.source).is_compilable(), "{family:?}:\n{}", d.source);
         }
     }
 
@@ -236,9 +232,6 @@ mod tests {
             let s = generate(&family, &style, &mut rng);
             sloppy_total += pyranet_verilog::lint::lint_module(&s.module, &s.source).penalty();
         }
-        assert!(
-            sloppy_total > clean_total + 5.0,
-            "sloppy={sloppy_total} clean={clean_total}"
-        );
+        assert!(sloppy_total > clean_total + 5.0, "sloppy={sloppy_total} clean={clean_total}");
     }
 }

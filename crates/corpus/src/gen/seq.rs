@@ -51,10 +51,8 @@ pub(crate) fn updown_counter(width: u32, style: &StyleOptions) -> Rendered {
     let op = nb(style);
     let mut s = String::new();
     header(&mut s, style, &format!("{width}-bit up/down counter: up=1 counts up, else down."));
-    let _ = writeln!(
-        s,
-        "module {name}(input {clk}, input {rst}, input up, output reg [{hi}:0] {q});"
-    );
+    let _ =
+        writeln!(s, "module {name}(input {clk}, input {rst}, input up, output reg [{hi}:0] {q});");
     let _ = writeln!(s, "  always @(posedge {clk}) begin");
     let _ = writeln!(s, "    if ({rst}) {q} {op} {};", lit(style, width, 0));
     let _ = writeln!(s, "    else if (up) {q} {op} {q} + {};", lit(style, width, 1));
@@ -81,15 +79,9 @@ pub(crate) fn mod_counter(modulus: u32, style: &StyleOptions) -> Rendered {
     let hi = width - 1;
     let op = nb(style);
     let mut s = String::new();
-    header(
-        &mut s,
-        style,
-        &format!("Modulo-{modulus} counter with terminal count output tc."),
-    );
-    let _ = writeln!(
-        s,
-        "module {name}(input {clk}, input {rst}, output reg [{hi}:0] {q}, output tc);"
-    );
+    header(&mut s, style, &format!("Modulo-{modulus} counter with terminal count output tc."));
+    let _ =
+        writeln!(s, "module {name}(input {clk}, input {rst}, output reg [{hi}:0] {q}, output tc);");
     let last = lit(style, width, u64::from(modulus - 1));
     let _ = writeln!(s, "  assign tc = {q} == {last};");
     let _ = writeln!(s, "  always @(posedge {clk}) begin");
@@ -206,7 +198,11 @@ pub(crate) fn lfsr(width: u32, style: &StyleOptions) -> Rendered {
     );
     let _ = writeln!(s, "module {name}(input {clk}, input {rst}, output reg [{hi}:0] {q});");
     let _ = writeln!(s, "  wire fb;");
-    let _ = writeln!(s, "  assign fb = {q}[{t1}] ~^ {q}[{t2}];{}", inline(style, "xnor feedback avoids lock-up at zero"));
+    let _ = writeln!(
+        s,
+        "  assign fb = {q}[{t1}] ~^ {q}[{t2}];{}",
+        inline(style, "xnor feedback avoids lock-up at zero")
+    );
     let _ = writeln!(s, "  always @(posedge {clk}) begin");
     let _ = writeln!(s, "    if ({rst}) {q} <= {};", lit(style, width, 0));
     let _ = writeln!(s, "    else {q} <= {{{q}[{}:0], fb}};", hi - 1);
@@ -214,11 +210,7 @@ pub(crate) fn lfsr(width: u32, style: &StyleOptions) -> Rendered {
     s.push_str("endmodule\n");
     Rendered {
         source: s,
-        ports: vec![
-            ("clock".into(), clk),
-            ("reset".into(), rst),
-            ("data_out".into(), q),
-        ],
+        ports: vec![("clock".into(), clk), ("reset".into(), rst), ("data_out".into(), q)],
     }
 }
 
@@ -226,11 +218,12 @@ pub(crate) fn edge_detector(style: &StyleOptions) -> Rendered {
     let (clk, rst) = clk_rst(style);
     let d = style.naming.port("data_in");
     let mut s = String::new();
-    header(&mut s, style, "Rising-edge detector: pulse output for one cycle after 0->1 on the input.");
-    let _ = writeln!(
-        s,
-        "module edge_detector(input {clk}, input {rst}, input {d}, output pulse);"
+    header(
+        &mut s,
+        style,
+        "Rising-edge detector: pulse output for one cycle after 0->1 on the input.",
     );
+    let _ = writeln!(s, "module edge_detector(input {clk}, input {rst}, input {d}, output pulse);");
     let _ = writeln!(s, "  reg prev;");
     let _ = writeln!(s, "  assign pulse = {d} & ~prev;");
     let _ = writeln!(s, "  always @(posedge {clk}) begin");
@@ -255,11 +248,7 @@ pub(crate) fn gray_counter(width: u32, style: &StyleOptions) -> Rendered {
     let name = format!("gray_counter_{width}");
     let hi = width - 1;
     let mut s = String::new();
-    header(
-        &mut s,
-        style,
-        &format!("{width}-bit Gray-code counter (binary core, gray output)."),
-    );
+    header(&mut s, style, &format!("{width}-bit Gray-code counter (binary core, gray output)."));
     let _ = writeln!(s, "module {name}(input {clk}, input {rst}, output [{hi}:0] {q});");
     let _ = writeln!(s, "  reg [{hi}:0] bin;");
     let _ = writeln!(s, "  assign {q} = bin ^ (bin >> 1);");
@@ -270,11 +259,7 @@ pub(crate) fn gray_counter(width: u32, style: &StyleOptions) -> Rendered {
     s.push_str("endmodule\n");
     Rendered {
         source: s,
-        ports: vec![
-            ("clock".into(), clk),
-            ("reset".into(), rst),
-            ("count".into(), q),
-        ],
+        ports: vec![("clock".into(), clk), ("reset".into(), rst), ("count".into(), q)],
     }
 }
 
@@ -294,10 +279,7 @@ pub(crate) fn sequence_detector(pattern: &[bool], style: &StyleOptions) -> Rende
         style,
         &format!("Detects the bit sequence {bits} (MSB first, overlapping) on a serial input."),
     );
-    let _ = writeln!(
-        s,
-        "module {name}(input {clk}, input {rst}, input {x}, output hit);"
-    );
+    let _ = writeln!(s, "module {name}(input {clk}, input {rst}, input {x}, output hit);");
     let hi = n - 1;
     let _ = writeln!(s, "  reg [{hi}:0] window;");
     let patval: u64 = pattern.iter().fold(0, |acc, b| (acc << 1) | u64::from(*b));

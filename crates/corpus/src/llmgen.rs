@@ -66,12 +66,7 @@ pub fn run_generation<R: Rng>(rng: &mut R, start_id: u64) -> (Vec<LlmResponse>, 
 }
 
 /// One pseudo-LLM query at a given temperature.
-pub fn query<R: Rng>(
-    kw: &ExpandedKeyword,
-    temperature: f64,
-    id: u64,
-    rng: &mut R,
-) -> LlmResponse {
+pub fn query<R: Rng>(kw: &ExpandedKeyword, temperature: f64, id: u64, rng: &mut R) -> LlmResponse {
     let prompt = craft_prompt(kw);
     // Temperature drives style sloppiness sub-linearly (even a hot model
     // mostly emits working code); the 0.2 floor models the residual drift a

@@ -4,6 +4,7 @@
 use crate::passk::pass_at_k;
 use crate::problems::{Problem, Split};
 use crate::testbench::check_functional;
+use pyranet_exec::{par_map, stream_seed_str, ExecConfig};
 use pyranet_model::{SampleOptions, Tokenizer, TransformerLm};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -21,8 +22,12 @@ pub struct EvalOptions {
     pub max_new_tokens: usize,
     /// Sampling temperature.
     pub temperature: f32,
-    /// RNG seed.
+    /// RNG seed. Each problem derives its own sampling stream from
+    /// `(seed, problem id)`, so results are independent of problem order
+    /// and of the executor's thread count.
     pub seed: u64,
+    /// Worker threads for the per-problem fan-out (`0` = auto).
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -33,6 +38,7 @@ impl Default for EvalOptions {
             max_new_tokens: 160,
             temperature: 0.5,
             seed: 0xEA_11,
+            threads: 0,
         }
     }
 }
@@ -93,16 +99,18 @@ pub fn evaluate(
     problems: &[Problem],
     opts: &EvalOptions,
 ) -> EvalResult {
-    let split_name = problems
-        .first()
-        .map(|p| p.split.to_string())
-        .unwrap_or_else(|| Split::Machine.to_string());
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let mut out = Vec::with_capacity(problems.len());
-    for problem in problems {
+    let split_name =
+        problems.first().map(|p| p.split.to_string()).unwrap_or_else(|| Split::Machine.to_string());
+    // Problems are independent: each derives its sampling RNG from
+    // (seed, problem id), so the fan-out is a pure per-problem map and
+    // pass@k is identical at any thread count — and under any problem
+    // ordering.
+    let exec = ExecConfig::new().threads(opts.threads);
+    let out = par_map(&exec, problems.iter().collect(), |problem: &Problem| {
         // VerilogEval hands the model the module header and scores the body
         // completion; we do the same — the header tokens are forced as a
         // generation prefix and prepended to the decoded candidate.
+        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed_str(opts.seed, &problem.id));
         let header = problem.header();
         let header_ids = tk.encode(&header);
         let mut prompt = tk.encode_prompt(&problem.prompt());
@@ -118,10 +126,8 @@ pub fn evaluate(
             } else {
                 0.0
             };
-            let sample_opts = SampleOptions {
-                temperature: 0.05 + frac * opts.temperature,
-                top_k: 0,
-            };
+            let sample_opts =
+                SampleOptions { temperature: 0.05 + frac * opts.temperature, top_k: 0 };
             let body = lm.generate(&prompt, opts.max_new_tokens, &sample_opts, &mut rng);
             let mut ids = header_ids.clone();
             ids.extend_from_slice(&body);
@@ -133,13 +139,13 @@ pub fn evaluate(
                 passed += 1;
             }
         }
-        out.push(ProblemResult {
+        ProblemResult {
             id: problem.id.clone(),
             n: opts.samples_per_problem,
             passed,
             syntactically_valid: valid,
-        });
-    }
+        }
+    });
     EvalResult { split_name, problems: out, ks: opts.ks.clone() }
 }
 
@@ -194,9 +200,7 @@ mod tests {
         // A fresh random model emits garbage; the harness must survive and
         // report ~0 without panicking.
         let tk = pyranet_model::Tokenizer::build(
-            ["module m ( input a , output y ) ; assign y = a ; endmodule"]
-                .iter()
-                .copied(),
+            ["module m ( input a , output y ) ; assign y = a ; endmodule"].iter().copied(),
             1,
         );
         let cfg = pyranet_model::ModelConfig {
@@ -211,11 +215,8 @@ mod tests {
         };
         let lm = pyranet_model::TransformerLm::new(cfg, tk.vocab_size());
         let problems: Vec<_> = machine_split().into_iter().take(2).collect();
-        let opts = EvalOptions {
-            samples_per_problem: 2,
-            max_new_tokens: 24,
-            ..EvalOptions::default()
-        };
+        let opts =
+            EvalOptions { samples_per_problem: 2, max_new_tokens: 24, ..EvalOptions::default() };
         let r = evaluate(&lm, &tk, &problems, &opts);
         assert_eq!(r.problems.len(), 2);
         assert!(r.pass_at(1) < 50.0, "random model should not pass");

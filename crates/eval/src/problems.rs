@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn splits_cover_same_families() {
-        let m: Vec<String> =
-            machine_split().iter().map(|p| p.family.module_name()).collect();
+        let m: Vec<String> = machine_split().iter().map(|p| p.family.module_name()).collect();
         let h: Vec<String> = human_split().iter().map(|p| p.family.module_name()).collect();
         assert_eq!(m, h, "both splits evaluate the same circuits");
         assert_eq!(m.len(), 20);
@@ -174,11 +173,8 @@ mod tests {
 
     #[test]
     fn ids_are_unique_and_prefixed() {
-        let mut all: Vec<String> = machine_split()
-            .into_iter()
-            .chain(human_split())
-            .map(|p| p.id)
-            .collect();
+        let mut all: Vec<String> =
+            machine_split().into_iter().chain(human_split()).map(|p| p.id).collect();
         let n = all.len();
         all.sort();
         all.dedup();

@@ -70,11 +70,7 @@ fn classify(src: &str, sequential: bool) -> Result<(Interface, String), String> 
     let module = file.modules.first().ok_or("no module")?;
     let mut iface = Interface { clock: None, reset: None, inputs: Vec::new(), outputs: Vec::new() };
     for p in &module.ports {
-        let width = p
-            .range
-            .as_ref()
-            .and_then(|r| const_range_width(r))
-            .unwrap_or(1);
+        let width = p.range.as_ref().and_then(const_range_width).unwrap_or(1);
         match p.dir {
             PortDir::Input => {
                 if sequential && iface.clock.is_none() && is_clock_name(&p.name) {
@@ -138,9 +134,7 @@ pub fn check_functional(candidate_src: &str, family: &DesignFamily) -> Functiona
             cand_iface.inputs.len()
         ));
     }
-    for (i, ((_, gw), (cn, cw))) in
-        gold_iface.inputs.iter().zip(&cand_iface.inputs).enumerate()
-    {
+    for (i, ((_, gw), (cn, cw))) in gold_iface.inputs.iter().zip(&cand_iface.inputs).enumerate() {
         if gw != cw {
             return FunctionalVerdict::InterfaceMismatch(format!(
                 "input {i} (`{cn}`) is {cw} bits, expected {gw}"
@@ -222,9 +216,7 @@ pub fn check_functional(candidate_src: &str, family: &DesignFamily) -> Functiona
                 }
             }
         }
-        for (o, (gn, cn)) in
-            gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate()
-        {
+        for (o, (gn, cn)) in gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate() {
             let gv = match gold.get(gn) {
                 Ok(v) => v,
                 Err(e) => return FunctionalVerdict::BuildFailure(format!("golden read: {e}")),

@@ -49,7 +49,13 @@ pub struct Adapter {
 
 impl Adapter {
     /// Creates an adapter for a `[d_in, d_out]` base weight.
-    pub fn new<R: Rng>(target: usize, d_in: usize, d_out: usize, cfg: &LoraConfig, rng: &mut R) -> Adapter {
+    pub fn new<R: Rng>(
+        target: usize,
+        d_in: usize,
+        d_out: usize,
+        cfg: &LoraConfig,
+        rng: &mut R,
+    ) -> Adapter {
         let a = Matrix::new(
             d_in,
             cfg.rank,

@@ -23,17 +23,14 @@ pub fn sample_logits<R: Rng>(logits: &[f32], opts: &SampleOptions, rng: &mut R) 
     if opts.temperature <= 0.0 {
         return argmax(logits);
     }
-    let mut indexed: Vec<(usize, f32)> =
-        logits.iter().copied().enumerate().collect();
+    let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
     if opts.top_k > 0 && opts.top_k < indexed.len() {
         indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
         indexed.truncate(opts.top_k);
     }
     let max = indexed.iter().map(|(_, v)| *v).fold(f32::NEG_INFINITY, f32::max);
-    let mut weights: Vec<f32> = indexed
-        .iter()
-        .map(|(_, v)| ((v - max) / opts.temperature).exp())
-        .collect();
+    let mut weights: Vec<f32> =
+        indexed.iter().map(|(_, v)| ((v - max) / opts.temperature).exp()).collect();
     let total: f32 = weights.iter().sum();
     for w in weights.iter_mut() {
         *w /= total;
@@ -79,9 +76,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let logits = vec![0.0, 5.0, 0.0];
         let opts = SampleOptions { temperature: 0.2, top_k: 0 };
-        let hits = (0..200)
-            .filter(|_| sample_logits(&logits, &opts, &mut rng) == 1)
-            .count();
+        let hits = (0..200).filter(|_| sample_logits(&logits, &opts, &mut rng) == 1).count();
         assert!(hits > 190, "got {hits}/200");
     }
 

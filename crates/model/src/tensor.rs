@@ -252,8 +252,8 @@ impl Graph {
             let mean = row.iter().sum::<f32>() / v.cols as f32;
             let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.cols as f32;
             let rstd = 1.0 / (var + 1e-5).sqrt();
-            for c in 0..v.cols {
-                out.data[r * v.cols + c] = (row[c] - mean) * rstd;
+            for (c, &x) in row.iter().enumerate() {
+                out.data[r * v.cols + c] = (x - mean) * rstd;
             }
             stats.push((mean, rstd));
         }
@@ -271,8 +271,8 @@ impl Graph {
             let row = &v.data[r * v.cols..r * v.cols + limit];
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut denom = 0.0f32;
-            for c in 0..limit {
-                let e = (row[c] - max).exp();
+            for (c, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
                 out.data[r * v.cols + c] = e;
                 denom += e;
             }
@@ -355,8 +355,8 @@ impl Graph {
             let row = &v.data[r * v.cols..(r + 1) * v.cols];
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut denom = 0.0f32;
-            for c in 0..v.cols {
-                let e = (row[c] - max).exp();
+            for (c, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
                 probs.data[r * v.cols + c] = e;
                 denom += e;
             }
@@ -535,17 +535,14 @@ impl Graph {
                 let av = self.nodes[a.0].value.clone();
                 let mut da = Matrix::zeros(av.rows, av.cols);
                 let n = av.cols as f32;
-                for r in 0..av.rows {
-                    let (mean, rstd) = stats[r];
+                for (r, &(mean, rstd)) in stats.iter().enumerate() {
                     let xs = &av.data[r * av.cols..(r + 1) * av.cols];
                     let gs = &grad.data[r * av.cols..(r + 1) * av.cols];
                     let sum_g: f32 = gs.iter().sum();
-                    let sum_gx: f32 =
-                        gs.iter().zip(xs).map(|(g, x)| g * (x - mean) * rstd).sum();
+                    let sum_gx: f32 = gs.iter().zip(xs).map(|(g, x)| g * (x - mean) * rstd).sum();
                     for c in 0..av.cols {
                         let xhat = (xs[c] - mean) * rstd;
-                        da.data[r * av.cols + c] =
-                            rstd * (gs[c] - sum_g / n - xhat * sum_gx / n);
+                        da.data[r * av.cols + c] = rstd * (gs[c] - sum_g / n - xhat * sum_gx / n);
                     }
                 }
                 self.accumulate(a, da);
@@ -809,10 +806,7 @@ mod tests {
         let (_, analytic) = run(&table);
         for idx in [2usize, 3, 6, 7] {
             let fd = finite_diff(&table, idx, |t| run(t).0);
-            assert!(
-                (analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
-                "table[{idx}]"
-            );
+            assert!((analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()), "table[{idx}]");
         }
         // rows never gathered get zero grad
         assert_eq!(analytic.data[0], 0.0);
@@ -835,10 +829,7 @@ mod tests {
         let (_, analytic) = run(&w);
         for idx in [0usize, 4, 9, 11] {
             let fd = finite_diff(&w, idx, |w| run(w).0);
-            assert!(
-                (analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
-                "w[{idx}]"
-            );
+            assert!((analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()), "w[{idx}]");
         }
     }
 

@@ -65,8 +65,20 @@ pub fn split_tokens(text: &str) -> Vec<&str> {
             } else if let Some(t) = two.filter(|t| {
                 matches!(
                     *t,
-                    "<<" | ">>" | "<=" | ">=" | "==" | "!=" | "&&" | "||" | "~^" | "^~" | "~&"
-                        | "~|" | "**" | "+:" | "-:"
+                    "<<" | ">>"
+                        | "<="
+                        | ">="
+                        | "=="
+                        | "!="
+                        | "&&"
+                        | "||"
+                        | "~^"
+                        | "^~"
+                        | "~&"
+                        | "~|"
+                        | "**"
+                        | "+:"
+                        | "-:"
                 )
             }) {
                 out.push(t);
@@ -107,10 +119,7 @@ impl Tokenizer {
 
     /// Encodes text to ids (no specials added).
     pub fn encode(&self, text: &str) -> Vec<usize> {
-        split_tokens(text)
-            .into_iter()
-            .map(|t| self.vocab.get(t).copied().unwrap_or(UNK))
-            .collect()
+        split_tokens(text).into_iter().map(|t| self.vocab.get(t).copied().unwrap_or(UNK)).collect()
     }
 
     /// Encodes a (description, code) pair as

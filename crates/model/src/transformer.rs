@@ -208,11 +208,7 @@ impl TransformerLm {
 
     /// Builds the forward graph up to logits for `ids`; returns the logits
     /// node and the trainable map.
-    fn forward(
-        &self,
-        g: &mut Graph,
-        ids: &[usize],
-    ) -> (TensorId, Vec<(TrainKey, TensorId)>) {
+    fn forward(&self, g: &mut Graph, ids: &[usize]) -> (TensorId, Vec<(TrainKey, TensorId)>) {
         let mut trainables = Vec::new();
         let len = ids.len().min(self.cfg.max_seq);
         let ids = &ids[..len];
@@ -342,20 +338,14 @@ impl TransformerLm {
                 TrainKey::Base(i) => &mut self.params[*i],
                 TrainKey::LoraA(t) => {
                     let s = self.lora.as_mut().expect("lora mode");
-                    let ad = s
-                        .adapters
-                        .iter_mut()
-                        .find(|a| a.target == *t)
-                        .expect("adapter exists");
+                    let ad =
+                        s.adapters.iter_mut().find(|a| a.target == *t).expect("adapter exists");
                     &mut ad.a
                 }
                 TrainKey::LoraB(t) => {
                     let s = self.lora.as_mut().expect("lora mode");
-                    let ad = s
-                        .adapters
-                        .iter_mut()
-                        .find(|a| a.target == *t)
-                        .expect("adapter exists");
+                    let ad =
+                        s.adapters.iter_mut().find(|a| a.target == *t).expect("adapter exists");
                     &mut ad.b
                 }
             };
@@ -363,8 +353,7 @@ impl TransformerLm {
         }
         // SAFETY: the keys are unique (HashMap origin), so the raw pointers
         // alias distinct matrices; we reborrow them mutably exactly once.
-        let mut borrowed: Vec<&mut Matrix> =
-            refs.into_iter().map(|p| unsafe { &mut *p }).collect();
+        let mut borrowed: Vec<&mut Matrix> = refs.into_iter().map(|p| unsafe { &mut *p }).collect();
         opt.step(&mut borrowed[..], grads);
     }
 
@@ -417,9 +406,8 @@ impl TransformerLm {
                 next
             };
             // x = tok[id] + pos[t]
-            let mut x: Vec<f32> = (0..d)
-                .map(|c| tok.data[id * d + c] + pos.data[t * d + c])
-                .collect();
+            let mut x: Vec<f32> =
+                (0..d).map(|c| tok.data[id * d + c] + pos.data[t * d + c]).collect();
             for (li, _) in self.layers.iter().enumerate() {
                 let xn = ln_vec(&x);
                 let q = vec_mat(&xn, &wq[li]);
@@ -541,7 +529,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tokenizer::{Tokenizer, EOS, SEP};
+    use crate::tokenizer::{Tokenizer, EOS};
 
     fn tiny_cfg() -> ModelConfig {
         ModelConfig {
@@ -559,8 +547,14 @@ mod tests {
     fn toy_examples(tk: &Tokenizer) -> Vec<TrainExample> {
         let pairs = [
             ("an inverter", "module inv ( input a , output y ) ; assign y = ~ a ; endmodule"),
-            ("an and gate", "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule"),
-            ("an or gate", "module org ( input a , input b , output y ) ; assign y = a | b ; endmodule"),
+            (
+                "an and gate",
+                "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule",
+            ),
+            (
+                "an or gate",
+                "module org ( input a , input b , output y ) ; assign y = a | b ; endmodule",
+            ),
         ];
         pairs
             .iter()
@@ -573,7 +567,9 @@ mod tests {
 
     fn toy_tokenizer() -> Tokenizer {
         let corpus = [
-            "an inverter", "an and gate", "an or gate",
+            "an inverter",
+            "an and gate",
+            "an or gate",
             "module inv ( input a , output y ) ; assign y = ~ a ; endmodule",
             "module andg ( input a , input b , output y ) ; assign y = a & b ; endmodule",
             "module org ( input a , input b , output y ) ; assign y = a | b ; endmodule",
@@ -707,7 +703,7 @@ mod tests {
         let out = lm.generate(&prompt, 10, &opts, &mut rng);
         assert!(out.len() <= 10);
         assert!(!out.contains(&EOS));
-        assert!(!out.contains(&SEP) || true, "sep may appear from an untrained model");
+        // SEP may legitimately appear in output from an untrained model.
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! the banding parameters and tested against brute force below).
 
 use pyranet_corpus::RawSample;
-use std::collections::{HashMap, HashSet};
+use pyranet_exec::{par_map, ExecConfig};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Number of MinHash permutations.
@@ -103,34 +104,52 @@ pub fn minhash(shingles: &HashSet<u64>) -> [u64; NUM_HASHES] {
 /// each duplicate cluster. Pairs flagged by LSH banding are verified with
 /// exact Jaccard before removal.
 pub fn dedup(pool: Vec<RawSample>, threshold: f64) -> Vec<RawSample> {
-    let sets: Vec<HashSet<u64>> = pool.iter().map(|s| shingles(&s.source)).collect();
-    let sigs: Vec<[u64; NUM_HASHES]> = sets.iter().map(minhash).collect();
+    dedup_with(pool, threshold, &ExecConfig::new())
+}
+
+/// [`dedup`] with an explicit executor configuration.
+///
+/// Shingling and MinHash signature computation — the dominant cost — are
+/// per-sample pure functions and run through [`par_map`]; the LSH banding
+/// and verification sweep stays sequential, preserving the
+/// earliest-representative-wins semantics exactly. The survivor set is
+/// therefore identical at any thread count.
+pub fn dedup_with(pool: Vec<RawSample>, threshold: f64, exec: &ExecConfig) -> Vec<RawSample> {
+    let sources: Vec<&str> = pool.iter().map(|s| s.source.as_str()).collect();
+    let per_sample: Vec<(HashSet<u64>, [u64; NUM_HASHES])> = par_map(exec, sources, |src| {
+        let set = shingles(src);
+        let sig = minhash(&set);
+        (set, sig)
+    });
+    let (sets, sigs): (Vec<HashSet<u64>>, Vec<[u64; NUM_HASHES]>) = per_sample.into_iter().unzip();
+    // Collect every banding candidate pair, then verify them in ascending
+    // (i, j) order — the exact sweep order of the naive algorithm. Bucket
+    // iteration order (a per-process `HashMap` artifact) therefore cannot
+    // influence which member of a duplicate chain survives.
     let rows = NUM_HASHES / BANDS;
-    let mut dead = vec![false; pool.len()];
+    let mut candidates: BTreeSet<(usize, usize)> = BTreeSet::new();
     for band in 0..BANDS {
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, sig) in sigs.iter().enumerate() {
-            if dead[i] {
-                continue;
-            }
             let mut h = std::collections::hash_map::DefaultHasher::new();
             sig[band * rows..(band + 1) * rows].hash(&mut h);
             buckets.entry(h.finish()).or_default().push(i);
         }
         for bucket in buckets.values() {
             for (bi, &i) in bucket.iter().enumerate() {
-                if dead[i] {
-                    continue;
-                }
                 for &j in &bucket[bi + 1..] {
-                    if dead[j] {
-                        continue;
-                    }
-                    if jaccard(&sets[i], &sets[j]) >= threshold {
-                        dead[j] = true;
-                    }
+                    candidates.insert((i, j));
                 }
             }
+        }
+    }
+    let mut dead = vec![false; pool.len()];
+    for (i, j) in candidates {
+        if dead[i] || dead[j] {
+            continue;
+        }
+        if jaccard(&sets[i], &sets[j]) >= threshold {
+            dead[j] = true;
         }
     }
     pool.into_iter().zip(dead).filter(|(_, d)| !*d).map(|(s, _)| s).collect()
@@ -164,7 +183,8 @@ mod tests {
     }
 
     const M1: &str = "module a(input x1, input x2, input x3, output y1, output y2, output y3);\n  assign y1 = ~x1;\n  assign y2 = x1 & x2;\n  assign y3 = x2 | x3;\nendmodule";
-    const M2: &str = "module b(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule";
+    const M2: &str =
+        "module b(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule";
 
     #[test]
     fn jaccard_properties() {
@@ -204,11 +224,16 @@ mod tests {
             .map(|i| match i % 3 {
                 0 => raw(i, M1),
                 1 => raw(i, M2),
-                _ => raw(i, &format!("module u{i}(input a, output y); assign y = a ^ 1'b{}; endmodule", i % 2)),
+                _ => raw(
+                    i,
+                    &format!(
+                        "module u{i}(input a, output y); assign y = a ^ 1'b{}; endmodule",
+                        i % 2
+                    ),
+                ),
             })
             .collect();
-        let naive: Vec<u64> =
-            dedup_naive(pool.clone(), 0.95).into_iter().map(|s| s.id).collect();
+        let naive: Vec<u64> = dedup_naive(pool.clone(), 0.95).into_iter().map(|s| s.id).collect();
         let fast: Vec<u64> = dedup(pool, 0.95).into_iter().map(|s| s.id).collect();
         assert_eq!(naive, fast);
     }
@@ -230,5 +255,84 @@ mod tests {
     fn shingles_of_empty_source_is_empty() {
         assert!(shingles("").is_empty());
         assert!(!shingles("module m; endmodule").is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+
+        /// Builds a pool mixing exact copies, lightly mutated copies, and
+        /// fresh unrelated modules — the three regimes that exercise the
+        /// banding recall, the exact verification, and the survivor sweep.
+        fn random_pool(seed: u64, n: usize) -> Vec<RawSample> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let bases = [M1, M2];
+            (0..n as u64)
+                .map(|i| {
+                    let src = match rng.random_range(0..6u32) {
+                        0 | 1 => bases[rng.random_range(0..bases.len())].to_owned(),
+                        2 => format!(
+                            "// copy {}\n{}",
+                            rng.random_range(0..3u32),
+                            bases[rng.random_range(0..bases.len())]
+                        ),
+                        3 => format!(
+                            "{}\n// trailing note {}",
+                            bases[rng.random_range(0..bases.len())],
+                            rng.random_range(0..3u32)
+                        ),
+                        _ => format!(
+                            "module g{i}(input [{}:0] a, input b, output y);\n  \
+                             assign y = a[{}] ^ b;\nendmodule",
+                            rng.random_range(1..8u32),
+                            rng.random_range(0..2u32)
+                        ),
+                    };
+                    raw(i, &src)
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// MinHash + LSH dedup keeps exactly the samples the naive
+            /// all-pairs Jaccard sweep keeps, at the paper's 0.85
+            /// threshold, on pools of copies / near-copies / originals.
+            #[test]
+            fn lsh_dedup_matches_naive_all_pairs(
+                seed in 0u64..5_000,
+                n in 8usize..60,
+            ) {
+                let pool = random_pool(seed, n);
+                let naive: Vec<u64> =
+                    dedup_naive(pool.clone(), 0.85).into_iter().map(|s| s.id).collect();
+                let fast: Vec<u64> =
+                    dedup(pool, 0.85).into_iter().map(|s| s.id).collect();
+                prop_assert_eq!(naive, fast);
+            }
+
+            /// The survivor set is invariant under the executor's thread
+            /// count — the parallel stage only computes per-sample
+            /// signatures.
+            #[test]
+            fn dedup_is_thread_count_invariant(
+                seed in 0u64..5_000,
+                n in 8usize..40,
+            ) {
+                let pool = random_pool(seed, n);
+                let one: Vec<u64> = dedup_with(pool.clone(), 0.85, &ExecConfig::new().threads(1))
+                    .into_iter()
+                    .map(|s| s.id)
+                    .collect();
+                let eight: Vec<u64> = dedup_with(pool, 0.85, &ExecConfig::new().threads(8))
+                    .into_iter()
+                    .map(|s| s.id)
+                    .collect();
+                prop_assert_eq!(one, eight);
+            }
+        }
     }
 }

@@ -43,17 +43,12 @@ pub fn shuffle_labels<R: Rng>(dataset: &PyraNetDataset, rng: &mut R) -> PyraNetD
 /// Fraction of rows whose description still matches the code it was
 /// originally paired with (a fixed point of the permutation). Used to
 /// verify the shuffle actually decouples the columns.
-pub fn description_match_fraction(
-    original: &PyraNetDataset,
-    shuffled: &PyraNetDataset,
-) -> f64 {
+pub fn description_match_fraction(original: &PyraNetDataset, shuffled: &PyraNetDataset) -> f64 {
     let orig: std::collections::HashMap<u64, &str> =
         original.iter().map(|s| (s.id, s.description.as_str())).collect();
     let total = shuffled.len().max(1);
-    let matches = shuffled
-        .iter()
-        .filter(|s| orig.get(&s.id).is_some_and(|d| *d == s.description))
-        .count();
+    let matches =
+        shuffled.iter().filter(|s| orig.get(&s.id).is_some_and(|d| *d == s.description)).count();
     matches as f64 / total as f64
 }
 

@@ -9,9 +9,7 @@ pub fn is_broken(source: &str) -> bool {
     if source.trim().is_empty() {
         return true;
     }
-    source
-        .bytes()
-        .any(|b| (b < 0x20 && b != b'\n' && b != b'\r' && b != b'\t') || b >= 0x80)
+    source.bytes().any(|b| (b < 0x20 && b != b'\n' && b != b'\r' && b != b'\t') || b >= 0x80)
 }
 
 /// True when the file has no `module` declaration at all.
@@ -36,8 +34,7 @@ pub fn filter_broken(pool: Vec<RawSample>) -> (Vec<RawSample>, usize) {
 /// Stage 2: removes files without a module declaration.
 pub fn filter_no_module(pool: Vec<RawSample>) -> (Vec<RawSample>, usize) {
     let before = pool.len();
-    let alive: Vec<RawSample> =
-        pool.into_iter().filter(|s| has_module_decl(&s.source)).collect();
+    let alive: Vec<RawSample> = pool.into_iter().filter(|s| has_module_decl(&s.source)).collect();
     let rejected = before - alive.len();
     (alive, rejected)
 }

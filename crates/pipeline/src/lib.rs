@@ -50,20 +50,26 @@ pub use rank::{rank_sample, Rank};
 pub use stats::Funnel;
 
 use pyranet_corpus::RawSample;
+use pyranet_exec::{par_map, ExecConfig};
 use pyranet_verilog::metrics::ComplexityTier;
-use pyranet_verilog::{check_source, SyntaxVerdict};
+use pyranet_verilog::{check_file, parse, SourceFile, SyntaxVerdict};
+use std::time::{Duration, Instant};
 
 /// Configuration for a pipeline run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     /// Jaccard similarity threshold above which two files are duplicates.
     pub jaccard_threshold: f64,
+    /// Worker threads for the parallel stages (dedup signatures and the
+    /// syntax/rank stage); `0` means auto (`PYRANET_THREADS`, then
+    /// available parallelism). Outputs are identical at any value.
+    pub threads: usize,
 }
 
 impl Pipeline {
-    /// Pipeline with the default 0.85 Jaccard threshold.
+    /// Pipeline with the default 0.85 Jaccard threshold and auto threads.
     pub fn new() -> Pipeline {
-        Pipeline { jaccard_threshold: 0.85 }
+        Pipeline { jaccard_threshold: 0.85, threads: 0 }
     }
 
     /// Sets the dedup threshold.
@@ -72,38 +78,73 @@ impl Pipeline {
         self
     }
 
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Pipeline {
+        self.threads = threads;
+        self
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig::new().threads(self.threads)
+    }
+
     /// Runs the full curation pipeline over a raw pool.
     pub fn run(&self, pool: Vec<RawSample>) -> PipelineOutcome {
+        self.run_timed(pool).0
+    }
+
+    /// Runs the pipeline, additionally reporting per-stage wall time.
+    pub fn run_timed(&self, pool: Vec<RawSample>) -> (PipelineOutcome, StageTimings) {
+        let exec = self.exec_config();
         let mut funnel = Funnel { collected: pool.len(), ..Funnel::default() };
+        let mut timings = StageTimings::default();
 
         // Stage 1: empty/broken.
+        let t = Instant::now();
         let (alive, rejected) = filter::filter_broken(pool);
         funnel.rejected_broken = rejected;
+        timings.broken = t.elapsed();
 
         // Stage 2: module declaration.
+        let t = Instant::now();
         let (alive, rejected) = filter::filter_no_module(alive);
         funnel.rejected_no_module = rejected;
+        timings.no_module = t.elapsed();
 
-        // Stage 3: dedup.
+        // Stage 3: dedup (MinHash signatures computed in parallel).
+        let t = Instant::now();
         let before = alive.len();
-        let alive = dedup::dedup(alive, self.jaccard_threshold);
+        let alive = dedup::dedup_with(alive, self.jaccard_threshold, &exec);
         funnel.rejected_duplicates = before - alive.len();
+        timings.dedup = t.elapsed();
 
-        // Stage 4: syntax check (+ rank + complexity for survivors).
+        // Stage 4: syntax check + rank + complexity, one parse per
+        // survivor, fanned out across the executor. Each sample's curation
+        // is a pure function of the sample, so par_map's determinism
+        // contract makes the outcome thread-count-independent.
+        let t = Instant::now();
+        timings.syntax_in = alive.len();
+        let curated = par_map(&exec, alive, |s| {
+            let file = match parse(&s.source) {
+                Ok(f) => f,
+                Err(_) => return None,
+            };
+            match check_file(&file) {
+                SyntaxVerdict::SyntaxError { .. } => None,
+                verdict => Some(curate_survivor(s, &verdict, &file)),
+            }
+        });
         let mut dataset = PyraNetDataset::default();
-        for s in alive {
-            match check_source(&s.source) {
-                SyntaxVerdict::SyntaxError { .. } => {
-                    funnel.rejected_syntax += 1;
-                }
-                verdict => {
-                    let curated = curate_survivor(s, &verdict);
-                    dataset.push(curated);
-                }
+        for outcome in curated {
+            match outcome {
+                Some(sample) => dataset.push(sample),
+                None => funnel.rejected_syntax += 1,
             }
         }
+        timings.syntax_rank = t.elapsed();
+
         funnel.curated = dataset.len();
-        PipelineOutcome { dataset, funnel }
+        (PipelineOutcome { dataset, funnel }, timings)
     }
 }
 
@@ -113,20 +154,18 @@ impl Default for Pipeline {
     }
 }
 
-/// Builds the curated record for a sample that survived the syntax check.
-fn curate_survivor(s: RawSample, verdict: &SyntaxVerdict) -> CuratedSample {
+/// Builds the curated record for a sample that survived the syntax check,
+/// reusing the parse produced by the check itself.
+fn curate_survivor(s: RawSample, verdict: &SyntaxVerdict, file: &SourceFile) -> CuratedSample {
     let dependency_issue = matches!(verdict, SyntaxVerdict::DependencyIssue { .. });
-    // Rank + complexity need the parsed module; dependency-issue files still
-    // parse, so both paths succeed here.
-    let (rank, tier) = match pyranet_verilog::parse_module(&s.source) {
-        Ok(module) => {
-            let rank = rank_sample(&module, &s.source);
-            let tier = ComplexityTier::classify(
-                pyranet_verilog::metrics::measure(&module).score(),
-            );
+    // `check_file` rejects empty files, so a survivor always has a module.
+    let (rank, tier) = match file.modules.first() {
+        Some(module) => {
+            let rank = rank_sample(module, &s.source);
+            let tier = ComplexityTier::classify(pyranet_verilog::metrics::measure(module).score());
             (rank, tier)
         }
-        Err(_) => (Rank::new(0), ComplexityTier::Basic),
+        None => (Rank::new(0), ComplexityTier::Basic),
     };
     let layer = Layer::assign(rank, dependency_issue);
     CuratedSample {
@@ -147,6 +186,21 @@ pub struct PipelineOutcome {
     pub dataset: PyraNetDataset,
     /// Per-stage rejection statistics (the §III-A.5 funnel).
     pub funnel: Funnel,
+}
+
+/// Wall-clock time spent in each pipeline stage (for the bench harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage 1: empty/broken filter.
+    pub broken: Duration,
+    /// Stage 2: module-declaration filter.
+    pub no_module: Duration,
+    /// Stage 3: dedup (signatures + LSH + verification).
+    pub dedup: Duration,
+    /// Stage 4: parse + check + rank + complexity.
+    pub syntax_rank: Duration,
+    /// Samples entering stage 4 (for samples/sec reporting).
+    pub syntax_in: usize,
 }
 
 #[cfg(test)]

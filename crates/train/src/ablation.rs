@@ -14,11 +14,7 @@ use pyranet_model::transformer::TrainExample;
 use pyranet_model::{Tokenizer, TransformerLm};
 use pyranet_pipeline::PyraNetDataset;
 
-fn example_for(
-    s: &pyranet_pipeline::CuratedSample,
-    tk: &Tokenizer,
-    weight: f32,
-) -> TrainExample {
+fn example_for(s: &pyranet_pipeline::CuratedSample, tk: &Tokenizer, weight: f32) -> TrainExample {
     let prompt = prompt_text(&s.description, &s.source);
     let (ids, code_start) = tk.encode_pair(&prompt, &s.source);
     TrainExample { ids, code_start, weight }
@@ -37,10 +33,8 @@ impl WeightingOnly {
         dataset: &PyraNetDataset,
         cfg: &TrainConfig,
     ) -> TrainReport {
-        let mut examples: Vec<TrainExample> = dataset
-            .iter()
-            .map(|s| example_for(s, tk, s.layer.loss_weight() as f32))
-            .collect();
+        let mut examples: Vec<TrainExample> =
+            dataset.iter().map(|s| example_for(s, tk, s.layer.loss_weight() as f32)).collect();
         let mut report = TrainReport::new("ablation: loss weighting only");
         run_phase_with_order(lm, &mut examples, cfg, "weighting-only", 1.0, &mut report, true);
         report
@@ -97,10 +91,8 @@ mod tests {
     #[test]
     fn weighting_only_carries_layer_weights() {
         let (ds, tk, _) = setup();
-        let examples: Vec<TrainExample> = ds
-            .iter()
-            .map(|s| example_for(s, &tk, s.layer.loss_weight() as f32))
-            .collect();
+        let examples: Vec<TrainExample> =
+            ds.iter().map(|s| example_for(s, &tk, s.layer.loss_weight() as f32)).collect();
         let weights: std::collections::HashSet<u32> =
             examples.iter().map(|e| (e.weight * 10.0) as u32).collect();
         assert!(weights.len() >= 2, "multiple distinct weights expected: {weights:?}");
@@ -109,11 +101,8 @@ mod tests {
     #[test]
     fn both_ablations_train() {
         let (ds, tk, mut lm) = setup();
-        let cfg = TrainConfig {
-            epochs: 1,
-            max_examples_per_phase: Some(12),
-            ..TrainConfig::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 1, max_examples_per_phase: Some(12), ..TrainConfig::default() };
         let r1 = WeightingOnly::run(&mut lm, &tk, &ds, &cfg);
         let r2 = CurriculumOnly::run(&mut lm, &tk, &ds, &cfg);
         assert_eq!(r1.phases.len(), 1);

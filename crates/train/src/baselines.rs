@@ -36,14 +36,14 @@ impl MgVerilog {
         let mut examples: Vec<TrainExample> = Vec::new();
         for s in dataset.iter() {
             // fine-grained description (as curated)
-            let (ids, code_start) = tk.encode_pair(&prompt_text(&s.description, &s.source), &s.source);
+            let (ids, code_start) =
+                tk.encode_pair(&prompt_text(&s.description, &s.source), &s.source);
             examples.push(TrainExample { ids, code_start, weight: 1.0 });
             // coarse-grained summary: first clause of the description
             let coarse: String =
                 s.description.split(&[',', '.'][..]).next().unwrap_or("").to_owned();
             if !coarse.is_empty() {
-                let (ids, code_start) =
-                    tk.encode_pair(&prompt_text(&coarse, &s.source), &s.source);
+                let (ids, code_start) = tk.encode_pair(&prompt_text(&coarse, &s.source), &s.source);
                 examples.push(TrainExample { ids, code_start, weight: 1.0 });
             }
         }
@@ -182,10 +182,7 @@ mod tests {
         let (ds, tk, mut lm) = setup();
         let cfg = TrainConfig { epochs: 1, max_examples_per_phase: None, ..TrainConfig::default() };
         let report = RtlCoder::default().run(&mut lm, &tk, &ds, &cfg);
-        let kept = ds
-            .iter()
-            .filter(|s| s.rank.value() >= 10 && !s.dependency_issue)
-            .count();
+        let kept = ds.iter().filter(|s| s.rank.value() >= 10 && !s.dependency_issue).count();
         assert_eq!(report.total_examples(), kept);
         assert!(kept < ds.len(), "something must be filtered");
     }
@@ -195,10 +192,7 @@ mod tests {
         let (ds, tk, mut lm) = setup();
         let cfg = TrainConfig { epochs: 1, max_examples_per_phase: None, ..TrainConfig::default() };
         let report = OriGen::default().run(&mut lm, &tk, &ds, &cfg);
-        let kept = ds
-            .iter()
-            .filter(|s| s.rank.value() >= 12 && !s.dependency_issue)
-            .count();
+        let kept = ds.iter().filter(|s| s.rank.value() >= 12 && !s.dependency_issue).count();
         assert!(report.total_examples() > kept, "augmentation adds variants");
         assert!(report.total_examples() <= kept * 2);
     }

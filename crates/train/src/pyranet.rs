@@ -39,8 +39,7 @@ impl PyraNetTrainer {
                 if group.is_empty() {
                     continue;
                 }
-                let mut examples =
-                    to_examples(group.iter().copied(), tk, weight as f32);
+                let mut examples = to_examples(group.iter().copied(), tk, weight as f32);
                 let name = format!("{layer}/{tier}");
                 run_phase(lm, &mut examples, cfg, &name, weight, &mut report);
             }
@@ -99,11 +98,8 @@ mod tests {
             seed: 5,
         };
         let mut lm = TransformerLm::new(cfg, tk.vocab_size());
-        let tcfg = TrainConfig {
-            epochs: 1,
-            max_examples_per_phase: Some(6),
-            ..TrainConfig::default()
-        };
+        let tcfg =
+            TrainConfig { epochs: 1, max_examples_per_phase: Some(6), ..TrainConfig::default() };
         let report = PyraNetTrainer::run(&mut lm, &tk, &ds, &tcfg);
         assert!(!report.phases.is_empty());
         // per-phase weights must be one of the paper's six values and

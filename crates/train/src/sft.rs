@@ -144,11 +144,8 @@ mod tests {
         let ds = small_dataset();
         let tk = build_tokenizer(ds.iter());
         let mut lm = tiny_model(tk.vocab_size());
-        let cfg = TrainConfig {
-            epochs: 1,
-            max_examples_per_phase: Some(5),
-            ..TrainConfig::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 1, max_examples_per_phase: Some(5), ..TrainConfig::default() };
         let report = SftTrainer::run(&mut lm, &tk, &ds, &cfg);
         assert_eq!(report.phases[0].examples, 5);
     }

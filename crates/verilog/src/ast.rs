@@ -532,8 +532,15 @@ mod tests {
     fn collect_idents_walks_everything() {
         let e = Expr::Ternary(
             Box::new(Expr::ident("sel")),
-            Box::new(Expr::Binary(BinaryOp::Add, Box::new(Expr::ident("a")), Box::new(Expr::number(1)))),
-            Box::new(Expr::Concat(vec![Expr::ident("b"), Expr::Index("mem".into(), Box::new(Expr::ident("i")))])),
+            Box::new(Expr::Binary(
+                BinaryOp::Add,
+                Box::new(Expr::ident("a")),
+                Box::new(Expr::number(1)),
+            )),
+            Box::new(Expr::Concat(vec![
+                Expr::ident("b"),
+                Expr::Index("mem".into(), Box::new(Expr::ident("i"))),
+            ])),
         );
         let mut ids = Vec::new();
         e.collect_idents(&mut ids);
@@ -555,8 +562,20 @@ mod tests {
             name: "m".into(),
             params: vec![],
             ports: vec![
-                Port { name: "a".into(), dir: PortDir::Input, is_reg: false, range: None, signed: false },
-                Port { name: "y".into(), dir: PortDir::Output, is_reg: true, range: None, signed: false },
+                Port {
+                    name: "a".into(),
+                    dir: PortDir::Input,
+                    is_reg: false,
+                    range: None,
+                    signed: false,
+                },
+                Port {
+                    name: "y".into(),
+                    dir: PortDir::Output,
+                    is_reg: true,
+                    range: None,
+                    signed: false,
+                },
             ],
             items: vec![],
             line: 1,

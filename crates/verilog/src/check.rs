@@ -133,9 +133,7 @@ fn check_module(m: &Module) -> Result<(), SyntaxVerdict> {
         assign_driven: HashSet::new(),
         proc_driven: HashSet::new(),
     };
-    let err = |line: u32, msg: String| {
-        Err(SyntaxVerdict::SyntaxError { line, message: msg })
-    };
+    let err = |line: u32, msg: String| Err(SyntaxVerdict::SyntaxError { line, message: msg });
 
     let mut port_dirs: HashMap<&str, PortDir> = HashMap::new();
     for p in &m.ports {
@@ -194,10 +192,7 @@ fn collect_decls(items: &[Item], scope: &mut Scope, mline: u32) -> Result<(), Sy
                         {
                             return Err(SyntaxVerdict::SyntaxError {
                                 line: mline,
-                                message: format!(
-                                    "`{}` redeclared with a conflicting kind",
-                                    n.name
-                                ),
+                                message: format!("`{}` redeclared with a conflicting kind", n.name),
                             });
                         }
                     }
@@ -423,9 +418,8 @@ mod tests {
 
     #[test]
     fn clean_module_is_clean() {
-        let v = check_source(
-            "module m(input [3:0] a, b, output [4:0] s); assign s = a + b; endmodule",
-        );
+        let v =
+            check_source("module m(input [3:0] a, b, output [4:0] s); assign s = a + b; endmodule");
         assert_eq!(v, SyntaxVerdict::Clean);
         assert!(v.is_compilable());
     }
@@ -444,9 +438,7 @@ mod tests {
 
     #[test]
     fn assign_to_reg_is_syntax_error() {
-        let v = check_source(
-            "module m(input a, output reg y); assign y = a; endmodule",
-        );
+        let v = check_source("module m(input a, output reg y); assign y = a; endmodule");
         assert!(matches!(v, SyntaxVerdict::SyntaxError { .. }));
     }
 
@@ -466,9 +458,7 @@ mod tests {
 
     #[test]
     fn missing_module_is_dependency_issue() {
-        let v = check_source(
-            "module top(input a, output y); helper u0(.x(a), .y(y)); endmodule",
-        );
+        let v = check_source("module top(input a, output y); helper u0(.x(a), .y(y)); endmodule");
         match v {
             SyntaxVerdict::DependencyIssue { missing_modules } => {
                 assert_eq!(missing_modules, vec!["helper".to_string()]);

@@ -209,9 +209,9 @@ impl<'src> Lexer<'src> {
             }
             let digits = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
             let clean: String = digits.chars().filter(|c| *c != '_').collect();
-            width = clean
-                .parse::<u64>()
-                .map_err(|_| LexError::new(line, format!("integer literal `{digits}` overflows")))?;
+            width = clean.parse::<u64>().map_err(|_| {
+                LexError::new(line, format!("integer literal `{digits}` overflows"))
+            })?;
             if self.peek() != Some(b'\'') {
                 return Ok(TokenKind::UnsizedNumber(width));
             }
@@ -287,14 +287,12 @@ impl<'src> Lexer<'src> {
         loop {
             match self.bump() {
                 Some(b'"') => return Ok(TokenKind::StringLit(s)),
-                Some(b'\\') => {
-                    match self.bump() {
-                        Some(b'n') => s.push('\n'),
-                        Some(b't') => s.push('\t'),
-                        Some(other) => s.push(other as char),
-                        None => return Err(LexError::new(line, "unterminated string literal")),
-                    }
-                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(other) => s.push(other as char),
+                    None => return Err(LexError::new(line, "unterminated string literal")),
+                },
                 Some(b'\n') | None => {
                     return Err(LexError::new(line, "unterminated string literal"));
                 }
@@ -443,10 +441,7 @@ impl<'src> Lexer<'src> {
                 _ => Tilde,
             },
             other => {
-                return Err(LexError::new(
-                    line,
-                    format!("unexpected byte 0x{other:02x} in input"),
-                ));
+                return Err(LexError::new(line, format!("unexpected byte 0x{other:02x} in input")));
             }
         };
         // silence unused warning for peek3 in case future lookahead shrinks
@@ -515,11 +510,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("a // line\n b /* block \n multi */ c"), vec![
-            Ident("a".into()),
-            Ident("b".into()),
-            Ident("c".into()),
-        ]);
+        assert_eq!(
+            kinds("a // line\n b /* block \n multi */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()),]
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sim;
 pub mod token;
 
 pub use ast::{Module, SourceFile};
-pub use check::{check_source, SyntaxVerdict};
+pub use check::{check_file, check_source, SyntaxVerdict};
 pub use lexer::Lexer;
 pub use parser::{parse, ParseError};
 pub use sim::{Simulator, Value};

@@ -164,12 +164,7 @@ fn is_clockish(name: &str) -> bool {
 
 fn lint_structure(module: &Module, report: &mut LintReport) {
     // module naming convention
-    let name_ok = module
-        .name
-        .chars()
-        .next()
-        .map(|c| c.is_ascii_lowercase())
-        .unwrap_or(false)
+    let name_ok = module.name.chars().next().map(|c| c.is_ascii_lowercase()).unwrap_or(false)
         && module.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
     if !name_ok {
         report.findings.push(Finding {
@@ -281,24 +276,13 @@ fn walk_items(
                         read.insert(e.signal.clone());
                     }
                 }
-                let mut branch_assigned: Vec<HashSet<String>> = Vec::new();
-                walk_stmt(
-                    &a.body,
-                    sequential,
-                    1,
-                    a.line,
-                    report,
-                    driven,
-                    read,
-                    &mut branch_assigned,
-                );
+                walk_stmt(&a.body, sequential, 1, a.line, report, driven, read);
                 if !sequential {
                     detect_latches(&a.body, a.line, report);
                 }
             }
             Item::Initial(body) => {
-                let mut branch_assigned = Vec::new();
-                walk_stmt(body, false, 1, 0, report, driven, read, &mut branch_assigned);
+                walk_stmt(body, false, 1, 0, report, driven, read);
             }
             Item::Instance(inst) => {
                 for (_, e) in inst.ports.iter().filter_map(|(n, e)| e.as_ref().map(|e| (n, e))) {
@@ -329,7 +313,6 @@ fn walk_stmt(
     report: &mut LintReport,
     driven: &mut HashSet<String>,
     read: &mut HashSet<String>,
-    branch_assigned: &mut Vec<HashSet<String>>,
 ) {
     if depth > 4 {
         report.findings.push(Finding {
@@ -367,9 +350,9 @@ fn walk_stmt(
         }
         Stmt::If { cond, then_branch, else_branch } => {
             note_expr_reads(cond, read, report);
-            walk_stmt(then_branch, sequential, depth + 1, line, report, driven, read, branch_assigned);
+            walk_stmt(then_branch, sequential, depth + 1, line, report, driven, read);
             if let Some(e) = else_branch {
-                walk_stmt(e, sequential, depth + 1, line, report, driven, read, branch_assigned);
+                walk_stmt(e, sequential, depth + 1, line, report, driven, read);
             }
         }
         Stmt::Case { subject, arms, .. } => {
@@ -386,7 +369,7 @@ fn walk_stmt(
                 for l in &arm.labels {
                     note_expr_reads(l, read, report);
                 }
-                walk_stmt(&arm.body, sequential, depth + 1, line, report, driven, read, branch_assigned);
+                walk_stmt(&arm.body, sequential, depth + 1, line, report, driven, read);
             }
         }
         Stmt::For { init, cond, step, body } => {
@@ -409,11 +392,11 @@ fn walk_stmt(
             for id in ids {
                 read.insert(id.to_owned());
             }
-            walk_stmt(body, sequential, depth + 1, line, report, driven, read, branch_assigned);
+            walk_stmt(body, sequential, depth + 1, line, report, driven, read);
         }
         Stmt::Block(stmts) => {
             for s in stmts {
-                walk_stmt(s, sequential, depth, line, report, driven, read, branch_assigned);
+                walk_stmt(s, sequential, depth, line, report, driven, read);
             }
         }
         Stmt::SystemCall(_, args) => {
@@ -619,9 +602,7 @@ mod tests {
 
     #[test]
     fn detects_nonblocking_in_comb() {
-        let r = lint(
-            "module m(input a, output reg y);\nalways @* y <= a;\nendmodule",
-        );
+        let r = lint("module m(input a, output reg y);\nalways @* y <= a;\nendmodule");
         assert_eq!(r.count(LintKind::NonBlockingInComb), 1);
     }
 
@@ -669,9 +650,7 @@ mod tests {
 
     #[test]
     fn detects_dead_signal() {
-        let r = lint(
-            "module m(input a, output y);\nwire unused_net;\nassign y = a;\nendmodule",
-        );
+        let r = lint("module m(input a, output y);\nwire unused_net;\nassign y = a;\nendmodule");
         assert_eq!(r.count(LintKind::DeadSignal), 1);
     }
 
@@ -685,7 +664,10 @@ mod tests {
 
     #[test]
     fn detects_long_line_and_trailing_ws() {
-        let long = format!("module m(input a, output y);\nassign y = a; // {}\nassign y = a; \nendmodule", "x".repeat(100));
+        let long = format!(
+            "module m(input a, output y);\nassign y = a; // {}\nassign y = a; \nendmodule",
+            "x".repeat(100)
+        );
         // note: second assign to same wire is fine for lint (check.rs would object
         // to double-drive only in stricter modes); lint only looks at style.
         let m = parse_module(&long).unwrap();
@@ -696,17 +678,13 @@ mod tests {
 
     #[test]
     fn detects_magic_number() {
-        let r = lint(
-            "module m(input [7:0] a, output [7:0] y);\nassign y = a + 37;\nendmodule",
-        );
+        let r = lint("module m(input [7:0] a, output [7:0] y);\nassign y = a + 37;\nendmodule");
         assert_eq!(r.count(LintKind::MagicNumber), 1);
     }
 
     #[test]
     fn no_magic_number_for_sized_literals() {
-        let r = lint(
-            "module m(input [7:0] a, output [7:0] y);\nassign y = a + 8'd37;\nendmodule",
-        );
+        let r = lint("module m(input [7:0] a, output [7:0] y);\nassign y = a + 8'd37;\nendmodule");
         assert_eq!(r.count(LintKind::MagicNumber), 0);
     }
 

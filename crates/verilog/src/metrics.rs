@@ -143,11 +143,7 @@ pub fn measure(m: &Module) -> StructuralMetrics {
         ..Default::default()
     };
     for p in &m.ports {
-        s.port_bits += p
-            .range
-            .as_ref()
-            .map(|r| const_width(r).unwrap_or(8))
-            .unwrap_or(1);
+        s.port_bits += p.range.as_ref().map(|r| const_width(r).unwrap_or(8)).unwrap_or(1);
     }
     measure_items(&m.items, &mut s);
     s
@@ -369,7 +365,9 @@ mod tests {
 
     #[test]
     fn const_width_evaluation() {
-        let m = parse_module("module m(input [7:0] a, output [15:0] y); assign y = {a, a}; endmodule").unwrap();
+        let m =
+            parse_module("module m(input [7:0] a, output [15:0] y); assign y = {a, a}; endmodule")
+                .unwrap();
         let s = measure(&m);
         assert_eq!(s.port_bits, 8 + 16);
     }

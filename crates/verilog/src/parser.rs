@@ -77,11 +77,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|t| t.line).unwrap_or(0)
     }
 
     fn bump(&mut self) -> Tk {
@@ -136,10 +132,9 @@ impl Parser {
             if self.peek() == &Tk::Keyword(Kw::Module) {
                 modules.push(self.module()?);
             } else {
-                return Err(self.err(format!(
-                    "expected `module` at top level, found {}",
-                    self.peek()
-                )));
+                return Err(
+                    self.err(format!("expected `module` at top level, found {}", self.peek()))
+                );
             }
         }
         Ok(SourceFile { modules })
@@ -179,14 +174,12 @@ impl Parser {
                     Tk::Keyword(Kw::Input) | Tk::Keyword(Kw::Output) | Tk::Keyword(Kw::Inout) => {
                         self.ansi_port_list(&mut ports)?;
                     }
-                    _ => {
-                        loop {
-                            nonansi_names.push(self.expect_ident()?);
-                            if !self.eat(&Tk::Comma) {
-                                break;
-                            }
+                    _ => loop {
+                        nonansi_names.push(self.expect_ident()?);
+                        if !self.eat(&Tk::Comma) {
+                            break;
                         }
-                    }
+                    },
                 }
             }
             self.expect(Tk::RParen)?;
@@ -397,8 +390,7 @@ impl Parser {
         let mut names = Vec::new();
         loop {
             let name = self.expect_ident()?;
-            let unpacked =
-                if self.peek() == &Tk::LBracket { Some(self.range()?) } else { None };
+            let unpacked = if self.peek() == &Tk::LBracket { Some(self.range()?) } else { None };
             let init = if self.eat(&Tk::Assign) { Some(self.expr()?) } else { None };
             names.push(DeclName { name, unpacked, init });
             if !self.eat(&Tk::Comma) {
@@ -474,11 +466,8 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tk::RParen)?;
                 let then_branch = Box::new(self.stmt()?);
-                let else_branch = if self.eat_kw(Kw::Else) {
-                    Some(Box::new(self.stmt()?))
-                } else {
-                    None
-                };
+                let else_branch =
+                    if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then_branch, else_branch })
             }
             Tk::Keyword(Kw::Case) | Tk::Keyword(Kw::Casez) | Tk::Keyword(Kw::Casex) => {
@@ -630,8 +619,7 @@ impl Parser {
                 if self.eat(&Tk::Dot) {
                     let pname = self.expect_ident()?;
                     self.expect(Tk::LParen)?;
-                    let value =
-                        if self.peek() == &Tk::RParen { None } else { Some(self.expr()?) };
+                    let value = if self.peek() == &Tk::RParen { None } else { Some(self.expr()?) };
                     self.expect(Tk::RParen)?;
                     ports.push((Some(pname), value));
                 } else {
@@ -895,11 +883,7 @@ mod tests {
                    endmodule";
         let f = parse(src).unwrap();
         let m = &f.modules[0];
-        let inst_count = m
-            .items
-            .iter()
-            .filter(|i| matches!(i, Item::Instance(_)))
-            .count();
+        let inst_count = m.items.iter().filter(|i| matches!(i, Item::Instance(_))).count();
         assert_eq!(inst_count, 2);
     }
 
@@ -926,7 +910,9 @@ mod tests {
 
     #[test]
     fn precedence_mul_over_add() {
-        let f = parse("module m(input [7:0] a, b, c, output [7:0] y); assign y = a + b * c; endmodule").unwrap();
+        let f =
+            parse("module m(input [7:0] a, b, c, output [7:0] y); assign y = a + b * c; endmodule")
+                .unwrap();
         match &f.modules[0].items[0] {
             Item::Assign(a) => match &a.rhs {
                 Expr::Binary(BinaryOp::Add, _, rhs) => {

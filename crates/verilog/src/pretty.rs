@@ -7,7 +7,6 @@
 use crate::ast::*;
 use std::fmt::Write as _;
 
-
 /// Renders a one-line ANSI module header (the "interface line" VerilogEval
 /// supplies in its prompts): `module counter(input clk, output reg [7:0] q);`.
 pub fn interface_line(m: &Module) -> String {
@@ -140,9 +139,9 @@ fn print_item(s: &mut String, item: &Item, level: usize) {
         }
         Item::Param(p) => {
             indent(s, level);
-            let _ = write!(
+            let _ = writeln!(
                 s,
-                "{} {} = {};\n",
+                "{} {} = {};",
                 if p.local { "localparam" } else { "parameter" },
                 p.name,
                 print_expr(&p.value)
@@ -150,7 +149,7 @@ fn print_item(s: &mut String, item: &Item, level: usize) {
         }
         Item::Assign(a) => {
             indent(s, level);
-            let _ = write!(s, "assign {} = {};\n", print_lvalue(&a.lhs), print_expr(&a.rhs));
+            let _ = writeln!(s, "assign {} = {};", print_lvalue(&a.lhs), print_expr(&a.rhs));
         }
         Item::Always(a) => {
             indent(s, level);
@@ -250,10 +249,10 @@ fn print_stmt(s: &mut String, stmt: &Stmt, level: usize, inline_lead: bool) {
             s.push_str("end\n");
         }
         Stmt::Blocking(lv, e) => {
-            let _ = write!(s, "{} = {};\n", print_lvalue(lv), print_expr(e));
+            let _ = writeln!(s, "{} = {};", print_lvalue(lv), print_expr(e));
         }
         Stmt::NonBlocking(lv, e) => {
-            let _ = write!(s, "{} <= {};\n", print_lvalue(lv), print_expr(e));
+            let _ = writeln!(s, "{} <= {};", print_lvalue(lv), print_expr(e));
         }
         Stmt::If { cond, then_branch, else_branch } => {
             let _ = write!(s, "if ({}) ", print_expr(cond));
@@ -270,7 +269,7 @@ fn print_stmt(s: &mut String, stmt: &Stmt, level: usize, inline_lead: bool) {
                 CaseKind::Casez => "casez",
                 CaseKind::Casex => "casex",
             };
-            let _ = write!(s, "{kw} ({})\n", print_expr(subject));
+            let _ = writeln!(s, "{kw} ({})", print_expr(subject));
             for arm in arms {
                 indent(s, level + 1);
                 if arm.labels.is_empty() {
@@ -441,25 +440,16 @@ pub fn print_expr(e: &Expr) -> String {
                 AShr => ">>>",
             };
             let prec = precedence(e);
-            let left = if precedence(a) < prec {
-                format!("({})", print_expr(a))
-            } else {
-                print_expr(a)
-            };
+            let left =
+                if precedence(a) < prec { format!("({})", print_expr(a)) } else { print_expr(a) };
             // Right child needs parens when equal precedence (left-assoc).
-            let right = if precedence(b) <= prec {
-                format!("({})", print_expr(b))
-            } else {
-                print_expr(b)
-            };
+            let right =
+                if precedence(b) <= prec { format!("({})", print_expr(b)) } else { print_expr(b) };
             format!("{left} {sym} {right}")
         }
         Expr::Ternary(c, a, b) => {
-            let cond = if precedence(c) <= 0 {
-                format!("({})", print_expr(c))
-            } else {
-                print_expr(c)
-            };
+            let cond =
+                if precedence(c) == 0 { format!("({})", print_expr(c)) } else { print_expr(c) };
             format!("{cond} ? {} : {}", print_expr(a), print_expr(b))
         }
         Expr::Concat(parts) => {
@@ -546,7 +536,8 @@ mod tests {
     #[test]
     fn parens_preserved_for_precedence() {
         // (a + b) * c must not print as a + b * c
-        let src = "module m(input [7:0] a, b, c, output [7:0] y); assign y = (a + b) * c; endmodule";
+        let src =
+            "module m(input [7:0] a, b, c, output [7:0] y); assign y = (a + b) * c; endmodule";
         round_trip(src);
         let f = parse(src).unwrap();
         let printed = print_file(&f);
@@ -556,7 +547,8 @@ mod tests {
     #[test]
     fn sub_right_assoc_parens() {
         // a - (b - c) must keep the parens
-        let src = "module m(input [7:0] a, b, c, output [7:0] y); assign y = a - (b - c); endmodule";
+        let src =
+            "module m(input [7:0] a, b, c, output [7:0] y); assign y = a - (b - c); endmodule";
         round_trip(src);
     }
 

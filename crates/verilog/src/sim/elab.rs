@@ -82,9 +82,8 @@ const MAX_DEPTH: u32 = 32;
 pub fn elaborate(file: &SourceFile, top: &str) -> Result<FlatDesign, ElabError> {
     let by_name: HashMap<&str, &Module> =
         file.modules.iter().map(|m| (m.name.as_str(), m)).collect();
-    let top_mod = by_name
-        .get(top)
-        .ok_or_else(|| ElabError::new(format!("top module `{top}` not found")))?;
+    let top_mod =
+        by_name.get(top).ok_or_else(|| ElabError::new(format!("top module `{top}` not found")))?;
     let mut design = FlatDesign::default();
     let mut ctx = Ctx { modules: &by_name, design: &mut design };
     flatten_module(&mut ctx, top_mod, "", &HashMap::new(), 0)?;
@@ -136,13 +135,7 @@ fn const_eval(e: &Expr, params: &HashMap<String, u64>) -> Result<u64, ElabError>
                 BinaryOp::Add => a.wrapping_add(b),
                 BinaryOp::Sub => a.wrapping_sub(b),
                 BinaryOp::Mul => a.wrapping_mul(b),
-                BinaryOp::Div => {
-                    if b == 0 {
-                        0
-                    } else {
-                        a / b
-                    }
-                }
+                BinaryOp::Div => a.checked_div(b).unwrap_or(0),
                 BinaryOp::Mod => {
                     if b == 0 {
                         0
@@ -444,9 +437,7 @@ fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
     match e {
         Expr::Ident(n) => Some(LValue::Ident(n.clone())),
         Expr::Index(n, i) => Some(LValue::Index(n.clone(), (**i).clone())),
-        Expr::RangeSelect(n, a, b) => {
-            Some(LValue::Range(n.clone(), (**a).clone(), (**b).clone()))
-        }
+        Expr::RangeSelect(n, a, b) => Some(LValue::Range(n.clone(), (**a).clone(), (**b).clone())),
         Expr::Concat(parts) => {
             let mut out = Vec::with_capacity(parts.len());
             for p in parts {
@@ -528,11 +519,9 @@ fn rename_expr(e: &Expr, prefix: &str) -> Expr {
         Expr::Ident(n) => Expr::Ident(flat_name(prefix, n)),
         Expr::Literal { .. } | Expr::StringLit(_) => e.clone(),
         Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rename_expr(a, prefix))),
-        Expr::Binary(op, a, b) => Expr::Binary(
-            *op,
-            Box::new(rename_expr(a, prefix)),
-            Box::new(rename_expr(b, prefix)),
-        ),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(rename_expr(a, prefix)), Box::new(rename_expr(b, prefix)))
+        }
         Expr::Ternary(c, a, b) => Expr::Ternary(
             Box::new(rename_expr(c, prefix)),
             Box::new(rename_expr(a, prefix)),
@@ -542,9 +531,7 @@ fn rename_expr(e: &Expr, prefix: &str) -> Expr {
         Expr::Repeat(n, x) => {
             Expr::Repeat(Box::new(rename_expr(n, prefix)), Box::new(rename_expr(x, prefix)))
         }
-        Expr::Index(n, i) => {
-            Expr::Index(flat_name(prefix, n), Box::new(rename_expr(i, prefix)))
-        }
+        Expr::Index(n, i) => Expr::Index(flat_name(prefix, n), Box::new(rename_expr(i, prefix))),
         Expr::RangeSelect(n, a, b) => Expr::RangeSelect(
             flat_name(prefix, n),
             Box::new(rename_expr(a, prefix)),
@@ -616,20 +603,16 @@ mod tests {
 
     #[test]
     fn recursive_instantiation_errors() {
-        let f = parse(
-            "module a(input x, output y); a u0(.x(x), .y(y)); endmodule",
-        )
-        .unwrap();
+        let f = parse("module a(input x, output y); a u0(.x(x), .y(y)); endmodule").unwrap();
         let err = elaborate(&f, "a").unwrap_err();
         assert!(err.message.contains("recursive") || err.message.contains("nesting"), "{err}");
     }
 
     #[test]
     fn localparam_recorded_as_constant() {
-        let f = parse(
-            "module m(input a, output y); localparam ONE = 1; assign y = a & ONE; endmodule",
-        )
-        .unwrap();
+        let f =
+            parse("module m(input a, output y); localparam ONE = 1; assign y = a & ONE; endmodule")
+                .unwrap();
         let d = elaborate(&f, "m").unwrap();
         assert!(d.constants.iter().any(|(n, v)| n == "ONE" && *v == 1));
     }
@@ -665,11 +648,8 @@ mod tests {
                 .count(),
             3
         );
-        assert!(d
-            .assigns
-            .iter()
-            .any(|a| matches!(&a.lhs, LValue::Ident(n) if n == "y")
-                && matches!(&a.rhs, Expr::Ident(n) if n == "u0.r")));
+        assert!(d.assigns.iter().any(|a| matches!(&a.lhs, LValue::Ident(n) if n == "y")
+            && matches!(&a.rhs, Expr::Ident(n) if n == "u0.r")));
     }
 
     #[test]

@@ -407,9 +407,7 @@ impl Simulator {
             LValue::Ident(n) => {
                 let i = self.idx(n)?;
                 if !self.slots[i].words.is_empty() {
-                    return Err(SimError::Unsupported(format!(
-                        "whole-memory assignment to `{n}`"
-                    )));
+                    return Err(SimError::Unsupported(format!("whole-memory assignment to `{n}`")));
                 }
                 let w = self.slots[i].width;
                 self.slots[i].value = v.resize(w);
@@ -564,13 +562,7 @@ impl Simulator {
                     BinaryOp::Add => a.wrapping_add(b),
                     BinaryOp::Sub => a.wrapping_sub(b),
                     BinaryOp::Mul => a.wrapping_mul(b),
-                    BinaryOp::Div => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a / b
-                        }
-                    }
+                    BinaryOp::Div => a.checked_div(b).unwrap_or(0),
                     _ => {
                         return Err(SimError::Unsupported(
                             "non-arithmetic operator in constant select".into(),
@@ -685,10 +677,7 @@ impl Simulator {
                         Value::new(r, ctx.max(av.width()))
                     }
                     _ => {
-                        let w = ctx
-                            .max(self.expr_width(a)?)
-                            .max(self.expr_width(b)?)
-                            .min(64);
+                        let w = ctx.max(self.expr_width(a)?).max(self.expr_width(b)?).min(64);
                         let av = self.eval_width(a, w)?.resize(w);
                         let bv = self.eval_width(b, w)?.resize(w);
                         let (x, y) = (av.as_u64(), bv.as_u64());
@@ -696,13 +685,7 @@ impl Simulator {
                             Add => x.wrapping_add(y),
                             Sub => x.wrapping_sub(y),
                             Mul => x.wrapping_mul(y),
-                            Div => {
-                                if y == 0 {
-                                    0
-                                } else {
-                                    x / y
-                                }
-                            }
+                            Div => x.checked_div(y).unwrap_or(0),
                             Mod => {
                                 if y == 0 {
                                     0
@@ -803,9 +786,7 @@ impl Simulator {
                     let r = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() };
                     Value::new(u64::from(r), 32)
                 }
-                other => {
-                    return Err(SimError::Unsupported(format!("system function `{other}`")))
-                }
+                other => return Err(SimError::Unsupported(format!("system function `{other}`"))),
             },
         })
     }
@@ -826,9 +807,7 @@ mod tests {
              assign sum = a ^ b; assign cout = a & b; endmodule",
             "ha",
         );
-        for (a, b, expect_s, expect_c) in
-            [(0, 0, 0, 0), (0, 1, 1, 0), (1, 0, 1, 0), (1, 1, 0, 1)]
-        {
+        for (a, b, expect_s, expect_c) in [(0, 0, 0, 0), (0, 1, 1, 0), (1, 0, 1, 0), (1, 1, 0, 1)] {
             s.set("a", a).unwrap();
             s.set("b", b).unwrap();
             assert_eq!(s.get("sum").unwrap().as_u64(), expect_s);
@@ -1110,10 +1089,8 @@ mod tests {
 
     #[test]
     fn clog2_builtin() {
-        let mut s = sim(
-            "module c(input [7:0] a, output [4:0] y); assign y = $clog2(a); endmodule",
-            "c",
-        );
+        let mut s =
+            sim("module c(input [7:0] a, output [4:0] y); assign y = $clog2(a); endmodule", "c");
         s.set("a", 1).unwrap();
         assert_eq!(s.get("y").unwrap().as_u64(), 0);
         s.set("a", 2).unwrap();

@@ -22,7 +22,7 @@ impl Value {
     ///
     /// Panics if `width` is 0 or exceeds [`Value::MAX_WIDTH`].
     pub fn new(bits: u64, width: u32) -> Value {
-        assert!(width >= 1 && width <= Self::MAX_WIDTH, "width {width} out of range");
+        assert!((1..=Self::MAX_WIDTH).contains(&width), "width {width} out of range");
         Value { bits: bits & Self::mask(width), width }
     }
 

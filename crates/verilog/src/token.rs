@@ -210,6 +210,10 @@ macro_rules! keywords {
 
         impl Keyword {
             /// Looks up a keyword from its source text.
+            ///
+            /// Infallible lookup, so not the `FromStr` trait (which would
+            /// force an error type on every caller).
+            #[allow(clippy::should_implement_trait)]
             pub fn from_str(s: &str) -> Option<Keyword> {
                 match s {
                     $($text => Some(Keyword::$variant),)+

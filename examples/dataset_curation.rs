@@ -64,9 +64,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nwrote {} curated samples to {}", outcome.dataset.len(), path.display());
 
     // Round-trip to prove the artifact is self-contained.
-    let reread = pyranet::PyraNetDataset::from_jsonl(std::io::BufReader::new(
-        std::fs::File::open(&path)?,
-    ))?;
+    let reread =
+        pyranet::PyraNetDataset::from_jsonl(std::io::BufReader::new(std::fs::File::open(&path)?))?;
     assert_eq!(reread.len(), outcome.dataset.len());
     println!("re-read OK ({} samples)", reread.len());
     Ok(())

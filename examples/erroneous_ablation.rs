@@ -11,9 +11,7 @@ use pyranet::eval::EvalOptions;
 use pyranet::experiment::{evaluate_model, Recipe};
 use pyranet::pipeline::erroneous::{description_match_fraction, shuffle_labels};
 use pyranet::train::TrainConfig;
-use pyranet::{
-    BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder,
-};
+use pyranet::{BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder};
 use rand::SeedableRng;
 
 fn main() {
@@ -39,11 +37,7 @@ fn main() {
             max_examples_per_phase: Some(100),
             ..TrainConfig::default()
         },
-        eval: EvalOptions {
-            samples_per_problem: 5,
-            max_new_tokens: 120,
-            ..EvalOptions::default()
-        },
+        eval: EvalOptions { samples_per_problem: 5, max_new_tokens: 120, ..EvalOptions::default() },
     };
     let base = experiment.pretrain_base(&ModelConfig::codellama_7b(), &opts);
 

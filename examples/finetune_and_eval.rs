@@ -9,9 +9,7 @@
 use pyranet::eval::EvalOptions;
 use pyranet::experiment::{evaluate_model, Recipe};
 use pyranet::train::TrainConfig;
-use pyranet::{
-    BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder,
-};
+use pyranet::{BuildOptions, Experiment, ExperimentOptions, ModelConfig, PyraNetBuilder};
 
 fn main() {
     println!("building dataset …");
@@ -30,21 +28,14 @@ fn main() {
             max_examples_per_phase: Some(100),
             ..TrainConfig::default()
         },
-        eval: EvalOptions {
-            samples_per_problem: 5,
-            max_new_tokens: 120,
-            ..EvalOptions::default()
-        },
+        eval: EvalOptions { samples_per_problem: 5, max_new_tokens: 120, ..EvalOptions::default() },
     };
 
     let base_cfg = ModelConfig::codellama_7b();
     println!("pretraining base {} …", base_cfg.name);
     let base = experiment.pretrain_base(&base_cfg, &opts);
 
-    println!(
-        "{:<48} {:>7} {:>7} {:>7} {:>7}",
-        "model", "M p@1", "M p@5", "H p@1", "H p@5"
-    );
+    println!("{:<48} {:>7} {:>7} {:>7} {:>7}", "model", "M p@1", "M p@5", "H p@1", "H p@5");
     for recipe in [Recipe::Baseline, Recipe::PyraNetDataset, Recipe::PyraNetArchitecture] {
         let run = experiment.run(&base, recipe, &opts);
         let evals = evaluate_model(&run.model, &experiment.tokenizer, &opts.eval);

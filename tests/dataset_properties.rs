@@ -118,8 +118,5 @@ fn l1_is_never_the_largest_compilable_layer_band() {
     let counts = ds.layer_counts();
     let l1 = counts[0];
     let bulk = counts[1].max(counts[2]);
-    assert!(
-        l1 <= bulk,
-        "L1 ({l1}) should not out-size the L2/L3 bulk ({bulk}); counts {counts:?}"
-    );
+    assert!(l1 <= bulk, "L1 ({l1}) should not out-size the L2/L3 bulk ({bulk}); counts {counts:?}");
 }

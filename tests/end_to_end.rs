@@ -20,9 +20,9 @@ fn small_experiment() -> Experiment {
 fn quick_options() -> ExperimentOptions {
     ExperimentOptions {
         train: TrainConfig {
-            epochs: 1,
+            epochs: 2,
             batch_size: 8,
-            max_examples_per_phase: Some(40),
+            max_examples_per_phase: Some(60),
             ..TrainConfig::default()
         },
         eval: EvalOptions {

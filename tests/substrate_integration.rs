@@ -83,11 +83,7 @@ fn tokenizer_round_trip_preserves_parseability_for_catalog() {
     for d in &designs {
         let ids = tk.encode(&d.source);
         let text = tk.decode(&ids);
-        assert!(
-            parse(&text).is_ok(),
-            "{:?}: decoded text does not parse:\n{text}",
-            d.family
-        );
+        assert!(parse(&text).is_ok(), "{:?}: decoded text does not parse:\n{text}", d.family);
     }
 }
 

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`, keeping the surface API the
+//! workspace benches use (`Criterion`, groups, `BenchmarkId`,
+//! `Throughput`, `iter`/`iter_with_setup`, the `criterion_group!` /
+//! `criterion_main!` macros) while measuring with a plain
+//! `std::time::Instant` loop: one warm-up iteration, then `sample_size`
+//! timed samples, reporting min/median/mean to stdout. No statistical
+//! analysis, plots, or saved baselines.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration work declared on a group, echoed as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter display.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{name}/{parameter}") }
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call after a warm-up call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` product per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_with_setup<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(self.sample_size, name, None, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput, echoed as a rate in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `group/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion.sample_size, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs `group/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        run_one(self.criterion.sample_size, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report already emitted per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    sample_size: usize,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher { sample_size, samples: Vec::with_capacity(sample_size) };
+    f(&mut bencher);
+    let mut ns: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    if ns.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Bytes(b) => (b, "B/s"),
+            Throughput::Elements(e) => (e, "elem/s"),
+        };
+        let per_sec = if median == 0 { f64::INFINITY } else { count as f64 * 1e9 / median as f64 };
+        format!("  ~{per_sec:.0} {unit}")
+    });
+    println!(
+        "{name:<48} min {}  median {}  mean {}  (n={}){}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        ns.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4usize), &[1u64, 2, 3, 4][..], |b, s| {
+            b.iter(|| s.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("setup", |b| b.iter_with_setup(|| vec![1u8; 16], |v| v.len()));
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API the
+//! workspace uses. `crossbeam::thread::scope` maps directly onto
+//! `std::thread::scope` (stabilised after crossbeam's scope predated it),
+//! wrapped in `Ok` to keep crossbeam's `Result` return shape.
+
+pub mod thread {
+    //! Scoped threads.
+
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never fails (panics in spawned threads propagate on join, matching
+    /// std semantics); the `Result` shell mirrors crossbeam's signature.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move || c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde`, built around an owned JSON-like content
+//! tree instead of upstream's visitor-based data model. The derive macros
+//! (re-exported from the local `serde_derive`) generate [`Serialize`] /
+//! [`Deserialize`] impls that follow serde's JSON conventions:
+//!
+//! * structs → maps keyed by field name;
+//! * newtype structs → the inner value, transparently;
+//! * unit enum variants → the variant name as a string;
+//! * data-carrying variants → `{"Variant": …}` with a value, sequence, or
+//!   map payload depending on the variant shape;
+//! * `Option` → `null` / the inner value.
+//!
+//! `serde_json` (also vendored) renders [`Content`] to JSON text and back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion-ordered, no duplicate keys expected.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries when this is a [`Content::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements when this is a [`Content::Seq`].
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String slice when this is a [`Content::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short human name of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error for an unexpected content kind.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required field in map entries.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the key is absent.
+pub fn map_get<'a>(m: &'a [(String, Content)], key: &str) -> Result<&'a Content, DeError> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into content.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on any structural or type mismatch.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) if *v >= 0 => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as $t),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    // JSON cannot encode NaN; the writer emits null for it.
+                    Content::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(c)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let seq = c.as_seq().ok_or_else(|| DeError::expected("array", c))?;
+        seq.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        let n = v.len();
+        v.try_into().map_err(|_| DeError(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c.as_seq() {
+            Some([a, b]) => Ok((A::from_content(a)?, B::from_content(b)?)),
+            _ => Err(DeError::expected("2-element array", c)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content(), self.2.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c.as_seq() {
+            Some([a, b, cc]) => {
+                Ok((A::from_content(a)?, B::from_content(b)?, C::from_content(cc)?))
+            }
+            _ => Err(DeError::expected("3-element array", c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_content(), Content::U64(3));
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let c = v.to_content();
+        let back: Vec<(u32, String)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn array_length_checked() {
+        let c = Content::Seq(vec![Content::F64(1.0); 3]);
+        assert!(<[f64; 6]>::from_content(&c).is_err());
+        let c6 = Content::Seq(vec![Content::F64(1.0); 6]);
+        assert_eq!(<[f64; 6]>::from_content(&c6).unwrap(), [1.0; 6]);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let m = vec![("a".to_string(), Content::U64(1))];
+        let err = map_get(&m, "b").unwrap_err();
+        assert!(err.0.contains("`b`"));
+    }
+}

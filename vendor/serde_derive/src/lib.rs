@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde_derive`. Parses the derive input token
+//! stream by hand (no `syn`/`quote` available offline) and emits
+//! `::serde::Serialize` / `::serde::Deserialize` impls targeting the
+//! vendored serde's `Content` tree.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! named structs, tuple structs (newtypes serialize transparently), unit
+//! structs, and enums mixing unit, tuple, and struct variants. Generic
+//! types and `#[serde(...)]` attributes are not supported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Derives `::serde::Serialize` (Content-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_input(input);
+    let body = match &data {
+        Data::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Data::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"))
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(&name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `::serde::Deserialize` (Content-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_input(input);
+    let body = match &data {
+        Data::Struct(Shape::Unit) => format!("{{ let _ = c; Ok({name}) }}"),
+        Data::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?")).collect();
+            format!(
+                "{{ let s = c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", c))?; \
+                 if s.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements, got {{}}\", s.len()))); }} \
+                 Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_content(::serde::map_get(m, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "{{ let m = c.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", c))?; \
+                 Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!("{ty}::{vn} => ::serde::Content::Str({vn:?}.to_string()),"),
+        Shape::Tuple(1) => format!(
+            "{ty}::{vn}(f0) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+             ::serde::Serialize::to_content(f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> =
+                binds.iter().map(|b| format!("::serde::Serialize::to_content({b})")).collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                 ::serde::Content::Seq(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content({f}))"))
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                 ::serde::Content::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(ty: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{:?} => Ok({ty}::{}),", v.name, v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| deserialize_data_arm(ty, v))
+        .collect();
+    format!(
+        "match c {{ \
+           ::serde::Content::Str(s) => match s.as_str() {{ {} other => \
+             Err(::serde::DeError(format!(\"unknown variant `{{other}}` of `{ty}`\"))), }}, \
+           ::serde::Content::Map(m) if m.len() == 1 => {{ \
+             let (tag, inner) = &m[0]; let _ = inner; match tag.as_str() {{ {} other => \
+               Err(::serde::DeError(format!(\"unknown variant `{{other}}` of `{ty}`\"))), }} }}, \
+           other => Err(::serde::DeError::expected(\"variant of `{ty}`\", other)), \
+         }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}
+
+fn deserialize_data_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the string arm"),
+        Shape::Tuple(1) => {
+            format!("{vn:?} => Ok({ty}::{vn}(::serde::Deserialize::from_content(inner)?)),")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?")).collect();
+            format!(
+                "{vn:?} => {{ let s = inner.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", inner))?; \
+                 if s.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} \
+                 elements for `{vn}`, got {{}}\", s.len()))); }} \
+                 Ok({ty}::{vn}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::map_get(fm, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{vn:?} => {{ let fm = inner.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", inner))?; \
+                 Ok({ty}::{vn} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> (String, Data) {
+    let mut toks = input.into_iter().peekable();
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (including converted doc comments): skip `#` and
+                // the following bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input ended before `struct`/`enum`"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("the serde stand-in derives do not support generic types ({name})");
+        }
+    }
+    let data = if kind == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Shape::Named(named_field_names(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Shape::Tuple(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Shape::Unit),
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        }
+    };
+    (name, data)
+}
+
+/// Extracts field names from the token stream of a braced field list.
+/// Commas inside parens/brackets are invisible (token groups); commas
+/// inside generic arguments are skipped by tracking `<`/`>` depth.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    'fields: loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let is_pub = matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+        if is_pub {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break 'fields,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => continue 'fields,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct/variant by splitting its paren
+/// group on top-level commas (tolerating a trailing comma).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut in_segment = false;
+    let mut angle = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle += 1;
+                    in_segment = true;
+                }
+                '>' => {
+                    angle -= 1;
+                    in_segment = true;
+                }
+                ',' if angle == 0 => {
+                    arity += 1;
+                    in_segment = false;
+                }
+                _ => in_segment = true,
+            },
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = g.stream();
+                toks.next();
+                Shape::Named(named_field_names(s))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = g.stream();
+                toks.next();
+                Shape::Tuple(tuple_arity(s))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        let mut angle = 0i32;
+        loop {
+            let at_comma = match toks.peek() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => {
+                        angle += 1;
+                        false
+                    }
+                    '>' => {
+                        angle -= 1;
+                        false
+                    }
+                    ',' if angle == 0 => true,
+                    _ => false,
+                },
+                Some(_) => false,
+                None => break,
+            };
+            toks.next();
+            if at_comma {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
