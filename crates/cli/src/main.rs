@@ -10,13 +10,16 @@
 //! pyranet sim <file.v> <top> ...  # drive a module interactively
 //! pyranet build-dataset [--files N] [--seed S] [--threads T] [--out F.jsonl]
 //! pyranet stats <dataset.jsonl>   # layer pyramid of a built dataset
+//! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
 //! ```
 
+use pyranet::model::{ModelConfig, TransformerLm};
 use pyranet::pipeline::rank::{rank_sample, render_response};
+use pyranet::train::{build_tokenizer, SftTrainer};
 use pyranet::verilog::lint::lint_module;
 use pyranet::verilog::metrics::{measure, ComplexityTier};
 use pyranet::verilog::{check_source, parse_module, Simulator, SyntaxVerdict};
-use pyranet::{BuildOptions, Layer, PyraNetBuilder, PyraNetDataset};
+use pyranet::{BuildOptions, Layer, PyraNetBuilder, PyraNetDataset, TrainConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("build-dataset") => cmd_build(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -49,7 +53,8 @@ fn print_usage() {
          USAGE:\n  pyranet check <file.v>\n  pyranet rank <file.v>\n  \
          pyranet complexity <file.v>\n  pyranet sim <file.v> <top> [name=value]... [--clock clk] [--cycles N]\n  \
          pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
-         pyranet stats <dataset.jsonl>"
+         pyranet stats <dataset.jsonl>\n  \
+         pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]"
     );
 }
 
@@ -191,11 +196,68 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     .build();
     println!("{}", built.funnel.render());
     let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    // A sized writer keeps syscall count low even for large datasets; each
+    // record is a single buffered `write_all` (see `to_jsonl`).
     built
         .dataset
-        .to_jsonl(std::io::BufWriter::new(file))
+        .to_jsonl(std::io::BufWriter::with_capacity(1 << 20, file))
         .map_err(|e| format!("write failed: {e}"))?;
     println!("wrote {} samples to {out}", built.dataset.len());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut files = 300usize;
+    let mut seed = BuildOptions::default().seed;
+    let mut cfg = TrainConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a number"))?
+                .parse()
+                .map_err(|e| format!("bad {flag}: {e}"))
+        };
+        match a.as_str() {
+            "--files" => files = num("--files")?,
+            "--seed" => seed = num("--seed")? as u64,
+            "--threads" => cfg.threads = num("--threads")?,
+            "--batch-size" => cfg.batch_size = num("--batch-size")?.max(1),
+            "--epochs" => cfg.epochs = num("--epochs")?.max(1),
+            "--max-examples" => cfg.max_examples_per_phase = Some(num("--max-examples")?),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    cfg.seed = seed;
+    let built =
+        PyraNetBuilder::new(BuildOptions { scraped_files: files, seed, ..BuildOptions::default() })
+            .build();
+    let tk = build_tokenizer(built.dataset.iter());
+    let model_cfg = ModelConfig {
+        name: "pyranet-cli".into(),
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 64,
+        max_seq: 160,
+        learning_rate: cfg.learning_rate,
+        seed,
+    };
+    let mut lm = TransformerLm::new(model_cfg, tk.vocab_size());
+    println!(
+        "training on {} samples (batch size {}, {} epoch(s), threads {})",
+        built.dataset.len(),
+        cfg.batch_size,
+        cfg.epochs,
+        if cfg.threads == 0 { "auto".to_owned() } else { cfg.threads.to_string() }
+    );
+    let report = SftTrainer::run(&mut lm, &tk, &built.dataset, &cfg);
+    for p in &report.phases {
+        println!(
+            "  phase {:<12} {:>5} examples  loss {:.4} -> {:.4}",
+            p.name, p.examples, p.first_loss, p.last_loss
+        );
+    }
     Ok(())
 }
 

@@ -123,6 +123,18 @@ where
     mapped_chunks.into_iter().flat_map(|(_, chunk)| chunk).collect()
 }
 
+/// Borrowing variant of [`par_map`]: maps `f` over the elements of a
+/// slice in parallel, preserving order, without taking ownership of the
+/// items. Same determinism contract.
+pub fn par_map_ref<'a, T, U, F>(config: &ExecConfig, items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    par_map(config, items.iter().collect(), f)
+}
+
 /// Maps in parallel, then folds the mapped values **in input order**.
 ///
 /// The fold itself is sequential, so unlike classic tree reductions the
@@ -209,6 +221,17 @@ mod tests {
         let got = par_map(&cfg, items.clone(), collatz_steps);
         let expected: Vec<u64> = items.iter().map(|&v| collatz_steps(v)).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_map_ref_matches_owned_map() {
+        let items: Vec<u64> = (1..=100).collect();
+        let expected: Vec<u64> = items.iter().map(|&v| collatz_steps(v)).collect();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::new().threads(threads);
+            let got = par_map_ref(&cfg, &items, |&v| collatz_steps(v));
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -58,19 +58,20 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, omb1, omb2) = (self.beta1, self.beta2, 1.0 - self.beta1, 1.0 - self.beta2);
         for ((p, g), st) in params.iter_mut().zip(grads).zip(&mut self.states) {
             assert_eq!(p.data.len(), g.data.len(), "grad shape mismatch");
             if st.m.is_empty() {
                 st.m = vec![0.0; p.data.len()];
                 st.v = vec![0.0; p.data.len()];
             }
-            for i in 0..p.data.len() {
-                let gi = g.data[i];
-                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * gi;
-                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * gi * gi;
-                let mhat = st.m[i] / bc1;
-                let vhat = st.v[i] / bc2;
-                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            let moments = st.m.iter_mut().zip(st.v.iter_mut());
+            for ((pi, &gi), (mi, vi)) in p.data.iter_mut().zip(&g.data).zip(moments) {
+                *mi = b1 * *mi + omb1 * gi;
+                *vi = b2 * *vi + omb2 * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
         }
     }

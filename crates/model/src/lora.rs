@@ -65,17 +65,15 @@ impl Adapter {
         Adapter { target, a, b }
     }
 
-    /// The dense delta `A·B·scale` (used when merging and by tests).
+    /// The dense delta `(A·scale)·B` (used when merging and by tests),
+    /// computed through the shared blocked matmul kernel.
     pub fn delta(&self, scale: f32) -> Matrix {
-        let mut out = Matrix::zeros(self.a.rows, self.b.cols);
-        for i in 0..self.a.rows {
-            for k in 0..self.a.cols {
-                let av = self.a.data[i * self.a.cols + k] * scale;
-                for j in 0..self.b.cols {
-                    out.data[i * self.b.cols + j] += av * self.b.data[k * self.b.cols + j];
-                }
-            }
+        let mut scaled = self.a.clone();
+        for v in scaled.data.iter_mut() {
+            *v *= scale;
         }
+        let mut out = Matrix::zeros(self.a.rows, self.b.cols);
+        crate::tensor::kernels::matmul_into(&scaled, &self.b, &mut out);
         out
     }
 }

@@ -4,6 +4,19 @@
 //! forward values are computed eagerly, and [`Graph::backward`] replays the
 //! tape in reverse. Tensors are row-major `[rows, cols]` matrices; vectors
 //! are `[1, n]`.
+//!
+//! # Kernel layout
+//!
+//! The matmul family (forward and backward) runs through the blocked,
+//! loop-reordered kernels in [`kernels`]. Every kernel accumulates each
+//! output element in ascending shared-dimension order, which makes the
+//! blocked kernels **bit-identical** to the retained naive reference
+//! implementations on finite inputs — see [`KernelMode`] and the
+//! equivalence property tests. Softmax, layer norm, and cross-entropy are
+//! fused into two sweeps per row (one read-only statistics sweep, one
+//! write sweep).
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A node id on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +60,236 @@ impl Matrix {
     }
 }
 
+/// Which matmul implementations the graph ops dispatch to.
+///
+/// `Blocked` (the default) is the cache-friendly production path.
+/// `Reference` retains the pre-optimization naive loops (and the
+/// selector-matrix row-slice construction) so benchmarks can measure the
+/// speedup and property tests can assert exact agreement. Both modes
+/// accumulate in the same per-element order, so **results are
+/// bit-identical on finite inputs** — the mode is a performance knob,
+/// never a semantic one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Blocked, loop-reordered kernels with fused AXPY inner loops.
+    Blocked,
+    /// The retained naive triple-loop kernels (benchmark baseline).
+    Reference,
+}
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel implementations used by subsequently built graphs.
+pub fn set_kernel_mode(mode: KernelMode) {
+    KERNEL_MODE.store(if mode == KernelMode::Reference { 1 } else { 0 }, Ordering::Relaxed);
+}
+
+/// The currently selected kernel implementations.
+pub fn kernel_mode() -> KernelMode {
+    if KERNEL_MODE.load(Ordering::Relaxed) == 1 {
+        KernelMode::Reference
+    } else {
+        KernelMode::Blocked
+    }
+}
+
+/// The matmul kernel family.
+///
+/// Shape conventions (all row-major):
+///
+/// * [`matmul_into`]: `out[m,n] = a[m,k] · b[k,n]`
+/// * [`matmul_nt_into`]: `out[m,n] = a[m,k] · b[n,k]ᵀ`
+/// * [`matmul_tn_into`]: `out[m,n] = a[r,m]ᵀ · c[r,n]`
+///
+/// Each `*_into` dispatches on [`kernel_mode`]; the `*_blocked` and
+/// `*_reference` variants are public so property tests can compare them
+/// directly. Every implementation accumulates each output element in
+/// ascending shared-dimension order, so the variants agree bit-for-bit on
+/// finite inputs.
+pub mod kernels {
+    use super::{kernel_mode, KernelMode, Matrix};
+
+    /// Rows of `b` kept hot per k-tile in the blocked matmul.
+    const KC: usize = 64;
+    /// Column-tile width (f32 elements) for the blocked matmul/tn kernels.
+    const NC: usize = 256;
+    /// Rows of `b` reused per tile in the blocked nt kernel.
+    const JT: usize = 32;
+
+    #[inline]
+    fn axpy(out: &mut [f32], x: &[f32], a: f32) {
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o += a * v;
+        }
+    }
+
+    /// `out = a · b`, dispatching on the kernel mode.
+    pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        match kernel_mode() {
+            KernelMode::Blocked => matmul_blocked(a, b, out),
+            KernelMode::Reference => matmul_reference(a, b, out),
+        }
+    }
+
+    /// `out = a · bᵀ`, dispatching on the kernel mode.
+    pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        match kernel_mode() {
+            KernelMode::Blocked => matmul_nt_blocked(a, b, out),
+            KernelMode::Reference => matmul_nt_reference(a, b, out),
+        }
+    }
+
+    /// `out = aᵀ · c`, dispatching on the kernel mode.
+    pub fn matmul_tn_into(a: &Matrix, c: &Matrix, out: &mut Matrix) {
+        match kernel_mode() {
+            KernelMode::Blocked => matmul_tn_blocked(a, c, out),
+            KernelMode::Reference => matmul_tn_reference(a, c, out),
+        }
+    }
+
+    /// Blocked i-k-j matmul: k-tiles of `b` stay cache-hot across the rows
+    /// of `a`, column tiles bound the working set, and the inner loop is a
+    /// fused AXPY over a contiguous row slice of `b`.
+    pub fn matmul_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.cols, b.rows);
+        debug_assert_eq!((out.rows, out.cols), (a.rows, b.cols));
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        out.data.fill(0.0);
+        for col0 in (0..n).step_by(NC) {
+            let cols = NC.min(n - col0);
+            for k0 in (0..k).step_by(KC) {
+                let kend = (k0 + KC).min(k);
+                for i in 0..m {
+                    let arow = &a.data[i * k..(i + 1) * k];
+                    let orow = &mut out.data[i * n + col0..i * n + col0 + cols];
+                    for (kk, &av) in arow.iter().enumerate().take(kend).skip(k0) {
+                        let brow = &b.data[kk * n + col0..kk * n + col0 + cols];
+                        axpy(orow, brow, av);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The retained naive matmul (i-k-j with a zero-skip, exactly the
+    /// pre-optimization forward kernel).
+    pub fn matmul_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.cols, b.rows);
+        out.data.fill(0.0);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let av = a.data[i * a.cols + k];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o += av * x;
+                }
+            }
+        }
+    }
+
+    /// Blocked `a · bᵀ`: a tile of `b` rows is reused across every row of
+    /// `a`, and four dot products run at once so each `a` row is loaded
+    /// once per four `b` rows.
+    pub fn matmul_nt_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.cols, b.cols);
+        debug_assert_eq!((out.rows, out.cols), (a.rows, b.rows));
+        let (m, k, n) = (a.rows, a.cols, b.rows);
+        for j0 in (0..n).step_by(JT) {
+            let jend = (j0 + JT).min(n);
+            for i in 0..m {
+                let arow = &a.data[i * k..(i + 1) * k];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                let mut j = j0;
+                while j + 4 <= jend {
+                    let b0 = &b.data[j * k..(j + 1) * k];
+                    let b1 = &b.data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &b.data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &b.data[(j + 3) * k..(j + 4) * k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for kk in 0..k {
+                        let av = arow[kk];
+                        s0 += av * b0[kk];
+                        s1 += av * b1[kk];
+                        s2 += av * b2[kk];
+                        s3 += av * b3[kk];
+                    }
+                    orow[j] = s0;
+                    orow[j + 1] = s1;
+                    orow[j + 2] = s2;
+                    orow[j + 3] = s3;
+                    j += 4;
+                }
+                while j < jend {
+                    let brow = &b.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += arow[kk] * brow[kk];
+                    }
+                    orow[j] = acc;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// The retained naive `a · bᵀ` (i-j-k dot products, the pre-optimization
+    /// kernel).
+    pub fn matmul_nt_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.cols, b.cols);
+        let (m, k, n) = (a.rows, a.cols, b.rows);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data[i * k + kk] * b.data[j * k + kk];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Blocked `aᵀ · c`: `out[j, :] += a[r, j] * c[r, :]` with the `r` loop
+    /// outermost, so both operands stream contiguously and the inner loop
+    /// is a fused AXPY; column tiles bound the `out` working set.
+    pub fn matmul_tn_blocked(a: &Matrix, c: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.rows, c.rows);
+        debug_assert_eq!((out.rows, out.cols), (a.cols, c.cols));
+        let (r_rows, m, n) = (a.rows, a.cols, c.cols);
+        out.data.fill(0.0);
+        for col0 in (0..n).step_by(NC) {
+            let cols = NC.min(n - col0);
+            for r in 0..r_rows {
+                let arow = &a.data[r * m..(r + 1) * m];
+                let crow = &c.data[r * n + col0..r * n + col0 + cols];
+                for (j, &av) in arow.iter().enumerate() {
+                    let orow = &mut out.data[j * n + col0..j * n + col0 + cols];
+                    axpy(orow, crow, av);
+                }
+            }
+        }
+    }
+
+    /// The retained naive `aᵀ · c` (j-c-r dot products over strided
+    /// columns, the pre-optimization backward kernel).
+    pub fn matmul_tn_reference(a: &Matrix, c: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(a.rows, c.rows);
+        let (r_rows, m, n) = (a.rows, a.cols, c.cols);
+        for j in 0..m {
+            for col in 0..n {
+                let mut acc = 0.0f32;
+                for r in 0..r_rows {
+                    acc += a.data[r * m + j] * c.data[r * n + col];
+                }
+                out.data[j * n + col] = acc;
+            }
+        }
+    }
+}
+
 enum Op {
     Leaf,
     /// (a, b): C = A · B
@@ -67,6 +310,8 @@ enum Op {
     Gather(TensorId, Vec<usize>),
     /// Column slice [start, len) of the input.
     SliceCols(TensorId, usize, usize),
+    /// First `rows` rows of the input.
+    SliceRows(TensorId, usize),
     /// Horizontal concatenation of column blocks.
     ConcatCols(Vec<TensorId>),
     /// Weighted token cross-entropy; caches softmax probs.
@@ -95,6 +340,22 @@ impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph").field("nodes", &self.nodes.len()).finish()
     }
+}
+
+/// Online (single-pass) max and exp-sum of a row: the streaming softmax
+/// normalizer. Returns `(max, denom)` with `denom = Σ exp(x - max)`.
+pub(crate) fn online_max_expsum(row: &[f32]) -> (f32, f32) {
+    let mut max = f32::NEG_INFINITY;
+    let mut denom = 0.0f32;
+    for &x in row {
+        if x > max {
+            denom = denom * (max - x).exp() + 1.0;
+            max = x;
+        } else {
+            denom += (x - max).exp();
+        }
+    }
+    (max, denom)
 }
 
 impl Graph {
@@ -154,7 +415,7 @@ impl Graph {
         {
             let av = &self.nodes[a.0].value;
             let bv = &self.nodes[b.0].value;
-            matmul_into(av, bv, &mut out);
+            kernels::matmul_into(av, bv, &mut out);
         }
         let needs = self.needs(a) || self.needs(b);
         self.push(out, Op::MatMul(a, b), needs)
@@ -169,15 +430,7 @@ impl Graph {
         {
             let av = &self.nodes[a.0].value;
             let bv = &self.nodes[b.0].value;
-            for i in 0..ar {
-                for j in 0..br {
-                    let mut acc = 0.0f32;
-                    for k in 0..ac {
-                        acc += av.data[i * ac + k] * bv.data[j * bc + k];
-                    }
-                    out.data[i * br + j] = acc;
-                }
-            }
+            kernels::matmul_nt_into(av, bv, &mut out);
         }
         let needs = self.needs(a) || self.needs(b);
         self.push(out, Op::MatMulNt(a, b), needs)
@@ -242,18 +495,25 @@ impl Graph {
     }
 
     /// Row-wise layer normalization (no affine; compose with `mul`/`add_row`
-    /// for gain/bias).
+    /// for gain/bias). One statistics sweep (sum + sum-of-squares fused)
+    /// and one write sweep per row.
     pub fn layernorm(&mut self, a: TensorId) -> TensorId {
         let v = &self.nodes[a.0].value;
         let mut out = Matrix::zeros(v.rows, v.cols);
         let mut stats = Vec::with_capacity(v.rows);
+        let n = v.cols as f32;
         for r in 0..v.rows {
             let row = &v.data[r * v.cols..(r + 1) * v.cols];
-            let mean = row.iter().sum::<f32>() / v.cols as f32;
-            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.cols as f32;
+            let (mut sum, mut sumsq) = (0.0f32, 0.0f32);
+            for &x in row {
+                sum += x;
+                sumsq += x * x;
+            }
+            let mean = sum / n;
+            let var = (sumsq / n - mean * mean).max(0.0);
             let rstd = 1.0 / (var + 1e-5).sqrt();
-            for (c, &x) in row.iter().enumerate() {
-                out.data[r * v.cols + c] = (x - mean) * rstd;
+            for (o, &x) in out.data[r * v.cols..(r + 1) * v.cols].iter_mut().zip(row) {
+                *o = (x - mean) * rstd;
             }
             stats.push((mean, rstd));
         }
@@ -262,22 +522,19 @@ impl Graph {
     }
 
     /// Row-wise softmax. `causal` masks column j > row i with -inf first
-    /// (for square attention score matrices).
+    /// (for square attention score matrices). Uses the online normalizer:
+    /// one read-only sweep for (max, denom), one write sweep fusing the
+    /// exponential with the reciprocal scale.
     pub fn softmax(&mut self, a: TensorId, causal: bool) -> TensorId {
         let v = &self.nodes[a.0].value;
         let mut out = Matrix::zeros(v.rows, v.cols);
         for r in 0..v.rows {
             let limit = if causal { (r + 1).min(v.cols) } else { v.cols };
             let row = &v.data[r * v.cols..r * v.cols + limit];
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut denom = 0.0f32;
-            for (c, &x) in row.iter().enumerate() {
-                let e = (x - max).exp();
-                out.data[r * v.cols + c] = e;
-                denom += e;
-            }
-            for c in 0..limit {
-                out.data[r * v.cols + c] /= denom;
+            let (max, denom) = online_max_expsum(row);
+            let inv = 1.0 / denom;
+            for (o, &x) in out.data[r * v.cols..r * v.cols + limit].iter_mut().zip(row) {
+                *o = (x - max).exp() * inv;
             }
             // masked entries stay exactly 0
         }
@@ -309,6 +566,41 @@ impl Graph {
         }
         let needs = self.needs(a);
         self.push(out, Op::SliceCols(a, start, len), needs)
+    }
+
+    /// First `rows` rows of `a` (used to drop the final next-token row
+    /// before the loss).
+    ///
+    /// In [`KernelMode::Reference`] this builds the historical selector
+    /// matrix `S[rows, n]` with `S[i,i] = 1` and multiplies — the
+    /// pre-optimization construction, whose backward pass is an
+    /// `O(n · rows · cols)` dense matmul. The blocked mode records a
+    /// dedicated O(rows · cols) copy/scatter op instead; both produce
+    /// bit-identical values and gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` exceeds the row count of `a`.
+    pub fn slice_rows(&mut self, a: TensorId, rows: usize) -> TensorId {
+        let v = &self.nodes[a.0].value;
+        assert!(rows <= v.rows, "slice beyond rows");
+        if rows == v.rows {
+            return a;
+        }
+        if kernel_mode() == KernelMode::Reference {
+            let n = v.rows;
+            let mut sel = Matrix::zeros(rows, n);
+            for i in 0..rows {
+                sel.data[i * n + i] = 1.0;
+            }
+            let s = self.constant(sel);
+            return self.matmul(s, a);
+        }
+        let cols = v.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        out.data.copy_from_slice(&v.data[..rows * cols]);
+        let needs = self.needs(a);
+        self.push(out, Op::SliceRows(a, rows), needs)
     }
 
     /// Concatenates blocks horizontally (same row count).
@@ -353,15 +645,10 @@ impl Graph {
         let mut loss = 0.0f32;
         for r in 0..v.rows {
             let row = &v.data[r * v.cols..(r + 1) * v.cols];
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut denom = 0.0f32;
-            for (c, &x) in row.iter().enumerate() {
-                let e = (x - max).exp();
-                probs.data[r * v.cols + c] = e;
-                denom += e;
-            }
-            for c in 0..v.cols {
-                probs.data[r * v.cols + c] /= denom;
+            let (max, denom) = online_max_expsum(row);
+            let inv = 1.0 / denom;
+            for (o, &x) in probs.data[r * v.cols..(r + 1) * v.cols].iter_mut().zip(row) {
+                *o = (x - max).exp() * inv;
             }
             let p = probs.data[r * v.cols + targets[r]].max(1e-12);
             loss -= weights[r] * p.ln();
@@ -395,8 +682,9 @@ impl Graph {
             if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
                 continue;
             }
-            let grad = self.nodes[i].grad.clone().expect("checked above");
+            let grad = self.nodes[i].grad.take().expect("checked above");
             self.backprop_node(i, &grad);
+            self.nodes[i].grad = Some(grad);
         }
     }
 
@@ -414,75 +702,54 @@ impl Graph {
         }
     }
 
+    /// Computes the input deltas of node `i` under `grad` and accumulates
+    /// them. Deltas are produced with only shared borrows of the tape (no
+    /// operand clones) and applied afterwards.
     fn backprop_node(&mut self, i: usize, grad: &Matrix) {
-        // Take op apart immutably first to avoid aliasing with accumulate.
+        let mut deltas: Vec<(TensorId, Matrix)> = Vec::with_capacity(2);
         match &self.nodes[i].op {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
                 let (a, b) = (*a, *b);
-                let av = self.nodes[a.0].value.clone();
-                let bv = self.nodes[b.0].value.clone();
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
                 // dA = dC · Bᵀ
                 if self.needs(a) {
                     let mut da = Matrix::zeros(av.rows, av.cols);
-                    for r in 0..av.rows {
-                        for k in 0..av.cols {
-                            let mut acc = 0.0f32;
-                            for c in 0..bv.cols {
-                                acc += grad.data[r * bv.cols + c] * bv.data[k * bv.cols + c];
-                            }
-                            da.data[r * av.cols + k] = acc;
-                        }
-                    }
-                    self.accumulate(a, da);
+                    kernels::matmul_nt_into(grad, bv, &mut da);
+                    deltas.push((a, da));
                 }
                 // dB = Aᵀ · dC
                 if self.needs(b) {
                     let mut db = Matrix::zeros(bv.rows, bv.cols);
-                    for k in 0..bv.rows {
-                        for c in 0..bv.cols {
-                            let mut acc = 0.0f32;
-                            for r in 0..av.rows {
-                                acc += av.data[r * av.cols + k] * grad.data[r * bv.cols + c];
-                            }
-                            db.data[k * bv.cols + c] = acc;
-                        }
-                    }
-                    self.accumulate(b, db);
+                    kernels::matmul_tn_into(av, grad, &mut db);
+                    deltas.push((b, db));
                 }
             }
             Op::MatMulNt(a, b) => {
                 let (a, b) = (*a, *b);
-                let av = self.nodes[a.0].value.clone();
-                let bv = self.nodes[b.0].value.clone();
-                // C = A Bᵀ, dA = dC · B ; dB = dCᵀ · A
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                // C = A Bᵀ: dA = dC · B ; dB = dCᵀ · A
                 if self.needs(a) {
                     let mut da = Matrix::zeros(av.rows, av.cols);
-                    matmul_into(grad, &bv, &mut da);
-                    self.accumulate(a, da);
+                    kernels::matmul_into(grad, bv, &mut da);
+                    deltas.push((a, da));
                 }
                 if self.needs(b) {
                     let mut db = Matrix::zeros(bv.rows, bv.cols);
-                    for j in 0..bv.rows {
-                        for k in 0..bv.cols {
-                            let mut acc = 0.0f32;
-                            for r in 0..av.rows {
-                                acc += grad.data[r * bv.rows + j] * av.data[r * av.cols + k];
-                            }
-                            db.data[j * bv.cols + k] = acc;
-                        }
-                    }
-                    self.accumulate(b, db);
+                    kernels::matmul_tn_into(grad, av, &mut db);
+                    deltas.push((b, db));
                 }
             }
             Op::Add(a, b) => {
                 let (a, b) = (*a, *b);
-                self.accumulate(a, grad.clone());
-                self.accumulate(b, grad.clone());
+                deltas.push((a, grad.clone()));
+                deltas.push((b, grad.clone()));
             }
             Op::AddRow(a, row) => {
                 let (a, row) = (*a, *row);
-                self.accumulate(a, grad.clone());
+                deltas.push((a, grad.clone()));
                 if self.needs(row) {
                     let mut dr = Matrix::zeros(1, grad.cols);
                     for r in 0..grad.rows {
@@ -490,26 +757,26 @@ impl Graph {
                             dr.data[c] += grad.data[r * grad.cols + c];
                         }
                     }
-                    self.accumulate(row, dr);
+                    deltas.push((row, dr));
                 }
             }
             Op::Mul(a, b) => {
                 let (a, b) = (*a, *b);
                 if self.needs(a) {
-                    let bv = self.nodes[b.0].value.clone();
+                    let bv = &self.nodes[b.0].value;
                     let mut da = grad.clone();
                     for (g, x) in da.data.iter_mut().zip(&bv.data) {
                         *g *= x;
                     }
-                    self.accumulate(a, da);
+                    deltas.push((a, da));
                 }
                 if self.needs(b) {
-                    let av = self.nodes[a.0].value.clone();
+                    let av = &self.nodes[a.0].value;
                     let mut db = grad.clone();
                     for (g, x) in db.data.iter_mut().zip(&av.data) {
                         *g *= x;
                     }
-                    self.accumulate(b, db);
+                    deltas.push((b, db));
                 }
             }
             Op::Scale(a, k) => {
@@ -518,21 +785,20 @@ impl Graph {
                 for g in da.data.iter_mut() {
                     *g *= k;
                 }
-                self.accumulate(a, da);
+                deltas.push((a, da));
             }
             Op::Gelu(a) => {
                 let a = *a;
-                let av = self.nodes[a.0].value.clone();
+                let av = &self.nodes[a.0].value;
                 let mut da = grad.clone();
                 for (g, &x) in da.data.iter_mut().zip(&av.data) {
                     *g *= gelu_bwd(x);
                 }
-                self.accumulate(a, da);
+                deltas.push((a, da));
             }
             Op::LayerNorm(a, stats) => {
                 let a = *a;
-                let stats = stats.clone();
-                let av = self.nodes[a.0].value.clone();
+                let av = &self.nodes[a.0].value;
                 let mut da = Matrix::zeros(av.rows, av.cols);
                 let n = av.cols as f32;
                 for (r, &(mean, rstd)) in stats.iter().enumerate() {
@@ -545,11 +811,11 @@ impl Graph {
                         da.data[r * av.cols + c] = rstd * (gs[c] - sum_g / n - xhat * sum_gx / n);
                     }
                 }
-                self.accumulate(a, da);
+                deltas.push((a, da));
             }
             Op::Softmax(a) => {
                 let a = *a;
-                let sv = self.nodes[i].value.clone();
+                let sv = &self.nodes[i].value;
                 let mut da = Matrix::zeros(sv.rows, sv.cols);
                 for r in 0..sv.rows {
                     let srow = &sv.data[r * sv.cols..(r + 1) * sv.cols];
@@ -559,11 +825,10 @@ impl Graph {
                         da.data[r * sv.cols + c] = srow[c] * (grow[c] - dot);
                     }
                 }
-                self.accumulate(a, da);
+                deltas.push((a, da));
             }
             Op::Gather(table, ids) => {
                 let table = *table;
-                let ids = ids.clone();
                 let (tr, tc) = self.shape(table);
                 let mut dt = Matrix::zeros(tr, tc);
                 for (r, id) in ids.iter().enumerate() {
@@ -571,7 +836,7 @@ impl Graph {
                         dt.data[id * tc + c] += grad.data[r * tc + c];
                     }
                 }
-                self.accumulate(table, dt);
+                deltas.push((table, dt));
             }
             Op::SliceCols(a, start, len) => {
                 let (a, start, len) = (*a, *start, *len);
@@ -582,12 +847,18 @@ impl Graph {
                         da.data[r * ac + start + c] = grad.data[r * len + c];
                     }
                 }
-                self.accumulate(a, da);
+                deltas.push((a, da));
+            }
+            Op::SliceRows(a, rows) => {
+                let (a, rows) = (*a, *rows);
+                let (ar, ac) = self.shape(a);
+                let mut da = Matrix::zeros(ar, ac);
+                da.data[..rows * ac].copy_from_slice(&grad.data);
+                deltas.push((a, da));
             }
             Op::ConcatCols(parts) => {
-                let parts = parts.clone();
                 let mut off = 0;
-                for p in parts {
+                for p in parts.clone() {
                     let (pr, pc) = self.shape(p);
                     if self.needs(p) {
                         let mut dp = Matrix::zeros(pr, pc);
@@ -596,47 +867,30 @@ impl Graph {
                                 dp.data[r * pc + c] = grad.data[r * grad.cols + off + c];
                             }
                         }
-                        self.accumulate(p, dp);
+                        deltas.push((p, dp));
                     }
                     off += pc;
                 }
             }
             Op::CrossEntropy { logits, targets, weights, probs } => {
                 let logits = *logits;
-                let targets = targets.clone();
-                let weights = weights.clone();
-                let probs = (**probs).clone();
                 let wsum: f32 = weights.iter().sum();
                 let g0 = grad.data[0];
                 let mut dl = Matrix::zeros(probs.rows, probs.cols);
                 for r in 0..probs.rows {
-                    let w = weights[r] / wsum;
-                    for c in 0..probs.cols {
-                        let indicator = if c == targets[r] { 1.0 } else { 0.0 };
-                        dl.data[r * probs.cols + c] =
-                            g0 * w * (probs.data[r * probs.cols + c] - indicator);
+                    let w = g0 * weights[r] / wsum;
+                    let prow = &probs.data[r * probs.cols..(r + 1) * probs.cols];
+                    let drow = &mut dl.data[r * probs.cols..(r + 1) * probs.cols];
+                    for (d, &p) in drow.iter_mut().zip(prow) {
+                        *d = w * p;
                     }
+                    drow[targets[r]] -= w;
                 }
-                self.accumulate(logits, dl);
+                deltas.push((logits, dl));
             }
         }
-    }
-}
-
-fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    debug_assert_eq!(a.cols, b.rows);
-    out.data.fill(0.0);
-    for i in 0..a.rows {
-        for k in 0..a.cols {
-            let av = a.data[i * a.cols + k];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b.data[k * b.cols..(k + 1) * b.cols];
-            let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
-            for (o, &x) in orow.iter_mut().zip(brow) {
-                *o += av * x;
-            }
+        for (id, delta) in deltas {
+            self.accumulate(id, delta);
         }
     }
 }
@@ -657,6 +911,7 @@ fn gelu_bwd(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Numerically checks d(loss)/d(param[idx]) for a scalar-producing
     /// closure rebuilt per evaluation.
@@ -834,6 +1089,35 @@ mod tests {
     }
 
     #[test]
+    fn slice_rows_takes_prefix_and_scatters_grad() {
+        let w = seeded(4, 3, 43);
+        let run = |w: &Matrix| -> (f32, Matrix, Matrix) {
+            let mut g = Graph::new();
+            let pw = g.param(w.clone());
+            let top = g.slice_rows(pw, 2);
+            let loss = g.cross_entropy(top, &[0, 2], &[1.0, 1.0]);
+            g.backward(loss);
+            (g.value(loss).data[0], g.value(top).clone(), g.grad(pw))
+        };
+        let (_, top, analytic) = run(&w);
+        assert_eq!(top.data, w.data[..6].to_vec(), "forward is the row prefix");
+        for idx in [0usize, 2, 5] {
+            let fd = finite_diff(&w, idx, |w| run(w).0);
+            assert!((analytic.data[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()), "w[{idx}]");
+        }
+        // rows beyond the slice receive zero grad
+        assert!(analytic.data[6..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn slice_rows_full_height_is_identity() {
+        let mut g = Graph::new();
+        let a = g.constant(seeded(3, 2, 44));
+        let s = g.slice_rows(a, 3);
+        assert_eq!(s, a);
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_causal_masks() {
         let mut g = Graph::new();
         let a = g.constant(seeded(4, 4, 51));
@@ -913,5 +1197,145 @@ mod tests {
     #[should_panic(expected = "matrix shape mismatch")]
     fn bad_shape_panics() {
         let _ = Matrix::new(2, 2, vec![1.0; 3]);
+    }
+
+    // ---- blocked-vs-reference kernel equivalence ----
+
+    /// Like [`seeded`] but with ~3/4 of the entries forced to exact zero,
+    /// so the reference kernel's zero-skip path is exercised.
+    fn seeded_zero_heavy(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut m = seeded(rows, cols, seed);
+        let mut x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        for v in m.data.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        m
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Forward matmul: blocked and reference kernels agree bit-for-bit
+        /// (same per-element accumulation order).
+        #[test]
+        fn blocked_matmul_is_bit_identical_to_reference(
+            m in 1usize..9, k in 1usize..70, n in 1usize..300,
+            seed in 0u64..1_000,
+        ) {
+            let a = seeded(m, k, seed);
+            let b = seeded(k, n, seed ^ 0xABCD);
+            let mut fast = Matrix::zeros(m, n);
+            let mut naive = Matrix::zeros(m, n);
+            kernels::matmul_blocked(&a, &b, &mut fast);
+            kernels::matmul_reference(&a, &b, &mut naive);
+            prop_assert_eq!(
+                fast.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                naive.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// `A · Bᵀ` (attention scores / dA of matmul): bit-identical.
+        #[test]
+        fn blocked_matmul_nt_is_bit_identical_to_reference(
+            m in 1usize..9, k in 1usize..70, n in 1usize..40,
+            seed in 0u64..1_000,
+        ) {
+            let a = seeded(m, k, seed);
+            let b = seeded(n, k, seed ^ 0x1234);
+            let mut fast = Matrix::zeros(m, n);
+            let mut naive = Matrix::zeros(m, n);
+            kernels::matmul_nt_blocked(&a, &b, &mut fast);
+            kernels::matmul_nt_reference(&a, &b, &mut naive);
+            prop_assert_eq!(
+                fast.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                naive.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// `Aᵀ · C` (dB of both matmuls): bit-identical.
+        #[test]
+        fn blocked_matmul_tn_is_bit_identical_to_reference(
+            r in 1usize..40, m in 1usize..9, n in 1usize..300,
+            seed in 0u64..1_000,
+        ) {
+            let a = seeded(r, m, seed);
+            let c = seeded(r, n, seed ^ 0x7777);
+            let mut fast = Matrix::zeros(m, n);
+            let mut naive = Matrix::zeros(m, n);
+            kernels::matmul_tn_blocked(&a, &c, &mut fast);
+            kernels::matmul_tn_reference(&a, &c, &mut naive);
+            prop_assert_eq!(
+                fast.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                naive.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// Zero-heavy operands (where the reference forward kernel takes its
+        /// skip path) still agree bit-for-bit.
+        #[test]
+        fn zero_heavy_matmul_is_bit_identical(
+            m in 1usize..6, k in 1usize..20, n in 1usize..50,
+            seed in 0u64..1_000,
+        ) {
+            let a = seeded_zero_heavy(m, k, seed ^ 0x5EED);
+            let b = seeded(k, n, seed);
+            let mut fast = Matrix::zeros(m, n);
+            let mut naive = Matrix::zeros(m, n);
+            kernels::matmul_blocked(&a, &b, &mut fast);
+            kernels::matmul_reference(&a, &b, &mut naive);
+            prop_assert_eq!(
+                fast.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                naive.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// End-to-end backward: a full graph (matmul chains, gelu,
+        /// layernorm, attention-style nt, CE) produces bit-identical
+        /// gradients through the blocked and the reference kernels, because
+        /// every kernel variant preserves per-element accumulation order.
+        #[test]
+        fn backward_kernels_agree_through_a_full_graph(
+            rows in 2usize..6, d in 2usize..10, v in 2usize..30,
+            seed in 0u64..1_000,
+        ) {
+            let x = seeded(rows, d, seed);
+            let w1 = seeded(d, d, seed ^ 1);
+            let w2 = seeded(d, v, seed ^ 2);
+            let run = |mode: KernelMode| {
+                // Build op-by-op with explicit kernel calls by flipping the
+                // dispatch mode around graph construction.
+                let prev = kernel_mode();
+                set_kernel_mode(mode);
+                let mut g = Graph::new();
+                let xi = g.constant(x.clone());
+                let p1 = g.param(w1.clone());
+                let p2 = g.param(w2.clone());
+                let h = g.matmul(xi, p1);
+                let h = g.gelu(h);
+                let h = g.layernorm(h);
+                let scores = g.matmul_nt(h, xi);
+                let attn = g.softmax(scores, true);
+                let ctx = g.matmul(attn, xi);
+                let logits = g.matmul(ctx, p2);
+                let logits = g.slice_rows(logits, rows - 1);
+                let targets: Vec<usize> = (0..rows - 1).map(|i| i % v).collect();
+                let weights = vec![1.0f32; rows - 1];
+                let loss = g.cross_entropy(logits, &targets, &weights);
+                g.backward(loss);
+                let out = (g.value(loss).data[0].to_bits(),
+                    g.grad(p1).data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    g.grad(p2).data.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+                set_kernel_mode(prev);
+                out
+            };
+            let blocked = run(KernelMode::Blocked);
+            let reference = run(KernelMode::Reference);
+            prop_assert_eq!(blocked, reference);
+        }
     }
 }

@@ -10,9 +10,12 @@ use crate::config::ModelConfig;
 use crate::lora::{Adapter, LoraConfig, LoraState};
 use crate::sampler::{sample_logits, SampleOptions};
 use crate::tensor::{Graph, Matrix, TensorId};
+use pyranet_exec::ExecConfig;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::borrow::Cow;
+use std::collections::HashMap;
 
 /// One training example: token ids, the index where code begins (loss is
 /// masked to code tokens), and the PyraNet per-sample loss weight.
@@ -26,7 +29,7 @@ pub struct TrainExample {
     pub weight: f32,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct LayerIdx {
     wq: usize,
     wk: usize,
@@ -37,7 +40,7 @@ struct LayerIdx {
 }
 
 /// The language model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerLm {
     /// Architecture + training hyperparameters.
     pub cfg: ModelConfig,
@@ -135,8 +138,9 @@ impl TransformerLm {
     }
 
     /// The effective (LoRA-merged) weight for a parameter index — used by
-    /// the inference fast path.
-    fn effective_weight(&self, idx: usize) -> Matrix {
+    /// the inference fast path. Borrows the base weight unless an adapter
+    /// actually modifies it, so LoRA-free generation never copies weights.
+    fn effective_weight(&self, idx: usize) -> Cow<'_, Matrix> {
         let base = &self.params[idx];
         match &self.lora {
             Some(state) => match state.adapter_for(idx) {
@@ -146,11 +150,11 @@ impl TransformerLm {
                     for (x, d) in w.data.iter_mut().zip(&delta.data) {
                         *x += d;
                     }
-                    w
+                    Cow::Owned(w)
                 }
-                None => base.clone(),
+                None => Cow::Borrowed(base),
             },
-            None => base.clone(),
+            None => Cow::Borrowed(base),
         }
     }
 
@@ -265,7 +269,7 @@ impl TransformerLm {
         // Row i predicts ids[i+1]; rows 0..len-1 participate, weighted so
         // only code-region targets count.
         let rows = len - 1;
-        let logits_rows = g.slice_rows_for_loss(logits, rows);
+        let logits_rows = g.slice_rows(logits, rows);
         let targets: Vec<usize> = ex.ids[1..len].to_vec();
         // 0/1 masks select the code region; the cross-entropy normalises by
         // the mask sum, so the PyraNet per-sample weight must be applied as
@@ -280,24 +284,46 @@ impl TransformerLm {
         Some((loss, trainables))
     }
 
+    /// Forward + backward for one example; pure over `&self`, so a batch of
+    /// these can run concurrently.
+    fn example_grads(&self, ex: &TrainExample) -> Option<(f32, Vec<(TrainKey, Matrix)>)> {
+        let mut g = Graph::new();
+        let (loss, trainables) = self.example_loss(&mut g, ex)?;
+        let loss_val = g.value(loss).data[0];
+        g.backward(loss);
+        Some((loss_val, trainables.into_iter().map(|(key, tid)| (key, g.grad(tid))).collect()))
+    }
+
     /// Runs one optimizer step over a mini-batch (gradients are averaged
     /// across examples). Returns the mean loss, or `None` when no example
     /// in the batch had a supervisable code region.
     pub fn train_step(&mut self, batch: &[TrainExample], opt: &mut Adam) -> Option<f32> {
-        let mut grad_acc: std::collections::HashMap<TrainKey, Matrix> =
-            std::collections::HashMap::new();
+        self.train_step_with(batch, opt, &ExecConfig::new())
+    }
+
+    /// [`TransformerLm::train_step`] with an explicit executor.
+    ///
+    /// Per-example gradients are computed through [`pyranet_exec::par_map`]
+    /// (pure per example) and then folded **in ascending example index** —
+    /// exactly the order the old sequential loop used. Because the fold is
+    /// sequential and order-fixed, every accumulated gradient, and thus
+    /// every weight after the optimizer step, is byte-identical at any
+    /// thread count.
+    pub fn train_step_with(
+        &mut self,
+        batch: &[TrainExample],
+        opt: &mut Adam,
+        exec: &ExecConfig,
+    ) -> Option<f32> {
+        let model = &*self;
+        let per_example = pyranet_exec::par_map_ref(exec, batch, |ex| model.example_grads(ex));
+        let mut grad_acc: HashMap<TrainKey, Matrix> = HashMap::new();
         let mut total_loss = 0.0;
         let mut n = 0usize;
-        for ex in batch {
-            let mut g = Graph::new();
-            let Some((loss, trainables)) = self.example_loss(&mut g, ex) else {
-                continue;
-            };
-            total_loss += g.value(loss).data[0];
+        for (loss, grads) in per_example.into_iter().flatten() {
+            total_loss += loss;
             n += 1;
-            g.backward(loss);
-            for (key, tid) in trainables {
-                let grad = g.grad(tid);
+            for (key, grad) in grads {
                 grad_acc
                     .entry(key)
                     .and_modify(|acc| {
@@ -378,13 +404,20 @@ impl TransformerLm {
         let hs = self.cfg.head_size();
         let nh = self.cfg.n_heads;
         let scale = 1.0 / (hs as f32).sqrt();
-        // Merged weights once per call.
-        let wq: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wq)).collect();
-        let wk: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wk)).collect();
-        let wv: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wv)).collect();
-        let wo: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.wo)).collect();
-        let w1: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.w1)).collect();
-        let w2: Vec<Matrix> = self.layers.iter().map(|l| self.effective_weight(l.w2)).collect();
+        // Merged weights once per call (borrowed straight from the model
+        // unless a LoRA adapter forces a merge copy).
+        let wq: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.wq)).collect();
+        let wk: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.wk)).collect();
+        let wv: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.wv)).collect();
+        let wo: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.wo)).collect();
+        let w1: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.w1)).collect();
+        let w2: Vec<Cow<'_, Matrix>> =
+            self.layers.iter().map(|l| self.effective_weight(l.w2)).collect();
         let tok = &self.params[self.tok_emb];
         let pos = &self.params[self.pos_emb];
         let head = &self.params[self.head];
@@ -481,49 +514,32 @@ fn vec_mat(x: &[f32], w: &Matrix) -> Vec<f32> {
 }
 
 fn ln_vec(x: &[f32]) -> Vec<f32> {
+    // Single statistics sweep: sum and sum-of-squares together.
     let n = x.len() as f32;
-    let mean = x.iter().sum::<f32>() / n;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let (mut sum, mut sumsq) = (0.0f32, 0.0f32);
+    for &v in x {
+        sum += v;
+        sumsq += v * v;
+    }
+    let mean = sum / n;
+    let var = (sumsq / n - mean * mean).max(0.0);
     let rstd = 1.0 / (var + 1e-5).sqrt();
     x.iter().map(|v| (v - mean) * rstd).collect()
 }
 
 fn softmax_inplace(xs: &mut [f32]) {
-    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-    let mut denom = 0.0f32;
+    // Online max/denom sweep, then one write sweep fusing exp with the
+    // reciprocal scale.
+    let (max, denom) = crate::tensor::online_max_expsum(xs);
+    let inv = 1.0 / denom;
     for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        denom += *x;
-    }
-    for x in xs.iter_mut() {
-        *x /= denom;
+        *x = (*x - max).exp() * inv;
     }
 }
 
 fn gelu(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
-}
-
-impl Graph {
-    /// Truncates logits to the first `rows` rows for next-token loss
-    /// (`slice_cols` analogue over rows, implemented via gather-free copy).
-    pub fn slice_rows_for_loss(&mut self, logits: TensorId, rows: usize) -> TensorId {
-        // A row slice is a gather over row indices of a non-table tensor; we
-        // emulate with slice on the transposed view being wasteful, so use a
-        // dedicated cheap path: constant row-selector matrix S [rows, n]
-        // with S[i,i]=1, then S · logits.
-        let n = self.value(logits).rows;
-        if rows == n {
-            return logits;
-        }
-        let mut sel = Matrix::zeros(rows, n);
-        for i in 0..rows {
-            sel.data[i * n + i] = 1.0;
-        }
-        let s = self.constant(sel);
-        self.matmul(s, logits)
-    }
 }
 
 #[cfg(test)]
@@ -727,6 +743,51 @@ mod tests {
         let b = TransformerLm::new(cfg, tk.vocab_size());
         let ex = &toy_examples(&tk)[0];
         assert_ne!(a.nll(ex), b.nll(ex));
+    }
+
+    #[test]
+    fn batched_train_step_is_byte_identical_at_any_thread_count() {
+        let tk = toy_tokenizer();
+        let examples = toy_examples(&tk);
+        let train = |threads: usize| {
+            let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+            let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+            let exec = ExecConfig::new().threads(threads);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(lm.train_step_with(&examples, &mut opt, &exec).unwrap().to_bits());
+            }
+            (losses, lm)
+        };
+        let (ref_losses, ref_lm) = train(1);
+        for threads in [2, 8] {
+            let (losses, lm) = train(threads);
+            assert_eq!(losses, ref_losses, "losses diverged at threads={threads}");
+            assert_eq!(lm, ref_lm, "weights diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_and_reference_kernels_train_identically() {
+        use crate::tensor::{kernel_mode, set_kernel_mode, KernelMode};
+        let tk = toy_tokenizer();
+        let examples = toy_examples(&tk);
+        let train = |mode: KernelMode| {
+            let prev = kernel_mode();
+            set_kernel_mode(mode);
+            let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+            let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+            let mut losses = Vec::new();
+            for _ in 0..4 {
+                losses.push(lm.train_step(&examples, &mut opt).unwrap().to_bits());
+            }
+            set_kernel_mode(prev);
+            (losses, lm)
+        };
+        let (blocked_losses, blocked_lm) = train(KernelMode::Blocked);
+        let (reference_losses, reference_lm) = train(KernelMode::Reference);
+        assert_eq!(blocked_losses, reference_losses, "losses must agree bit-for-bit");
+        assert_eq!(blocked_lm, reference_lm, "trained weights must agree bit-for-bit");
     }
 
     #[test]

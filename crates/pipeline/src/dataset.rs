@@ -95,9 +95,16 @@ impl PyraNetDataset {
     ///
     /// Propagates serialization and I/O errors.
     pub fn to_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        // One line buffer reused for every record: serialization appends
+        // into it and the trailing newline rides along, so each sample
+        // costs a single `write_all` and zero fresh allocations once the
+        // buffer has grown to the largest record.
+        let mut line = String::with_capacity(1024);
         for s in &self.samples {
-            let line = serde_json::to_string(s)?;
-            writeln!(w, "{line}")?;
+            line.clear();
+            serde_json::to_string_into(s, &mut line)?;
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
         }
         Ok(())
     }

@@ -6,19 +6,13 @@
 //! * [`CurriculumOnly`] — the layer-then-tier curriculum order, but
 //!   uniform weight 1.0 (no loss weighting).
 
-use crate::data::prompt_text;
+use crate::data::ExampleCache;
 use crate::report::TrainReport;
 use crate::sft::run_phase_with_order;
 use crate::TrainConfig;
 use pyranet_model::transformer::TrainExample;
 use pyranet_model::{Tokenizer, TransformerLm};
 use pyranet_pipeline::PyraNetDataset;
-
-fn example_for(s: &pyranet_pipeline::CuratedSample, tk: &Tokenizer, weight: f32) -> TrainExample {
-    let prompt = prompt_text(&s.description, &s.source);
-    let (ids, code_start) = tk.encode_pair(&prompt, &s.source);
-    TrainExample { ids, code_start, weight }
-}
 
 /// Loss weighting without curriculum: one shuffled phase where each example
 /// carries its layer's weight.
@@ -33,8 +27,19 @@ impl WeightingOnly {
         dataset: &PyraNetDataset,
         cfg: &TrainConfig,
     ) -> TrainReport {
+        Self::run_cached(lm, tk, dataset, cfg, &ExampleCache::new())
+    }
+
+    /// [`WeightingOnly::run`] reusing a shared tokenized-example cache.
+    pub fn run_cached(
+        lm: &mut TransformerLm,
+        tk: &Tokenizer,
+        dataset: &PyraNetDataset,
+        cfg: &TrainConfig,
+        cache: &ExampleCache,
+    ) -> TrainReport {
         let mut examples: Vec<TrainExample> =
-            dataset.iter().map(|s| example_for(s, tk, s.layer.loss_weight() as f32)).collect();
+            dataset.iter().map(|s| cache.example(s, tk, s.layer.loss_weight() as f32)).collect();
         let mut report = TrainReport::new("ablation: loss weighting only");
         run_phase_with_order(lm, &mut examples, cfg, "weighting-only", 1.0, &mut report, true);
         report
@@ -54,8 +59,19 @@ impl CurriculumOnly {
         dataset: &PyraNetDataset,
         cfg: &TrainConfig,
     ) -> TrainReport {
+        Self::run_cached(lm, tk, dataset, cfg, &ExampleCache::new())
+    }
+
+    /// [`CurriculumOnly::run`] reusing a shared tokenized-example cache.
+    pub fn run_cached(
+        lm: &mut TransformerLm,
+        tk: &Tokenizer,
+        dataset: &PyraNetDataset,
+        cfg: &TrainConfig,
+        cache: &ExampleCache,
+    ) -> TrainReport {
         let mut examples: Vec<TrainExample> =
-            dataset.curriculum().iter().map(|s| example_for(s, tk, 1.0)).collect();
+            dataset.curriculum().iter().map(|s| cache.example(s, tk, 1.0)).collect();
         let mut report = TrainReport::new("ablation: curriculum only");
         run_phase_with_order(lm, &mut examples, cfg, "curriculum-only", 1.0, &mut report, false);
         report
@@ -65,10 +81,20 @@ impl CurriculumOnly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::build_tokenizer;
+    use crate::data::{build_tokenizer, prompt_text};
     use pyranet_corpus::CorpusBuilder;
     use pyranet_model::ModelConfig;
     use pyranet_pipeline::Pipeline;
+
+    fn example_for(
+        s: &pyranet_pipeline::CuratedSample,
+        tk: &Tokenizer,
+        weight: f32,
+    ) -> TrainExample {
+        let prompt = prompt_text(&s.description, &s.source);
+        let (ids, code_start) = tk.encode_pair(&prompt, &s.source);
+        TrainExample { ids, code_start, weight }
+    }
 
     fn setup() -> (PyraNetDataset, Tokenizer, TransformerLm) {
         let pool = CorpusBuilder::new(25).scraped_files(150).build();

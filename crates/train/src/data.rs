@@ -44,6 +44,86 @@ where
         .collect()
 }
 
+/// Memoizes tokenized `(ids, code_start)` pairs so the same sample
+/// re-encoded across recipes, phases, or epochs is tokenized exactly once
+/// (tokenizing re-parses the Verilog source for the interface line, which
+/// dominates example construction).
+///
+/// Entries are keyed by sample id **and** a content hash of the
+/// (description, source) pair, so datasets with permuted labels (e.g. the
+/// erroneous-dataset ablation) never collide with their clean originals.
+/// Interior locking lets `&self` contexts (e.g. an experiment driver)
+/// share one cache across recipe runs.
+///
+/// One cache must only ever be used with one tokenizer.
+#[derive(Debug, Default)]
+pub struct ExampleCache {
+    entries: parking_lot::Mutex<CacheMap>,
+}
+
+/// (sample id, content hash) → cached `(ids, code_start)` encoding.
+type CacheMap = std::collections::HashMap<(u64, u64), (Vec<usize>, usize)>;
+
+impl ExampleCache {
+    /// An empty cache.
+    pub fn new() -> ExampleCache {
+        ExampleCache::default()
+    }
+
+    /// Number of cached encodings.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn key(s: &CuratedSample) -> (u64, u64) {
+        // FNV-1a over the text pair; combined with the id this makes
+        // collisions across label-permuted variants practically impossible.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.description.bytes().chain([0u8]).chain(s.source.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (s.id, h)
+    }
+
+    /// The training example for `s` at loss `weight`, encoding on miss.
+    pub fn example(&self, s: &CuratedSample, tk: &Tokenizer, weight: f32) -> TrainExample {
+        let key = Self::key(s);
+        if let Some((ids, code_start)) = self.entries.lock().get(&key).cloned() {
+            return TrainExample { ids, code_start, weight };
+        }
+        let prompt = prompt_text(&s.description, &s.source);
+        let (ids, code_start) = tk.encode_pair(&prompt, &s.source);
+        self.entries.lock().insert(key, (ids.clone(), code_start));
+        TrainExample { ids, code_start, weight }
+    }
+}
+
+impl Clone for ExampleCache {
+    fn clone(&self) -> Self {
+        ExampleCache { entries: parking_lot::Mutex::new(self.entries.lock().clone()) }
+    }
+}
+
+/// [`to_examples`] through an [`ExampleCache`]: identical output, but
+/// repeated conversions of the same samples skip re-encoding.
+pub fn to_examples_cached<'s, I>(
+    samples: I,
+    tk: &Tokenizer,
+    weight: f32,
+    cache: &ExampleCache,
+) -> Vec<TrainExample>
+where
+    I: IntoIterator<Item = &'s CuratedSample>,
+{
+    samples.into_iter().map(|s| cache.example(s, tk, weight)).collect()
+}
+
 /// Deterministic Fisher–Yates shuffle driven by a seed (kept here so all
 /// trainers share identical shuffling semantics).
 pub fn shuffle_examples(examples: &mut [TrainExample], seed: u64) {
@@ -90,6 +170,39 @@ mod tests {
             assert!(ex.code_start > 1);
             assert_eq!(ex.ids[0], pyranet_model::tokenizer::BOS);
         }
+    }
+
+    #[test]
+    fn cached_examples_match_uncached_and_encode_once() {
+        let samples: Vec<CuratedSample> = (0..6).map(sample).collect();
+        let tk = build_tokenizer(samples.iter());
+        let cache = ExampleCache::new();
+        let direct = to_examples(samples.iter(), &tk, 0.6);
+        let cached = to_examples_cached(samples.iter(), &tk, 0.6, &cache);
+        assert_eq!(direct, cached);
+        assert_eq!(cache.len(), 6);
+        // Re-converting at another weight reuses every entry and only
+        // restamps the weight.
+        let reweighted = to_examples_cached(samples.iter(), &tk, 1.0, &cache);
+        assert_eq!(cache.len(), 6, "no new encodings on the second pass");
+        assert_eq!(reweighted[0].ids, direct[0].ids);
+        assert!((reweighted[0].weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_distinguishes_permuted_labels() {
+        let samples: Vec<CuratedSample> = (0..2).map(sample).collect();
+        let tk = build_tokenizer(samples.iter());
+        let cache = ExampleCache::new();
+        let _ = to_examples_cached(samples.iter(), &tk, 1.0, &cache);
+        let mut swapped = samples.clone();
+        let d0 = swapped[0].description.clone();
+        swapped[0].description = swapped[1].description.clone();
+        swapped[1].description = d0;
+        let from_cache = to_examples_cached(swapped.iter(), &tk, 1.0, &cache);
+        let direct = to_examples(swapped.iter(), &tk, 1.0);
+        assert_eq!(from_cache, direct, "permuted labels must not hit stale entries");
+        assert_eq!(cache.len(), 4, "swapped pairs are distinct cache entries");
     }
 
     #[test]

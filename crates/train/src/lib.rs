@@ -27,7 +27,7 @@ pub mod pyranet;
 pub mod report;
 pub mod sft;
 
-pub use data::{build_tokenizer, to_examples};
+pub use data::{build_tokenizer, to_examples, to_examples_cached, ExampleCache};
 pub use pyranet::PyraNetTrainer;
 pub use report::{PhaseReport, TrainReport};
 pub use sft::SftTrainer;
@@ -52,6 +52,10 @@ pub struct TrainConfig {
     pub lora: Option<LoraConfig>,
     /// Shuffling seed.
     pub seed: u64,
+    /// Threads for batched gradient computation (`0` = auto, resolving
+    /// from `PYRANET_THREADS` or the machine). Training outputs are
+    /// byte-identical at any value — see `train_step_with`.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -63,6 +67,7 @@ impl Default for TrainConfig {
             max_examples_per_phase: Some(240),
             lora: None,
             seed: 7,
+            threads: 0,
         }
     }
 }

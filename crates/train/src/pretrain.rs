@@ -7,8 +7,9 @@
 //! base's Table I baseline strength: more budget ⇒ stronger baseline, which
 //! preserves the 7B < 13B < DeepSeek ordering.
 
-use crate::data::{shuffle_examples, to_examples};
+use crate::data::{shuffle_examples, to_examples_cached, ExampleCache};
 use crate::TrainConfig;
+use pyranet_exec::ExecConfig;
 use pyranet_model::{Adam, Tokenizer, TransformerLm};
 use pyranet_pipeline::PyraNetDataset;
 
@@ -41,14 +42,27 @@ pub fn pretrain(
     budget: PretrainBudget,
     cfg: &TrainConfig,
 ) -> f32 {
-    let mut examples = to_examples(generic.iter(), tk, 1.0);
+    pretrain_cached(lm, tk, generic, budget, cfg, &ExampleCache::new())
+}
+
+/// [`pretrain`] reusing a shared tokenized-example cache.
+pub fn pretrain_cached(
+    lm: &mut TransformerLm,
+    tk: &Tokenizer,
+    generic: &PyraNetDataset,
+    budget: PretrainBudget,
+    cfg: &TrainConfig,
+    cache: &ExampleCache,
+) -> f32 {
+    let mut examples = to_examples_cached(generic.iter(), tk, 1.0, cache);
     shuffle_examples(&mut examples, lm.cfg.seed);
     examples.truncate(budget.pairs);
+    let exec = ExecConfig::new().threads(cfg.threads);
     let mut opt = Adam::new(lm.trainable_count(), cfg.learning_rate);
     let mut last = 0.0;
     for _ in 0..budget.epochs {
         for batch in examples.chunks(cfg.batch_size) {
-            if let Some(loss) = lm.train_step(batch, &mut opt) {
+            if let Some(loss) = lm.train_step_with(batch, &mut opt, &exec) {
                 last = loss;
             }
         }
@@ -59,7 +73,7 @@ pub fn pretrain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::build_tokenizer;
+    use crate::data::{build_tokenizer, to_examples};
     use pyranet_corpus::CorpusBuilder;
     use pyranet_model::ModelConfig;
     use pyranet_pipeline::Pipeline;

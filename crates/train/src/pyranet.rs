@@ -9,7 +9,7 @@
 //! the fine-tuning progresses downward through the dataset" — with loss
 //! weights 1.0, 0.8, 0.6, 0.4, 0.2, 0.1 per layer (Fig. 1-b).
 
-use crate::data::to_examples;
+use crate::data::{to_examples_cached, ExampleCache};
 use crate::report::TrainReport;
 use crate::sft::run_phase;
 use crate::TrainConfig;
@@ -22,13 +22,25 @@ use pyranet_verilog::metrics::ComplexityTier;
 pub struct PyraNetTrainer;
 
 impl PyraNetTrainer {
-    /// Runs the full PyraNet schedule: 6 layers × 4 complexity tiers = up
-    /// to 24 sequential phases (empty groups are skipped).
+    /// Runs the full PyraNet schedule: 6 layers × 4 complexity tiers = 24
+    /// sequential phases. Empty groups are recorded as explicit zero-step
+    /// phases, so the report always has one entry per layer/tier.
     pub fn run(
         lm: &mut TransformerLm,
         tk: &Tokenizer,
         dataset: &PyraNetDataset,
         cfg: &TrainConfig,
+    ) -> TrainReport {
+        Self::run_cached(lm, tk, dataset, cfg, &ExampleCache::new())
+    }
+
+    /// [`PyraNetTrainer::run`] reusing a shared tokenized-example cache.
+    pub fn run_cached(
+        lm: &mut TransformerLm,
+        tk: &Tokenizer,
+        dataset: &PyraNetDataset,
+        cfg: &TrainConfig,
+        cache: &ExampleCache,
     ) -> TrainReport {
         let mut report = TrainReport::new("PyraNet-Architecture");
         for layer in Layer::ALL {
@@ -36,10 +48,8 @@ impl PyraNetTrainer {
             for tier in ComplexityTier::ALL {
                 let group: Vec<_> =
                     dataset.iter().filter(|s| s.layer == layer && s.tier == tier).collect();
-                if group.is_empty() {
-                    continue;
-                }
-                let mut examples = to_examples(group.iter().copied(), tk, weight as f32);
+                let mut examples =
+                    to_examples_cached(group.iter().copied(), tk, weight as f32, cache);
                 let name = format!("{layer}/{tier}");
                 run_phase(lm, &mut examples, cfg, &name, weight, &mut report);
             }
@@ -101,7 +111,16 @@ mod tests {
         let tcfg =
             TrainConfig { epochs: 1, max_examples_per_phase: Some(6), ..TrainConfig::default() };
         let report = PyraNetTrainer::run(&mut lm, &tk, &ds, &tcfg);
-        assert!(!report.phases.is_empty());
+        // every scheduled layer/tier gets a report entry, even when its
+        // group is empty (those record zero examples and zero steps)
+        assert_eq!(report.phases.len(), 24, "one phase per layer/tier");
+        for p in &report.phases {
+            if p.examples == 0 {
+                assert_eq!(p.first_loss, 0.0);
+                assert_eq!(p.last_loss, 0.0);
+            }
+        }
+        assert!(report.phases.iter().any(|p| p.examples > 0), "some groups must train");
         // per-phase weights must be one of the paper's six values and
         // non-increasing across the run
         let allowed = [1.0, 0.8, 0.6, 0.4, 0.2, 0.1];

@@ -4,9 +4,10 @@
 //! available (data, description) pair from the dataset … the loss weights
 //! were set to 1.0" with random sampling (no curriculum).
 
-use crate::data::{shuffle_examples, to_examples};
+use crate::data::{shuffle_examples, to_examples_cached, ExampleCache};
 use crate::report::{PhaseReport, TrainReport};
 use crate::TrainConfig;
+use pyranet_exec::ExecConfig;
 use pyranet_model::transformer::TrainExample;
 use pyranet_model::{Adam, Tokenizer, TransformerLm};
 use pyranet_pipeline::PyraNetDataset;
@@ -25,7 +26,18 @@ impl SftTrainer {
         dataset: &PyraNetDataset,
         cfg: &TrainConfig,
     ) -> TrainReport {
-        let mut examples = to_examples(dataset.iter(), tk, 1.0);
+        Self::run_cached(lm, tk, dataset, cfg, &ExampleCache::new())
+    }
+
+    /// [`SftTrainer::run`] reusing a shared tokenized-example cache.
+    pub fn run_cached(
+        lm: &mut TransformerLm,
+        tk: &Tokenizer,
+        dataset: &PyraNetDataset,
+        cfg: &TrainConfig,
+        cache: &ExampleCache,
+    ) -> TrainReport {
+        let mut examples = to_examples_cached(dataset.iter(), tk, 1.0, cache);
         let mut report = TrainReport::new("PyraNet-Dataset (plain SFT)");
         run_phase(lm, &mut examples, cfg, "sft", 1.0, &mut report);
         report
@@ -57,6 +69,15 @@ pub(crate) fn run_phase_with_order(
     shuffle: bool,
 ) {
     if examples.is_empty() {
+        // Record an explicit zero-step phase so curriculum reports always
+        // carry one entry per scheduled layer/tier.
+        report.phases.push(PhaseReport {
+            name: name.to_owned(),
+            loss_weight,
+            examples: 0,
+            first_loss: 0.0,
+            last_loss: 0.0,
+        });
         return;
     }
     if shuffle {
@@ -70,12 +91,13 @@ pub(crate) fn run_phase_with_order(
             lm.enable_lora(lora);
         }
     }
+    let exec = ExecConfig::new().threads(cfg.threads);
     let mut opt = Adam::new(lm.trainable_count(), cfg.learning_rate);
     let mut first = None;
     let mut last = 0.0f32;
     for _epoch in 0..cfg.epochs {
         for batch in examples.chunks(cfg.batch_size) {
-            if let Some(loss) = lm.train_step(batch, &mut opt) {
+            if let Some(loss) = lm.train_step_with(batch, &mut opt, &exec) {
                 if first.is_none() {
                     first = Some(loss);
                 }

@@ -104,6 +104,48 @@ fn eval_pass_at_k_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn batched_sft_training_is_identical_at_any_thread_count() {
+    // Per-example gradients are computed in parallel but folded in example
+    // order, so the trained weights must be byte-identical at any thread
+    // count (`TrainConfig::threads` only changes wall time, never output).
+    let pool = CorpusBuilder::new(14).scraped_files(150).llm_generation(false).build();
+    let ds = Pipeline::new().run(pool.samples).dataset;
+    let tk = pyranet::train::build_tokenizer(ds.iter());
+    let cfg = ModelConfig {
+        name: "determinism-train".into(),
+        d_model: 16,
+        n_layers: 1,
+        n_heads: 2,
+        d_ff: 32,
+        max_seq: 128,
+        learning_rate: 3e-3,
+        seed: 7,
+    };
+    let run = |threads| {
+        let mut lm = TransformerLm::new(cfg.clone(), tk.vocab_size());
+        let tcfg = pyranet::TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_examples_per_phase: Some(16),
+            threads,
+            ..pyranet::TrainConfig::default()
+        };
+        let report = pyranet::train::SftTrainer::run(&mut lm, &tk, &ds, &tcfg);
+        (lm, report)
+    };
+    let (ref_lm, ref_report) = run(1);
+    for threads in THREAD_COUNTS {
+        let (lm, report) = run(threads);
+        assert_eq!(
+            report.phases[0].last_loss.to_bits(),
+            ref_report.phases[0].last_loss.to_bits(),
+            "threads = {threads}"
+        );
+        assert_eq!(lm, ref_lm, "threads = {threads}");
+    }
+}
+
+#[test]
 fn eval_is_independent_of_problem_order() {
     // Each problem's sampling stream is keyed by (seed, problem id), so
     // shuffling the split must only permute the per-problem results.

@@ -42,6 +42,19 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON into a caller-provided buffer,
+/// appending to whatever it already holds. Lets hot serialization loops
+/// reuse one allocation across records instead of building a fresh
+/// `String` per call.
+///
+/// # Errors
+///
+/// Infallible for the supported data model (see [`to_string`]).
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_compact(&value.to_content(), out);
+    Ok(())
+}
+
 /// Serializes `value` as two-space-indented JSON.
 ///
 /// # Errors
@@ -409,6 +422,17 @@ mod tests {
         assert_eq!(json, r#"[["a",[1,2]],["b",null]]"#);
         let back: Vec<(String, Option<Vec<u8>>)> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn to_string_into_appends_and_matches_to_string() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let mut buf = String::from("prefix:");
+        to_string_into(&v, &mut buf).unwrap();
+        assert_eq!(buf, format!("prefix:{}", to_string(&v).unwrap()));
+        buf.clear();
+        to_string_into(&42u8, &mut buf).unwrap();
+        assert_eq!(buf, "42");
     }
 
     #[test]
