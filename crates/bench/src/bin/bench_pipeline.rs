@@ -9,7 +9,7 @@
 //! expected to be ~1.0×.
 
 use pyranet::corpus::CorpusBuilder;
-use pyranet::pipeline::{Pipeline, StageTimings};
+use pyranet::pipeline::{Pipeline, PyraNetDataset, ShardSpec, StageTimings};
 use pyranet_bench::Scale;
 use serde::Serialize;
 
@@ -42,6 +42,24 @@ struct RunReport {
 }
 
 #[derive(Serialize)]
+struct PersistReport {
+    /// Shards written (fixed-size policy).
+    shards: u64,
+    /// Samples per shard requested.
+    shard_size: u64,
+    /// Total shard bytes on disk.
+    bytes: u64,
+    /// Sharded export wall seconds (fastest repeat; flush-checked writes).
+    export_secs: f64,
+    /// Export throughput.
+    export_samples_per_sec: f64,
+    /// Sharded import wall seconds (fastest repeat; checksum-verified).
+    import_secs: f64,
+    /// Import throughput.
+    import_samples_per_sec: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     /// `std::thread::available_parallelism()` on the benchmarking host.
     host_parallelism: u64,
@@ -50,6 +68,8 @@ struct BenchReport {
     /// Repeats per thread count (fastest wins).
     repeats: u64,
     runs: Vec<RunReport>,
+    /// Sharded export/import throughput over the curated dataset.
+    persist: PersistReport,
 }
 
 fn stage(secs: f64, samples_in: usize) -> StageReport {
@@ -62,6 +82,49 @@ fn stage(secs: f64, samples_in: usize) -> StageReport {
 
 fn curation_secs(t: &StageTimings) -> f64 {
     (t.broken + t.no_module + t.dedup + t.syntax_rank).as_secs_f64()
+}
+
+/// Times the sharded export/import round trip (fixed-size shards, auto
+/// threads) over the curated dataset; fastest of [`REPEATS`] wins.
+fn bench_persist(ds: &PyraNetDataset) -> PersistReport {
+    let exec = pyranet_exec::ExecConfig::new();
+    let shard_size = (ds.len() / 8).max(1);
+    let dir = std::env::temp_dir().join(format!("pyranet-bench-persist-{}", std::process::id()));
+    let mut export_secs = f64::INFINITY;
+    let mut import_secs = f64::INFINITY;
+    let mut shards = 0u64;
+    let mut bytes = 0u64;
+    for _ in 0..REPEATS {
+        let t = std::time::Instant::now();
+        let manifest =
+            ds.to_shards(&dir, ShardSpec::MaxSamples(shard_size), &exec).expect("sharded export");
+        export_secs = export_secs.min(t.elapsed().as_secs_f64());
+        shards = manifest.shards.len() as u64;
+        bytes = manifest.shards.iter().map(|s| s.bytes).sum();
+
+        let t = std::time::Instant::now();
+        let back = PyraNetDataset::from_shards(&dir, &exec).expect("sharded import");
+        import_secs = import_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(&back, ds, "round trip must be lossless");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let rate = |secs: f64| if secs > 0.0 { ds.len() as f64 / secs } else { 0.0 };
+    eprintln!(
+        "persist: {} samples -> {shards} shard(s), {bytes} bytes; \
+         export {export_secs:.3}s ({:.0}/s), import {import_secs:.3}s ({:.0}/s)",
+        ds.len(),
+        rate(export_secs),
+        rate(import_secs)
+    );
+    PersistReport {
+        shards,
+        shard_size: shard_size as u64,
+        bytes,
+        export_secs,
+        export_samples_per_sec: rate(export_secs),
+        import_secs,
+        import_samples_per_sec: rate(import_secs),
+    }
 }
 
 fn main() {
@@ -109,11 +172,14 @@ fn main() {
         );
     }
 
+    let persist = bench_persist(&Pipeline::new().run(pool.samples.clone()).dataset);
+
     let report = BenchReport {
         host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
         pool_files: n as u64,
         repeats: REPEATS as u64,
         runs,
+        persist,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

@@ -9,17 +9,20 @@
 //! pyranet complexity <file.v>     # Basic/Intermediate/Advanced/Expert
 //! pyranet sim <file.v> <top> ...  # drive a module interactively
 //! pyranet build-dataset [--files N] [--seed S] [--threads T] [--out F.jsonl]
-//! pyranet stats <dataset.jsonl>   # layer pyramid of a built dataset
+//!                       [--out-dir DIR] [--shard-size N]
+//! pyranet stats <dataset.jsonl | shard-dir | manifest.json>
+//!                                 # layer pyramid of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
 //! ```
 
 use pyranet::model::{ModelConfig, TransformerLm};
 use pyranet::pipeline::rank::{rank_sample, render_response};
+use pyranet::pipeline::ShardSpec;
 use pyranet::train::{build_tokenizer, SftTrainer};
 use pyranet::verilog::lint::lint_module;
 use pyranet::verilog::metrics::{measure, ComplexityTier};
 use pyranet::verilog::{check_source, parse_module, Simulator, SyntaxVerdict};
-use pyranet::{BuildOptions, Layer, PyraNetBuilder, PyraNetDataset, TrainConfig};
+use pyranet::{BuildOptions, Layer, PyraNetBuilder, TrainConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -53,7 +56,8 @@ fn print_usage() {
          USAGE:\n  pyranet check <file.v>\n  pyranet rank <file.v>\n  \
          pyranet complexity <file.v>\n  pyranet sim <file.v> <top> [name=value]... [--clock clk] [--cycles N]\n  \
          pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
-         pyranet stats <dataset.jsonl>\n  \
+        \x20                     [--out-dir shards/] [--shard-size N]\n  \
+         pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]"
     );
 }
@@ -158,7 +162,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut files = 1200usize;
     let mut seed = BuildOptions::default().seed;
     let mut threads = 0usize;
-    let mut out = "pyranet_dataset.jsonl".to_owned();
+    let mut out: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut shard_size: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -183,9 +189,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?;
             }
-            "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--out-dir" => out_dir = Some(it.next().ok_or("--out-dir needs a path")?.clone()),
+            "--shard-size" => {
+                shard_size = Some(
+                    it.next()
+                        .ok_or("--shard-size needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --shard-size: {e}"))?,
+                );
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if shard_size.is_some() && out_dir.is_none() {
+        return Err("--shard-size only applies to sharded output; add --out-dir".into());
     }
     let built = PyraNetBuilder::new(BuildOptions {
         scraped_files: files,
@@ -195,14 +213,39 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     })
     .build();
     println!("{}", built.funnel.render());
-    let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    // A sized writer keeps syscall count low even for large datasets; each
-    // record is a single buffered `write_all` (see `to_jsonl`).
-    built
-        .dataset
-        .to_jsonl(std::io::BufWriter::with_capacity(1 << 20, file))
-        .map_err(|e| format!("write failed: {e}"))?;
-    println!("wrote {} samples to {out}", built.dataset.len());
+    if let Some(dir) = &out_dir {
+        // Sharded export: per-layer shards by default, fixed-size when
+        // --shard-size is given. Serialization fans out across --threads;
+        // every shard and the manifest are flush-checked.
+        let spec = match shard_size {
+            Some(n) => ShardSpec::MaxSamples(n),
+            None => ShardSpec::PerLayer,
+        };
+        let exec = pyranet_exec::ExecConfig::new().threads(threads);
+        let manifest = built
+            .dataset
+            .to_shards(std::path::Path::new(dir), spec, &exec)
+            .map_err(|e| format!("sharded write failed: {e}"))?;
+        println!(
+            "wrote {} samples to {dir} ({} shard(s) + manifest.json)",
+            built.dataset.len(),
+            manifest.shards.len()
+        );
+    }
+    if out.is_some() || out_dir.is_none() {
+        let out = out.unwrap_or_else(|| "pyranet_dataset.jsonl".to_owned());
+        let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        // A sized writer keeps syscall count low even for large datasets;
+        // each record is a single buffered `write_all` (see `to_jsonl`).
+        let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+        built.dataset.to_jsonl(&mut w).map_err(|e| format!("write failed: {e}"))?;
+        // `to_jsonl` already flushed; this explicit flush is the
+        // belt-and-braces guard that no failure can ever be deferred to
+        // the BufWriter's error-swallowing `Drop`.
+        use std::io::Write;
+        w.flush().map_err(|e| format!("write failed: {e}"))?;
+        println!("wrote {} samples to {out}", built.dataset.len());
+    }
     Ok(())
 }
 
@@ -262,10 +305,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: pyranet stats <dataset.jsonl>")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let ds = PyraNetDataset::from_jsonl(std::io::BufReader::new(file))
-        .map_err(|e| format!("parse failed: {e}"))?;
+    let path = args.first().ok_or("usage: pyranet stats <dataset.jsonl | shard-dir>")?;
+    // Accepts a single .jsonl file, a sharded export directory, or its
+    // manifest.json; sharded imports are checksum-verified per shard and
+    // parse failures carry `file:line` context.
+    let ds = pyranet::pipeline::persist::load_dataset(
+        std::path::Path::new(path),
+        &pyranet_exec::ExecConfig::new(),
+    )
+    .map_err(|e| format!("{e}"))?;
     let counts = ds.layer_counts();
     let max = counts.iter().copied().max().unwrap_or(1).max(1);
     println!("{} samples", ds.len());

@@ -92,6 +92,27 @@ impl EvalResult {
     }
 }
 
+/// Near-greedy floor of the per-problem temperature cycle.
+const TEMPERATURE_FLOOR: f64 = 0.05;
+
+/// Temperature for sample `i` of `n`: linear from [`TEMPERATURE_FLOOR`]
+/// at `i = 0` to **exactly** `ceiling` at `i = n - 1` (a single sample
+/// stays near-greedy). The interpolation runs in `f64` — `u32 → f64` is
+/// exact for every `i`/`n`, so there is no lossy narrowing even for huge
+/// sample counts — and only the final value narrows to `f32`.
+pub fn sample_temperature(i: u32, n: u32, ceiling: f32) -> f32 {
+    if n <= 1 || i == 0 {
+        return TEMPERATURE_FLOOR as f32;
+    }
+    if i >= n - 1 {
+        // Pin the endpoint: the documented ceiling is reached exactly,
+        // free of round-trip error through the interpolation arithmetic.
+        return ceiling;
+    }
+    let frac = f64::from(i) / f64::from(n - 1);
+    (TEMPERATURE_FLOOR + frac * (f64::from(ceiling) - TEMPERATURE_FLOOR)) as f32
+}
+
 /// Evaluates `lm` on `problems`.
 pub fn evaluate(
     lm: &TransformerLm,
@@ -121,13 +142,10 @@ pub fn evaluate(
             // Temperature cycles from near-greedy up to `opts.temperature`
             // across the n samples (mirroring the paper's multi-temperature
             // querying) so pass@1 rewards confidence and pass@10 diversity.
-            let frac = if opts.samples_per_problem > 1 {
-                f32::from(i as u16) / f32::from((opts.samples_per_problem - 1) as u16)
-            } else {
-                0.0
+            let sample_opts = SampleOptions {
+                temperature: sample_temperature(i, opts.samples_per_problem, opts.temperature),
+                top_k: 0,
             };
-            let sample_opts =
-                SampleOptions { temperature: 0.05 + frac * opts.temperature, top_k: 0 };
             let body = lm.generate(&prompt, opts.max_new_tokens, &sample_opts, &mut rng);
             let mut ids = header_ids.clone();
             ids.extend_from_slice(&body);
@@ -193,6 +211,37 @@ mod tests {
         let r = fake_result(&[]);
         assert_eq!(r.pass_at(1), 0.0);
         assert_eq!(r.syntax_rate(), 0.0);
+    }
+
+    #[test]
+    fn temperature_cycle_spans_floor_to_ceiling_exactly() {
+        let t = 0.5f32;
+        for n in [2u32, 3, 10, 1_000_003] {
+            assert_eq!(sample_temperature(0, n, t).to_bits(), 0.05f32.to_bits(), "n={n}");
+            // The documented ceiling is reached *exactly* at the last
+            // sample — the pre-fix schedule overshot to `t + 0.05`.
+            assert_eq!(sample_temperature(n - 1, n, t).to_bits(), t.to_bits(), "n={n}");
+        }
+        // A single sample stays near-greedy.
+        assert_eq!(sample_temperature(0, 1, t).to_bits(), 0.05f32.to_bits());
+        assert_eq!(sample_temperature(0, 0, t).to_bits(), 0.05f32.to_bits());
+    }
+
+    #[test]
+    fn temperature_cycle_is_monotone_and_bounded() {
+        let t = 0.7f32;
+        let n = 64u32;
+        let mut prev = f32::MIN;
+        for i in 0..n {
+            let temp = sample_temperature(i, n, t);
+            assert!(temp >= prev, "i={i}: {temp} < {prev}");
+            assert!((0.05..=t).contains(&temp), "i={i}: {temp} outside [0.05, {t}]");
+            prev = temp;
+        }
+        // Counts beyond u16 (the old lossy cast) interpolate cleanly.
+        let big = u32::MAX;
+        assert!(sample_temperature(big / 2, big, t) > 0.05);
+        assert!(sample_temperature(big / 2, big, t) < t);
     }
 
     #[test]

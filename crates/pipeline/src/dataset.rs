@@ -89,11 +89,14 @@ impl PyraNetDataset {
         out
     }
 
-    /// Writes the dataset as JSON Lines.
+    /// Writes the dataset as JSON Lines and **flushes the writer** before
+    /// returning, so buffered-writer callers get short-write and flush
+    /// failures as errors instead of having `Drop` swallow them (a
+    /// disk-full export must never report success).
     ///
     /// # Errors
     ///
-    /// Propagates serialization and I/O errors.
+    /// Propagates serialization, write, and flush errors.
     pub fn to_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         // One line buffer reused for every record: serialization appends
         // into it and the trailing newline rides along, so each sample
@@ -106,7 +109,7 @@ impl PyraNetDataset {
             line.push('\n');
             w.write_all(line.as_bytes())?;
         }
-        Ok(())
+        w.flush()
     }
 
     /// Reads a dataset from JSON Lines. A `mut` reference can be passed for
@@ -114,18 +117,28 @@ impl PyraNetDataset {
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or malformed lines.
+    /// Fails on I/O errors; malformed lines report their 1-based line
+    /// number (`line 37: ...`). [`crate::persist::load_dataset`] adds the
+    /// file name on top when reading from a path.
     pub fn from_jsonl<R: BufRead>(r: R) -> std::io::Result<PyraNetDataset> {
         let mut ds = PyraNetDataset::new();
-        for line in r.lines() {
+        for (i, line) in r.lines().enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            ds.push(serde_json::from_str(&line)?);
+            ds.push(parse_jsonl_line(&line).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+            })?);
         }
         Ok(ds)
     }
+}
+
+/// Parses one JSONL record. Callers attach position context (line number,
+/// shard file name) to the raw serde error.
+pub(crate) fn parse_jsonl_line(line: &str) -> Result<CuratedSample, serde_json::Error> {
+    serde_json::from_str(line)
 }
 
 impl FromIterator<CuratedSample> for PyraNetDataset {
@@ -219,6 +232,81 @@ mod tests {
     fn jsonl_skips_blank_lines() {
         let ds = PyraNetDataset::from_jsonl("\n\n".as_bytes()).unwrap();
         assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn jsonl_parse_errors_carry_the_line_number() {
+        let ds: PyraNetDataset =
+            vec![sample(0, 20, ComplexityTier::Basic, false)].into_iter().collect();
+        let mut buf = Vec::new();
+        ds.to_jsonl(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n{\"corrupted\": true}\n");
+        let err = PyraNetDataset::from_jsonl(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The record itself is line 1, a blank line is 2, the bad row is 3.
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+    }
+
+    /// `Write` impl that accepts writes but fails on flush — the shape of a
+    /// deferred short-write (disk full, quota) that `BufWriter`'s `Drop`
+    /// would swallow.
+    struct FlushFails;
+
+    impl Write for FlushFails {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "no space left on device"))
+        }
+    }
+
+    /// `Write` impl with a byte budget: writes past it fail, simulating a
+    /// filesystem that runs out of space mid-export.
+    struct RunsDry {
+        remaining: usize,
+    }
+
+    impl Write for RunsDry {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.remaining {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "no space left on device",
+                ));
+            }
+            self.remaining -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn to_jsonl_surfaces_flush_failures() {
+        let ds: PyraNetDataset =
+            vec![sample(0, 20, ComplexityTier::Basic, false)].into_iter().collect();
+        let err = ds.to_jsonl(FlushFails).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        // The exact failure mode of the original bug: a BufWriter whose
+        // backing device fails at flush time. `to_jsonl` must flush
+        // explicitly and propagate, not let `Drop` discard the error.
+        let err = ds.to_jsonl(std::io::BufWriter::new(FlushFails)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn to_jsonl_surfaces_short_writes() {
+        let ds: PyraNetDataset =
+            (0..50).map(|i| sample(i, 20, ComplexityTier::Basic, false)).collect();
+        let err = ds.to_jsonl(RunsDry { remaining: 100 }).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        let err = ds
+            .to_jsonl(std::io::BufWriter::with_capacity(64, RunsDry { remaining: 100 }))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! style/efficiency judge, **complexity-labelled** ([`pyranet_verilog::metrics`])
 //! into Basic/Intermediate/Advanced/Expert, and **organised into six
 //! layers** ([`layers`]) with the paper's loss weights. [`dataset`] holds
-//! the result, with curriculum-ordered iteration and JSONL persistence.
+//! the result, with curriculum-ordered iteration and JSONL persistence;
+//! [`persist`] adds sharded, manifest-indexed, checksum-verified exports.
 //! [`erroneous`] implements the Table IV label-shuffling ablation.
 //!
 //! # Example
@@ -41,11 +42,13 @@ pub mod dedup;
 pub mod erroneous;
 pub mod filter;
 pub mod layers;
+pub mod persist;
 pub mod rank;
 pub mod stats;
 
 pub use dataset::{CuratedSample, PyraNetDataset};
 pub use layers::Layer;
+pub use persist::{ShardManifest, ShardSpec, ShardStream};
 pub use rank::{rank_sample, Rank};
 pub use stats::Funnel;
 

@@ -59,6 +59,66 @@ fn full_build_is_identical_at_any_thread_count() {
     }
 }
 
+#[test]
+fn sharded_export_is_identical_at_any_thread_count() {
+    use pyranet::pipeline::persist::{fnv1a64, format_checksum};
+    use pyranet::pipeline::ShardSpec;
+
+    let ds = PyraNetBuilder::new(BuildOptions {
+        scraped_files: 250,
+        seed: 13,
+        llm_generation: false,
+        ..BuildOptions::default()
+    })
+    .build()
+    .dataset;
+
+    for (tag, spec) in [("layer", ShardSpec::PerLayer), ("fixed", ShardSpec::MaxSamples(64))] {
+        let export = |threads: usize| {
+            let dir = std::env::temp_dir()
+                .join(format!("pyranet-determinism-{tag}-{threads}-{}", std::process::id()));
+            let exec = pyranet_exec::ExecConfig::new().threads(threads);
+            let manifest = ds.to_shards(&dir, spec, &exec).expect("export");
+            let files: Vec<(String, Vec<u8>)> =
+                std::iter::once((
+                    "manifest.json".to_owned(),
+                    std::fs::read(dir.join("manifest.json")).expect("read manifest"),
+                ))
+                .chain(manifest.shards.iter().map(|s| {
+                    (s.file.clone(), std::fs::read(dir.join(&s.file)).expect("read shard"))
+                }))
+                .collect();
+            let back = pyranet::PyraNetDataset::from_shards(&dir, &exec).expect("import");
+            std::fs::remove_dir_all(&dir).ok();
+            (files, back)
+        };
+        let (reference_files, reference_back) = export(1);
+        for threads in THREAD_COUNTS {
+            let (files, back) = export(threads);
+            assert_eq!(files, reference_files, "{tag} shards, threads = {threads}");
+            assert_eq!(back, reference_back, "{tag} import, threads = {threads}");
+        }
+        if let ShardSpec::MaxSamples(_) = spec {
+            assert_eq!(reference_back, ds, "fixed-size import is bit-identical to the source");
+        }
+
+        // Digest pin: the exact bytes of the sharded export (file names
+        // included) for this builder seed. Catches any unintended change
+        // to the serialization format, shard naming, or shard assignment.
+        let mut digest_input = Vec::new();
+        for (name, bytes) in &reference_files {
+            digest_input.extend_from_slice(name.as_bytes());
+            digest_input.extend_from_slice(bytes);
+        }
+        let digest = format_checksum(fnv1a64(&digest_input));
+        let expected = match tag {
+            "layer" => "16ac92f31521cc4e",
+            _ => "5d9c1d5d8866ef2c",
+        };
+        assert_eq!(digest, expected, "{tag} export digest drifted");
+    }
+}
+
 fn tiny_model() -> (TransformerLm, Tokenizer) {
     let tk = Tokenizer::build(
         [
