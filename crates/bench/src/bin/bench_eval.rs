@@ -1,0 +1,200 @@
+//! Inference-engine benchmark: the n-samples-per-problem pass@k workload
+//! timed on both eval paths, written to `BENCH_eval.json`.
+//!
+//! * **naive** — the retained legacy loop: every sample re-merges
+//!   weights, re-prefills the full prompt, and decodes alone.
+//! * **session** — `DecodeSession`: one shared prefill per problem, the
+//!   KV cache forked (borrowed, not copied) across the n samples, all
+//!   live sequences decoded in lock-step batches through the blocked
+//!   kernels.
+//!
+//! Both paths run single-threaded on identical per-sample RNG streams and
+//! must produce identical token ids (asserted every repeat) — the
+//! speedup is pure engineering, not a semantics change. Tokens/sec counts
+//! *decode* (completion) tokens only, so shared prefill shows up as
+//! faster wall time over the same token count rather than inflating the
+//! numerator.
+//!
+//! Honours `PYRANET_SCALE` (`quick` for the CI smoke run, `full` default).
+
+use pyranet::eval::{machine_split, sample_temperature};
+use pyranet::model::decode::DecodeSession;
+use pyranet::model::{ModelConfig, SampleOptions, Tokenizer, TransformerLm};
+use pyranet_bench::Scale;
+use pyranet_exec::stream_seed_str;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PathReport {
+    /// Wall seconds (fastest repeat, summed across problems).
+    secs: f64,
+    /// Decode (completion) tokens produced.
+    tokens: u64,
+    /// Decode throughput.
+    tokens_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct PerProblem {
+    /// Problem id.
+    id: String,
+    /// Forced prompt tokens (description + module header).
+    prompt_tokens: u64,
+    /// Completion tokens across the n samples.
+    decode_tokens: u64,
+    /// Fastest naive wall time.
+    naive_secs: f64,
+    /// Fastest session wall time.
+    session_secs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// `std::thread::available_parallelism()` on the benchmarking host.
+    host_parallelism: u64,
+    /// Problems in the workload.
+    problems: u64,
+    /// Samples per problem (the pass@k n).
+    samples_per_problem: u64,
+    /// Max new tokens per completion.
+    max_new_tokens: u64,
+    /// Repeats per measurement (fastest wins).
+    repeats: u64,
+    /// Legacy per-sample loop.
+    naive: PathReport,
+    /// Shared-prefill, batched `DecodeSession`.
+    session: PathReport,
+    /// Session decode throughput over naive (same token count, so this
+    /// is also the wall-time ratio).
+    speedup_vs_naive: f64,
+    /// Per-problem wall times.
+    per_problem: Vec<PerProblem>,
+}
+
+fn path(secs: f64, tokens: u64) -> PathReport {
+    PathReport { secs, tokens, tokens_per_sec: if secs > 0.0 { tokens as f64 / secs } else { 0.0 } }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_problems, n_samples, max_new, repeats) = match scale {
+        Scale::Quick => (4usize, 6u32, 32usize, 2usize),
+        Scale::Full => (10, 10, 96, 3),
+    };
+
+    // An eval-sized model (bigger than the train bench's: inference is
+    // cheap enough per token that a realistic depth/width is affordable
+    // and makes the prefill/batching wins representative). Untrained
+    // weights are fine — both paths sample the same ids either way.
+    let problems: Vec<_> = machine_split().into_iter().take(n_problems).collect();
+    let corpus: Vec<String> =
+        problems.iter().map(|p| format!("{} {}", p.prompt(), p.header())).collect();
+    let tk = Tokenizer::build(corpus.iter().map(String::as_str), 1);
+    let cfg = ModelConfig {
+        name: "bench-eval".into(),
+        d_model: 128,
+        n_layers: 3,
+        n_heads: 4,
+        d_ff: 256,
+        max_seq: 384,
+        learning_rate: 1e-3,
+        seed: 11,
+    };
+    let lm = TransformerLm::new(cfg, tk.vocab_size());
+
+    // The exact harness workload: header forced as a generation prefix,
+    // per-sample temperature cycle, per-sample RNG streams.
+    let seed = 0xEA_11u64;
+    let mut per_problem = Vec::new();
+    let (mut naive_secs, mut session_secs) = (0.0f64, 0.0f64);
+    let mut decode_tokens = 0u64;
+    for problem in &problems {
+        let header_ids = tk.encode(&problem.header());
+        let mut prompt = tk.encode_prompt(&problem.prompt());
+        prompt.extend_from_slice(&header_ids);
+        let sample_opts: Vec<SampleOptions> = (0..n_samples)
+            .map(|i| SampleOptions { temperature: sample_temperature(i, n_samples, 0.5), top_k: 0 })
+            .collect();
+        let rngs = || -> Vec<ChaCha8Rng> {
+            (0..n_samples)
+                .map(|i| {
+                    ChaCha8Rng::seed_from_u64(stream_seed_str(seed, &format!("{}#{i}", problem.id)))
+                })
+                .collect()
+        };
+
+        let mut best_naive = f64::INFINITY;
+        let mut naive_out: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..repeats {
+            let mut rngs = rngs();
+            let start = Instant::now();
+            let out: Vec<Vec<usize>> = sample_opts
+                .iter()
+                .zip(rngs.iter_mut())
+                .map(|(so, rng)| lm.generate_legacy(&prompt, max_new, so, rng))
+                .collect();
+            best_naive = best_naive.min(start.elapsed().as_secs_f64());
+            naive_out = out;
+        }
+
+        let mut best_session = f64::INFINITY;
+        let mut session_out: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..repeats {
+            let mut rngs = rngs();
+            let start = Instant::now();
+            let mut session = DecodeSession::new(&lm);
+            let prefix = session.prefill(&prompt, max_new);
+            let gens = session.decode_batch(&prefix, max_new, &sample_opts, &mut rngs);
+            best_session = best_session.min(start.elapsed().as_secs_f64());
+            session_out = gens.into_iter().map(|g| g.ids).collect();
+        }
+
+        assert_eq!(session_out, naive_out, "engines diverged on {}", problem.id);
+        let tokens: u64 = naive_out.iter().map(|b| b.len() as u64).sum();
+        eprintln!(
+            "{:<24} prompt {:>3} tok, {tokens:>4} decode tok: naive {:.3}s, session {:.3}s ({:.2}x)",
+            problem.id,
+            prompt.len(),
+            best_naive,
+            best_session,
+            if best_session > 0.0 { best_naive / best_session } else { 1.0 },
+        );
+        naive_secs += best_naive;
+        session_secs += best_session;
+        decode_tokens += tokens;
+        per_problem.push(PerProblem {
+            id: problem.id.clone(),
+            prompt_tokens: prompt.len() as u64,
+            decode_tokens: tokens,
+            naive_secs: best_naive,
+            session_secs: best_session,
+        });
+    }
+
+    let naive = path(naive_secs, decode_tokens);
+    let session = path(session_secs, decode_tokens);
+    let speedup = if session.secs > 0.0 { naive.secs / session.secs } else { 1.0 };
+    eprintln!(
+        "total: naive {:.3}s ({:.0} tok/s) vs session {:.3}s ({:.0} tok/s) — {speedup:.2}x",
+        naive.secs, naive.tokens_per_sec, session.secs, session.tokens_per_sec
+    );
+
+    let report = BenchReport {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
+        problems: problems.len() as u64,
+        samples_per_problem: u64::from(n_samples),
+        max_new_tokens: max_new as u64,
+        repeats: repeats as u64,
+        naive,
+        session,
+        speedup_vs_naive: speedup,
+        per_problem,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_eval.json");
+}

@@ -13,6 +13,9 @@
 //! pyranet stats <dataset.jsonl | shard-dir | manifest.json>
 //!                                 # layer pyramid of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
+//! pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]
+//!              [--threads T] [--seed S] [--engine session|per-sample]
+//!              [--files N] [--epochs E] [--json OUT]
 //! ```
 
 use pyranet::model::{ModelConfig, TransformerLm};
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         Some("build-dataset") => cmd_build(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -58,7 +62,10 @@ fn print_usage() {
          pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
         \x20                     [--out-dir shards/] [--shard-size N]\n  \
          pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
-         pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]"
+         pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
+         pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
+        \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
+        \x20            [--files N] [--epochs E] [--json OUT]"
     );
 }
 
@@ -300,6 +307,110 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "  phase {:<12} {:>5} examples  loss {:.4} -> {:.4}",
             p.name, p.examples, p.first_loss, p.last_loss
         );
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    use pyranet::eval::{evaluate, human_split, machine_split, EngineMode, EvalOptions};
+
+    let mut split = "machine".to_owned();
+    let mut files = 300usize;
+    let mut epochs = 1usize;
+    let mut json: Option<String> = None;
+    let mut opts = EvalOptions { samples_per_problem: 5, max_new_tokens: 48, ..Default::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or(format!("{flag} needs a value")).cloned();
+        let num = |flag: &str, v: Result<String, String>| -> Result<usize, String> {
+            v?.parse().map_err(|e| format!("bad {flag}: {e}"))
+        };
+        match a.as_str() {
+            "--split" => split = val("--split")?,
+            "--samples" => {
+                opts.samples_per_problem = num("--samples", val("--samples"))?.max(1) as u32;
+            }
+            "--max-new-tokens" => {
+                opts.max_new_tokens = num("--max-new-tokens", val("--max-new-tokens"))?;
+            }
+            "--threads" => opts.threads = num("--threads", val("--threads"))?,
+            "--seed" => opts.seed = num("--seed", val("--seed"))? as u64,
+            "--engine" => {
+                opts.engine = match val("--engine")?.as_str() {
+                    "session" => EngineMode::Session,
+                    "per-sample" => EngineMode::PerSample,
+                    other => return Err(format!("bad --engine `{other}` (session|per-sample)")),
+                };
+            }
+            "--files" => files = num("--files", val("--files"))?,
+            "--epochs" => epochs = num("--epochs", val("--epochs"))?.max(1),
+            "--json" => json = Some(val("--json")?),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let splits: Vec<_> = match split.as_str() {
+        "machine" => vec![machine_split()],
+        "human" => vec![human_split()],
+        "both" => vec![machine_split(), human_split()],
+        other => return Err(format!("bad --split `{other}` (machine|human|both)")),
+    };
+
+    // Build + briefly fine-tune the small reference model, then score it.
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: files,
+        seed: opts.seed,
+        threads: opts.threads,
+        ..BuildOptions::default()
+    })
+    .build();
+    let tk = build_tokenizer(built.dataset.iter());
+    let model_cfg = ModelConfig {
+        name: "pyranet-cli".into(),
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 64,
+        max_seq: 160,
+        learning_rate: TrainConfig::default().learning_rate,
+        seed: opts.seed,
+    };
+    let mut lm = TransformerLm::new(model_cfg, tk.vocab_size());
+    let tcfg = TrainConfig { epochs, threads: opts.threads, seed: opts.seed, ..Default::default() };
+    println!("training on {} samples ({} epoch(s))...", built.dataset.len(), epochs);
+    SftTrainer::run(&mut lm, &tk, &built.dataset, &tcfg);
+
+    let mut results = Vec::new();
+    for problems in &splits {
+        let r = evaluate(&lm, &tk, problems, &opts);
+        println!(
+            "{}: {} problems, n = {} — pass@1 {:.1}%  pass@5 {:.1}%  pass@10 {:.1}%  syntax {:.1}%",
+            r.split_name,
+            r.problems.len(),
+            opts.samples_per_problem,
+            r.pass_at(1),
+            r.pass_at(5),
+            r.pass_at(10),
+            r.syntax_rate()
+        );
+        let truncated: u32 = r.problems.iter().map(|p| p.prompt_dropped_tokens).sum();
+        if truncated > 0 {
+            println!("  warning: {truncated} prompt token(s) dropped to fit the context window");
+        }
+        results.push(r);
+    }
+
+    if let Some(path) = &json {
+        // Same flush-checked discipline as `build-dataset`: buffered
+        // writes, then an explicit flush so no error can hide in the
+        // BufWriter's error-swallowing `Drop`.
+        use std::io::Write;
+        let body = serde_json::to_string_pretty(&results).map_err(|e| format!("{e}"))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(body.as_bytes()).map_err(|e| format!("write failed: {e}"))?;
+        w.write_all(b"\n").map_err(|e| format!("write failed: {e}"))?;
+        w.flush().map_err(|e| format!("write failed: {e}"))?;
+        println!("wrote {} result(s) to {path}", results.len());
     }
     Ok(())
 }

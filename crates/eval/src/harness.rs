@@ -5,10 +5,30 @@ use crate::passk::pass_at_k;
 use crate::problems::{Problem, Split};
 use crate::testbench::check_functional;
 use pyranet_exec::{par_map, stream_seed_str, ExecConfig};
+use pyranet_model::decode::{DecodeSession, PromptPlan};
 use pyranet_model::{SampleOptions, Tokenizer, TransformerLm};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Which inference path drives the per-problem sampling.
+///
+/// Both modes draw each sample `i` from its own RNG stream keyed
+/// `(seed, problem id, i)` and are **bit-identical** to each other (pinned
+/// in `tests/determinism.rs`) — batching is a throughput knob, never a
+/// semantic one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// [`DecodeSession`]: one shared prompt prefill per problem, KV cache
+    /// forked across the n samples, all live sequences decoded in
+    /// lock-step batches through the blocked kernels.
+    #[default]
+    Session,
+    /// The retained legacy loop: every sample re-prefills the prompt and
+    /// decodes alone. Kept as the reference path for equivalence pins and
+    /// the `bench_eval` baseline.
+    PerSample,
+}
 
 /// Evaluation options.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,12 +42,15 @@ pub struct EvalOptions {
     pub max_new_tokens: usize,
     /// Sampling temperature.
     pub temperature: f32,
-    /// RNG seed. Each problem derives its own sampling stream from
-    /// `(seed, problem id)`, so results are independent of problem order
-    /// and of the executor's thread count.
+    /// RNG seed. Each sample derives its own stream from
+    /// `(seed, problem id, sample index)`, so results are independent of
+    /// problem order, of the executor's thread count, and of whether
+    /// samples decode batched or one at a time.
     pub seed: u64,
     /// Worker threads for the per-problem fan-out (`0` = auto).
     pub threads: usize,
+    /// Inference path (defaults to the batched session engine).
+    pub engine: EngineMode,
 }
 
 impl Default for EvalOptions {
@@ -39,6 +62,7 @@ impl Default for EvalOptions {
             temperature: 0.5,
             seed: 0xEA_11,
             threads: 0,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -54,6 +78,10 @@ pub struct ProblemResult {
     pub passed: u32,
     /// Samples that at least parsed + checked syntactically.
     pub syntactically_valid: u32,
+    /// Prompt tokens dropped from the head to fit the model's context
+    /// window (0 when the prompt fits; the forced module header is the
+    /// prompt tail, so it always survives a clamp).
+    pub prompt_dropped_tokens: u32,
 }
 
 /// Aggregated evaluation result for one split.
@@ -122,33 +150,64 @@ pub fn evaluate(
 ) -> EvalResult {
     let split_name =
         problems.first().map(|p| p.split.to_string()).unwrap_or_else(|| Split::Machine.to_string());
-    // Problems are independent: each derives its sampling RNG from
-    // (seed, problem id), so the fan-out is a pure per-problem map and
-    // pass@k is identical at any thread count — and under any problem
-    // ordering.
+    // Problems are independent: sample i of a problem derives its RNG
+    // stream from (seed, problem id, i), so the fan-out is a pure
+    // per-problem map and pass@k is identical at any thread count, under
+    // any problem ordering, and on either engine.
     let exec = ExecConfig::new().threads(opts.threads);
     let out = par_map(&exec, problems.iter().collect(), |problem: &Problem| {
         // VerilogEval hands the model the module header and scores the body
         // completion; we do the same — the header tokens are forced as a
         // generation prefix and prepended to the decoded candidate.
-        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed_str(opts.seed, &problem.id));
         let header = problem.header();
         let header_ids = tk.encode(&header);
         let mut prompt = tk.encode_prompt(&problem.prompt());
         prompt.extend_from_slice(&header_ids);
+        let n = opts.samples_per_problem;
+        // Temperature cycles from near-greedy up to `opts.temperature`
+        // across the n samples (mirroring the paper's multi-temperature
+        // querying) so pass@1 rewards confidence and pass@10 diversity.
+        let sample_opts: Vec<SampleOptions> = (0..n)
+            .map(|i| SampleOptions {
+                temperature: sample_temperature(i, n, opts.temperature),
+                top_k: 0,
+            })
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..n)
+            .map(|i| {
+                ChaCha8Rng::seed_from_u64(stream_seed_str(
+                    opts.seed,
+                    &format!("{}#{i}", problem.id),
+                ))
+            })
+            .collect();
+        let (bodies, dropped): (Vec<Vec<usize>>, u32) = match opts.engine {
+            EngineMode::Session => {
+                // One prefill for the whole problem; the KV cache is forked
+                // (borrowed, not copied) across all n samples, which then
+                // decode together in lock-step batches.
+                let mut session = DecodeSession::new(lm);
+                let prefix = session.prefill(&prompt, opts.max_new_tokens);
+                let dropped = prefix.dropped_prompt_tokens() as u32;
+                let gens =
+                    session.decode_batch(&prefix, opts.max_new_tokens, &sample_opts, &mut rngs);
+                (gens.into_iter().map(|g| g.ids).collect(), dropped)
+            }
+            EngineMode::PerSample => {
+                let plan = PromptPlan::new(prompt.len(), opts.max_new_tokens, lm.cfg.max_seq);
+                let bodies = sample_opts
+                    .iter()
+                    .zip(rngs.iter_mut())
+                    .map(|(so, rng)| lm.generate_legacy(&prompt, opts.max_new_tokens, so, rng))
+                    .collect();
+                (bodies, plan.dropped_prompt_tokens as u32)
+            }
+        };
         let mut passed = 0u32;
         let mut valid = 0u32;
-        for i in 0..opts.samples_per_problem {
-            // Temperature cycles from near-greedy up to `opts.temperature`
-            // across the n samples (mirroring the paper's multi-temperature
-            // querying) so pass@1 rewards confidence and pass@10 diversity.
-            let sample_opts = SampleOptions {
-                temperature: sample_temperature(i, opts.samples_per_problem, opts.temperature),
-                top_k: 0,
-            };
-            let body = lm.generate(&prompt, opts.max_new_tokens, &sample_opts, &mut rng);
+        for body in &bodies {
             let mut ids = header_ids.clone();
-            ids.extend_from_slice(&body);
+            ids.extend_from_slice(body);
             let text = tk.decode(&ids);
             if pyranet_verilog::check_source(&text).is_compilable() {
                 valid += 1;
@@ -159,9 +218,10 @@ pub fn evaluate(
         }
         ProblemResult {
             id: problem.id.clone(),
-            n: opts.samples_per_problem,
+            n,
             passed,
             syntactically_valid: valid,
+            prompt_dropped_tokens: dropped,
         }
     });
     EvalResult { split_name, problems: out, ks: opts.ks.clone() }
@@ -183,6 +243,7 @@ mod tests {
                     n: *n,
                     passed: *c,
                     syntactically_valid: *c,
+                    prompt_dropped_tokens: 0,
                 })
                 .collect(),
             ks: vec![1, 5, 10],

@@ -26,7 +26,7 @@ pub mod passk;
 pub mod problems;
 pub mod testbench;
 
-pub use harness::{evaluate, EvalOptions, EvalResult};
+pub use harness::{evaluate, sample_temperature, EngineMode, EvalOptions, EvalResult};
 pub use passk::pass_at_k;
 pub use problems::{human_split, machine_split, Problem, Split};
 pub use testbench::{check_functional, FunctionalVerdict};

@@ -1,0 +1,629 @@
+//! The batched, prefix-cached inference engine.
+//!
+//! The pass@k evaluation workload is *n samples per problem over one
+//! prompt*: the naive loop re-merges weights, re-prefills the identical
+//! prompt, and re-allocates every scratch buffer for each of the n
+//! samples. [`DecodeSession`] removes all three costs:
+//!
+//! * **Shared prefill.** [`DecodeSession::prefill`] runs the prompt once
+//!   (as one batched forward over all prompt rows, not token by token)
+//!   and snapshots the KV cache as a [`PrefixState`]. Forked sequences
+//!   *borrow* the prefix cache and only append their own suffix — a
+//!   zero-copy KV fork.
+//! * **Batched decode.** [`DecodeSession::decode_batch`] steps every live
+//!   sequence of a problem together, so the per-token Q/K/V, FFN, and
+//!   logit projections become `[batch, d]` matmuls routed through the
+//!   blocked [`crate::tensor::kernels`] instead of n independent
+//!   vector-matrix products. Sequences retire independently on `<eos>`.
+//! * **Zero per-token allocation.** Effective (LoRA-merged) weights are
+//!   materialised once per session and every intermediate lives in a
+//!   scratch arena that is reused across tokens, samples, and problems.
+//!
+//! # Determinism
+//!
+//! Every kernel on this path accumulates each output element in ascending
+//! shared-dimension order — the same discipline as the training kernels —
+//! so a row of a batched matmul is bit-identical to the corresponding
+//! single-vector product, a forked sequence is bit-identical to one
+//! decoded from a fresh prefill, and a batch of sequences is bit-identical
+//! to the same sequences decoded one at a time. Property tests pin all
+//! three equivalences against the retained
+//! [`TransformerLm::generate_legacy`] loop.
+//!
+//! # Prompt clamping
+//!
+//! The legacy loop silently dropped forced prompt tokens once
+//! `prompt.len() + max_new` crossed `cfg.max_seq`, and returned an *empty*
+//! completion when the prompt alone overflowed the window. The session
+//! clamps explicitly via [`PromptPlan`]: a prompt that fits keeps its
+//! exact legacy semantics, an over-long prompt is trimmed **head-first**
+//! (so a forced suffix such as the eval harness's module header always
+//! survives) with real decode headroom reserved, and both the drop and
+//! the clamp are surfaced in [`Generation`].
+
+use crate::sampler::{sample_logits_into, SampleOptions};
+use crate::tensor::{gelu_fwd, kernels, softmax_row_inplace, Matrix};
+use crate::tokenizer::EOS;
+use crate::transformer::{ln_row_into, vec_mat, DecodeWeights, TransformerLm};
+use rand::Rng;
+
+/// Explicit context-window plan for one prompt: what survives, what is
+/// dropped, and how many new-token slots remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromptPlan {
+    /// Prompt tokens kept (always the prompt *tail*, so forced suffixes
+    /// survive).
+    pub kept_prompt_tokens: usize,
+    /// Prompt tokens dropped from the head.
+    pub dropped_prompt_tokens: usize,
+    /// New-token slots that fit the window after the kept prompt.
+    pub new_token_budget: usize,
+    /// Requested new-token slots lost to the window.
+    pub clamped_new_tokens: usize,
+}
+
+impl PromptPlan {
+    /// Plans `prompt_len` forced tokens plus up to `max_new` sampled
+    /// tokens into a `max_seq` context window.
+    ///
+    /// A prompt that fits (`prompt_len < max_seq`) is never trimmed — the
+    /// budget is clamped exactly as the legacy loop clamped it. A prompt
+    /// that overflows the window (the case the legacy loop turned into an
+    /// empty completion) keeps its tail, reserving up to a quarter of the
+    /// window for decoding so the completion is not a one-token stub.
+    pub fn new(prompt_len: usize, max_new: usize, max_seq: usize) -> PromptPlan {
+        let kept = if prompt_len >= max_seq && max_new > 0 {
+            let headroom = max_new.min((max_seq / 4).max(1));
+            max_seq - headroom
+        } else {
+            prompt_len.min(max_seq)
+        };
+        let budget = max_new.min(max_seq - kept);
+        PromptPlan {
+            kept_prompt_tokens: kept,
+            dropped_prompt_tokens: prompt_len - kept,
+            new_token_budget: budget,
+            clamped_new_tokens: max_new - budget,
+        }
+    }
+
+    /// Whether any forced prompt token was dropped.
+    pub fn truncated(&self) -> bool {
+        self.dropped_prompt_tokens > 0
+    }
+}
+
+/// One generation: the sampled ids plus the explicit truncation report
+/// (what the legacy path used to swallow silently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    /// Newly generated token ids (the prompt is not repeated; stops at
+    /// `<eos>`).
+    pub ids: Vec<usize>,
+    /// Prompt tokens dropped from the head to fit the context window.
+    pub dropped_prompt_tokens: usize,
+    /// Requested new-token slots lost to the context window.
+    pub clamped_new_tokens: usize,
+}
+
+impl Generation {
+    /// Whether the forced prompt lost tokens to the context window.
+    pub fn prompt_truncated(&self) -> bool {
+        self.dropped_prompt_tokens > 0
+    }
+}
+
+/// Snapshot of the KV cache after prefilling one prompt. Forked sequences
+/// borrow this (read-only) and append only their own suffix.
+#[derive(Debug, Clone)]
+pub struct PrefixState {
+    /// Per-layer keys, `len * d` floats each.
+    kcache: Vec<Vec<f32>>,
+    /// Per-layer values, `len * d` floats each.
+    vcache: Vec<Vec<f32>>,
+    /// Prompt tokens in the cache.
+    len: usize,
+    /// Logits after the final prompt token (all zeros for an empty
+    /// prompt, matching the legacy loop's initial logits).
+    logits: Vec<f32>,
+    /// Prompt tokens dropped by the [`PromptPlan`].
+    dropped_prompt_tokens: usize,
+}
+
+impl PrefixState {
+    /// Prompt tokens held in the cache.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the prefix holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Prompt tokens dropped from the head to fit the context window.
+    pub fn dropped_prompt_tokens(&self) -> usize {
+        self.dropped_prompt_tokens
+    }
+}
+
+/// Per-sequence token selection for [`DecodeSession::decode_batch`].
+///
+/// Implemented for every [`Rng`] via [`sample_logits_into`], so a plain
+/// `ChaCha8Rng` is a sampler. `scratch` is the session's reusable weight
+/// buffer — implementations must not assume anything about its contents.
+pub trait TokenSampler {
+    /// Picks the next token id from `logits`.
+    fn next_token(&mut self, logits: &[f32], opts: &SampleOptions, scratch: &mut Vec<f32>)
+        -> usize;
+}
+
+impl<R: Rng> TokenSampler for R {
+    fn next_token(
+        &mut self,
+        logits: &[f32],
+        opts: &SampleOptions,
+        scratch: &mut Vec<f32>,
+    ) -> usize {
+        sample_logits_into(logits, opts, self, scratch)
+    }
+}
+
+/// Scratch arenas reused across tokens, samples, and problems. Buffers
+/// grow to the high-water mark once and never shrink, so steady-state
+/// decoding performs no allocation.
+#[derive(Debug)]
+struct Scratch {
+    /// Residual stream, `[rows, d]`.
+    x: Matrix,
+    /// Layer-norm output, `[rows, d]`.
+    xn: Matrix,
+    /// Query/key/value projections, `[rows, d]` each.
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Attention output, `[rows, d]`.
+    merged: Matrix,
+    /// Output projection, `[rows, d]`.
+    proj: Matrix,
+    /// FFN intermediates, `[rows, d_ff]` and `[rows, d]`.
+    h1: Matrix,
+    h2: Matrix,
+    /// Logit rows, `[rows, vocab]`.
+    logits: Matrix,
+    /// Attention score row (one head at a time, up to `max_seq` long).
+    scores: Vec<f32>,
+    /// Sampler weight buffer (vocab long).
+    sample: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(d: usize, d_ff: usize, vocab: usize, max_seq: usize) -> Scratch {
+        let m = |cols: usize| Matrix::new(0, cols, Vec::new());
+        Scratch {
+            x: m(d),
+            xn: m(d),
+            q: m(d),
+            k: m(d),
+            v: m(d),
+            merged: m(d),
+            proj: m(d),
+            h1: m(d_ff),
+            h2: m(d),
+            logits: m(vocab),
+            scores: Vec::with_capacity(max_seq),
+            sample: Vec::with_capacity(vocab),
+        }
+    }
+}
+
+/// Resizes an arena matrix to `rows` without releasing capacity.
+fn set_rows(m: &mut Matrix, rows: usize) {
+    m.rows = rows;
+    m.data.resize(rows * m.cols, 0.0);
+}
+
+/// Causal attention for one query row over a (borrowed prefix ‖ owned
+/// suffix) KV cache. Scores and the value accumulation both run in
+/// ascending cache order — prefix first, then suffix — which is exactly
+/// the order the legacy single-cache loop used, so results are
+/// bit-identical to attending over the concatenated cache.
+#[allow(clippy::too_many_arguments)]
+fn attend_row(
+    q_row: &[f32],
+    merged_row: &mut [f32],
+    prefix_k: &[f32],
+    prefix_v: &[f32],
+    own_k: &[f32],
+    own_v: &[f32],
+    d: usize,
+    nh: usize,
+    hs: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+) {
+    let prefix_steps = prefix_k.len() / d;
+    let own_steps = own_k.len() / d;
+    merged_row.fill(0.0);
+    for h in 0..nh {
+        let qh = &q_row[h * hs..(h + 1) * hs];
+        scores.clear();
+        for s in 0..prefix_steps {
+            let kh = &prefix_k[s * d + h * hs..s * d + (h + 1) * hs];
+            let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+            scores.push(dot * scale);
+        }
+        for s in 0..own_steps {
+            let kh = &own_k[s * d + h * hs..s * d + (h + 1) * hs];
+            let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+            scores.push(dot * scale);
+        }
+        softmax_row_inplace(scores);
+        for (s, w) in scores[..prefix_steps].iter().enumerate() {
+            let vh = &prefix_v[s * d + h * hs..s * d + (h + 1) * hs];
+            for (j, vx) in vh.iter().enumerate() {
+                merged_row[h * hs + j] += w * vx;
+            }
+        }
+        for (s, w) in scores[prefix_steps..].iter().enumerate() {
+            let vh = &own_v[s * d + h * hs..s * d + (h + 1) * hs];
+            for (j, vx) in vh.iter().enumerate() {
+                merged_row[h * hs + j] += w * vx;
+            }
+        }
+    }
+}
+
+/// One decoding sequence: its own KV suffix, output ids, and last logits.
+#[derive(Debug)]
+struct Seq {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    out: Vec<usize>,
+    logits: Vec<f32>,
+    last: usize,
+    alive: bool,
+}
+
+/// A reusable inference session over one model: pre-merged weights plus
+/// scratch arenas. Create once, then `prefill` each prompt and fork as
+/// many decodes from the [`PrefixState`] as needed.
+#[derive(Debug)]
+pub struct DecodeSession<'m> {
+    w: DecodeWeights<'m>,
+    d: usize,
+    hs: usize,
+    nh: usize,
+    n_layers: usize,
+    max_seq: usize,
+    vocab: usize,
+    scale: f32,
+    scratch: Scratch,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// Builds a session: effective (LoRA-merged) weights are materialised
+    /// exactly once, borrowed straight from the model unless an adapter
+    /// forces a merge copy.
+    pub fn new(lm: &'m TransformerLm) -> DecodeSession<'m> {
+        let cfg = &lm.cfg;
+        let w = lm.decode_weights();
+        DecodeSession {
+            d: cfg.d_model,
+            hs: cfg.head_size(),
+            nh: cfg.n_heads,
+            n_layers: w.wq.len(),
+            max_seq: cfg.max_seq,
+            vocab: lm.vocab_size(),
+            scale: 1.0 / (cfg.head_size() as f32).sqrt(),
+            scratch: Scratch::new(cfg.d_model, cfg.d_ff, lm.vocab_size(), cfg.max_seq),
+            w,
+        }
+    }
+
+    /// Runs the (clamped) prompt through the model once, as a single
+    /// batched forward over all prompt rows, and snapshots the KV cache.
+    /// `max_new` feeds the [`PromptPlan`] clamp only; it does not decode.
+    ///
+    /// Logits are computed for the final row alone — the legacy loop's
+    /// per-prompt-token logit products were dead work.
+    pub fn prefill(&mut self, prompt: &[usize], max_new: usize) -> PrefixState {
+        let plan = PromptPlan::new(prompt.len(), max_new, self.max_seq);
+        let prompt = &prompt[plan.dropped_prompt_tokens..];
+        let n = prompt.len();
+        let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
+        let mut kcache: Vec<Vec<f32>> = (0..self.n_layers).map(|_| vec![0.0; n * d]).collect();
+        let mut vcache: Vec<Vec<f32>> = (0..self.n_layers).map(|_| vec![0.0; n * d]).collect();
+        if n == 0 {
+            return PrefixState {
+                kcache,
+                vcache,
+                len: 0,
+                logits: vec![0.0; self.vocab],
+                dropped_prompt_tokens: plan.dropped_prompt_tokens,
+            };
+        }
+
+        let sc = &mut self.scratch;
+        set_rows(&mut sc.x, n);
+        for (t, &id) in prompt.iter().enumerate() {
+            for c in 0..d {
+                sc.x.data[t * d + c] = self.w.tok.data[id * d + c] + self.w.pos.data[t * d + c];
+            }
+        }
+        for li in 0..self.n_layers {
+            set_rows(&mut sc.xn, n);
+            for t in 0..n {
+                ln_row_into(&sc.x.data[t * d..(t + 1) * d], &mut sc.xn.data[t * d..(t + 1) * d]);
+            }
+            set_rows(&mut sc.q, n);
+            set_rows(&mut sc.k, n);
+            set_rows(&mut sc.v, n);
+            kernels::matmul_into(&sc.xn, &self.w.wq[li], &mut sc.q);
+            kernels::matmul_into(&sc.xn, &self.w.wk[li], &mut sc.k);
+            kernels::matmul_into(&sc.xn, &self.w.wv[li], &mut sc.v);
+            kcache[li].copy_from_slice(&sc.k.data);
+            vcache[li].copy_from_slice(&sc.v.data);
+            set_rows(&mut sc.merged, n);
+            for t in 0..n {
+                // Row t attends causally over cache entries 0..=t.
+                attend_row(
+                    &sc.q.data[t * d..(t + 1) * d],
+                    &mut sc.merged.data[t * d..(t + 1) * d],
+                    &[],
+                    &[],
+                    &kcache[li][..(t + 1) * d],
+                    &vcache[li][..(t + 1) * d],
+                    d,
+                    nh,
+                    hs,
+                    scale,
+                    &mut sc.scores,
+                );
+            }
+            set_rows(&mut sc.proj, n);
+            kernels::matmul_into(&sc.merged, &self.w.wo[li], &mut sc.proj);
+            for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
+                *xv += pv;
+            }
+            set_rows(&mut sc.xn, n);
+            for t in 0..n {
+                ln_row_into(&sc.x.data[t * d..(t + 1) * d], &mut sc.xn.data[t * d..(t + 1) * d]);
+            }
+            set_rows(&mut sc.h1, n);
+            kernels::matmul_into(&sc.xn, &self.w.w1[li], &mut sc.h1);
+            for vx in sc.h1.data.iter_mut() {
+                *vx = gelu_fwd(*vx);
+            }
+            set_rows(&mut sc.h2, n);
+            kernels::matmul_into(&sc.h1, &self.w.w2[li], &mut sc.h2);
+            for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
+                *xv += pv;
+            }
+        }
+        // Logits for the final row only.
+        let mut last_ln = vec![0.0f32; d];
+        ln_row_into(&sc.x.data[(n - 1) * d..n * d], &mut last_ln);
+        let logits = vec_mat(&last_ln, self.w.head);
+        PrefixState {
+            kcache,
+            vcache,
+            len: n,
+            logits,
+            dropped_prompt_tokens: plan.dropped_prompt_tokens,
+        }
+    }
+
+    /// Decodes one sequence forked from `prefix` (batch of one).
+    pub fn decode_one<R: Rng>(
+        &mut self,
+        prefix: &PrefixState,
+        max_new: usize,
+        opts: &SampleOptions,
+        rng: &mut R,
+    ) -> Generation {
+        self.decode_batch(prefix, max_new, std::slice::from_ref(opts), std::slice::from_mut(rng))
+            .pop()
+            .expect("one sequence in, one generation out")
+    }
+
+    /// Decodes `opts.len()` sequences forked from `prefix` in lock-step:
+    /// every live sequence samples, then all pending tokens run through
+    /// the model as one `[live, d]` batched forward. Sequences retire
+    /// independently when they sample `<eos>` or exhaust the budget.
+    ///
+    /// Each sequence's ids are bit-identical to decoding it alone from
+    /// the same prefix with the same sampler — batching is a throughput
+    /// knob, never a semantic one.
+    pub fn decode_batch<S: TokenSampler>(
+        &mut self,
+        prefix: &PrefixState,
+        max_new: usize,
+        opts: &[SampleOptions],
+        samplers: &mut [S],
+    ) -> Vec<Generation> {
+        assert_eq!(opts.len(), samplers.len(), "one sampler per sequence");
+        let n_seq = opts.len();
+        let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
+        let new_budget = max_new.min(self.max_seq - prefix.len);
+        let clamped = max_new - new_budget;
+        let mut seqs: Vec<Seq> = (0..n_seq)
+            .map(|_| Seq {
+                k: (0..self.n_layers).map(|_| Vec::with_capacity(new_budget * d)).collect(),
+                v: (0..self.n_layers).map(|_| Vec::with_capacity(new_budget * d)).collect(),
+                out: Vec::new(),
+                logits: prefix.logits.clone(),
+                last: 0,
+                alive: true,
+            })
+            .collect();
+        let mut live: Vec<usize> = Vec::with_capacity(n_seq);
+        for step in 0..new_budget {
+            // Sample every live sequence (ascending index; each sequence
+            // has its own sampler, so the order is cosmetic).
+            live.clear();
+            for (i, seq) in seqs.iter_mut().enumerate() {
+                if !seq.alive {
+                    continue;
+                }
+                let next = samplers[i].next_token(&seq.logits, &opts[i], &mut self.scratch.sample);
+                if next == EOS {
+                    seq.alive = false;
+                    continue;
+                }
+                seq.out.push(next);
+                seq.last = next;
+                live.push(i);
+            }
+            // The budget's final tokens feed nothing — skip their forward
+            // (the legacy loop computed and discarded it).
+            if live.is_empty() || step + 1 == new_budget {
+                break;
+            }
+            let rows = live.len();
+            let t = prefix.len + step;
+            let sc = &mut self.scratch;
+            set_rows(&mut sc.x, rows);
+            for (r, &i) in live.iter().enumerate() {
+                let id = seqs[i].last;
+                for c in 0..d {
+                    sc.x.data[r * d + c] = self.w.tok.data[id * d + c] + self.w.pos.data[t * d + c];
+                }
+            }
+            for li in 0..self.n_layers {
+                set_rows(&mut sc.xn, rows);
+                for r in 0..rows {
+                    ln_row_into(
+                        &sc.x.data[r * d..(r + 1) * d],
+                        &mut sc.xn.data[r * d..(r + 1) * d],
+                    );
+                }
+                set_rows(&mut sc.q, rows);
+                set_rows(&mut sc.k, rows);
+                set_rows(&mut sc.v, rows);
+                kernels::matmul_into(&sc.xn, &self.w.wq[li], &mut sc.q);
+                kernels::matmul_into(&sc.xn, &self.w.wk[li], &mut sc.k);
+                kernels::matmul_into(&sc.xn, &self.w.wv[li], &mut sc.v);
+                for (r, &i) in live.iter().enumerate() {
+                    seqs[i].k[li].extend_from_slice(&sc.k.data[r * d..(r + 1) * d]);
+                    seqs[i].v[li].extend_from_slice(&sc.v.data[r * d..(r + 1) * d]);
+                }
+                set_rows(&mut sc.merged, rows);
+                for (r, &i) in live.iter().enumerate() {
+                    attend_row(
+                        &sc.q.data[r * d..(r + 1) * d],
+                        &mut sc.merged.data[r * d..(r + 1) * d],
+                        &prefix.kcache[li],
+                        &prefix.vcache[li],
+                        &seqs[i].k[li],
+                        &seqs[i].v[li],
+                        d,
+                        nh,
+                        hs,
+                        scale,
+                        &mut sc.scores,
+                    );
+                }
+                set_rows(&mut sc.proj, rows);
+                kernels::matmul_into(&sc.merged, &self.w.wo[li], &mut sc.proj);
+                for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
+                    *xv += pv;
+                }
+                set_rows(&mut sc.xn, rows);
+                for r in 0..rows {
+                    ln_row_into(
+                        &sc.x.data[r * d..(r + 1) * d],
+                        &mut sc.xn.data[r * d..(r + 1) * d],
+                    );
+                }
+                set_rows(&mut sc.h1, rows);
+                kernels::matmul_into(&sc.xn, &self.w.w1[li], &mut sc.h1);
+                for vx in sc.h1.data.iter_mut() {
+                    *vx = gelu_fwd(*vx);
+                }
+                set_rows(&mut sc.h2, rows);
+                kernels::matmul_into(&sc.h1, &self.w.w2[li], &mut sc.h2);
+                for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
+                    *xv += pv;
+                }
+            }
+            set_rows(&mut sc.xn, rows);
+            for r in 0..rows {
+                ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
+            }
+            set_rows(&mut sc.logits, rows);
+            kernels::matmul_into(&sc.xn, self.w.head, &mut sc.logits);
+            let vocab = self.vocab;
+            for (r, &i) in live.iter().enumerate() {
+                seqs[i].logits.copy_from_slice(&sc.logits.data[r * vocab..(r + 1) * vocab]);
+            }
+        }
+        seqs.into_iter()
+            .map(|s| Generation {
+                ids: s.out,
+                dropped_prompt_tokens: prefix.dropped_prompt_tokens,
+                clamped_new_tokens: clamped,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_keeps_legacy_semantics_when_prompt_fits() {
+        // Fits with room to spare: nothing dropped, nothing clamped.
+        let p = PromptPlan::new(10, 20, 64);
+        assert_eq!(
+            p,
+            PromptPlan {
+                kept_prompt_tokens: 10,
+                dropped_prompt_tokens: 0,
+                new_token_budget: 20,
+                clamped_new_tokens: 0,
+            }
+        );
+        // Fits, but the window clamps the budget — exactly the legacy
+        // `(prompt + max_new).min(max_seq)` arithmetic.
+        let p = PromptPlan::new(60, 20, 64);
+        assert_eq!(p.new_token_budget, 4);
+        assert_eq!(p.clamped_new_tokens, 16);
+        assert_eq!(p.dropped_prompt_tokens, 0);
+        // One slot left: legacy sampled exactly one token here.
+        let p = PromptPlan::new(63, 20, 64);
+        assert_eq!(p.new_token_budget, 1);
+        assert!(!p.truncated());
+    }
+
+    #[test]
+    fn plan_trims_overflowing_prompt_head_with_headroom() {
+        // Prompt alone overflows: keep the tail, reserve up to a quarter
+        // of the window for decoding.
+        let p = PromptPlan::new(100, 40, 64);
+        assert_eq!(p.kept_prompt_tokens, 48); // 64 - 64/4
+        assert_eq!(p.dropped_prompt_tokens, 52);
+        assert_eq!(p.new_token_budget, 16);
+        assert!(p.truncated());
+        // Small max_new requests reserve only what they need.
+        let p = PromptPlan::new(100, 5, 64);
+        assert_eq!(p.kept_prompt_tokens, 59);
+        assert_eq!(p.new_token_budget, 5);
+        // max_new = 0 never trims (nothing to decode anyway).
+        let p = PromptPlan::new(100, 0, 64);
+        assert_eq!(p.kept_prompt_tokens, 64);
+        assert_eq!(p.new_token_budget, 0);
+    }
+
+    #[test]
+    fn plan_degenerate_windows() {
+        let p = PromptPlan::new(10, 3, 1);
+        assert_eq!(p.kept_prompt_tokens, 0);
+        assert_eq!(p.new_token_budget, 1);
+        let p = PromptPlan::new(0, 8, 16);
+        assert_eq!(p.kept_prompt_tokens, 0);
+        assert_eq!(p.dropped_prompt_tokens, 0);
+        assert_eq!(p.new_token_budget, 8);
+    }
+}

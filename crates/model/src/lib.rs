@@ -17,6 +17,9 @@
 //!   "fine-tuning method utilizes the LoRa technique".
 //! * [`adam`] — the Adam optimizer.
 //! * [`sampler`] — temperature/top-k sampling for pass@k generation.
+//! * [`decode`] — the prefix-cached, batched inference engine: shared
+//!   prompt prefill with zero-copy KV forks, lock-step batched decoding
+//!   through the blocked kernels, and allocation-free steady state.
 //! * [`config`] — the three base-model configurations standing in for the
 //!   Table II architectures.
 //!
@@ -28,6 +31,7 @@
 
 pub mod adam;
 pub mod config;
+pub mod decode;
 pub mod lora;
 pub mod sampler;
 pub mod tensor;
@@ -36,6 +40,7 @@ pub mod transformer;
 
 pub use adam::Adam;
 pub use config::ModelConfig;
+pub use decode::{DecodeSession, Generation, PrefixState, PromptPlan, TokenSampler};
 pub use sampler::SampleOptions;
 pub use tokenizer::Tokenizer;
 pub use transformer::TransformerLm;

@@ -19,30 +19,63 @@ impl Default for SampleOptions {
 
 /// Samples a token id from raw logits.
 pub fn sample_logits<R: Rng>(logits: &[f32], opts: &SampleOptions, rng: &mut R) -> usize {
+    sample_logits_into(logits, opts, rng, &mut Vec::new())
+}
+
+/// Allocation-aware [`sample_logits`]: `scratch` holds the softmax weights
+/// and is cleared on entry, so a caller that samples in a loop (the decode
+/// engine, one draw per sequence per token) reuses one buffer instead of
+/// allocating per draw. With `top_k` disabled — the eval harness
+/// configuration — the call performs no allocation at steady state.
+/// Bit-identical to [`sample_logits`]: same fold order for the max, same
+/// per-element normalisation, same single RNG draw.
+pub fn sample_logits_into<R: Rng>(
+    logits: &[f32],
+    opts: &SampleOptions,
+    rng: &mut R,
+    scratch: &mut Vec<f32>,
+) -> usize {
     assert!(!logits.is_empty(), "empty logits");
     if opts.temperature <= 0.0 {
         return argmax(logits);
     }
-    let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
-    if opts.top_k > 0 && opts.top_k < indexed.len() {
+    if opts.top_k > 0 && opts.top_k < logits.len() {
+        // Top-k path: needs a sort, so the index vector is unavoidable.
+        let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
         indexed.truncate(opts.top_k);
+        let max = indexed.iter().map(|(_, v)| *v).fold(f32::NEG_INFINITY, f32::max);
+        scratch.clear();
+        scratch.extend(indexed.iter().map(|(_, v)| ((v - max) / opts.temperature).exp()));
+        let total: f32 = scratch.iter().sum();
+        for w in scratch.iter_mut() {
+            *w /= total;
+        }
+        let mut roll: f32 = rng.random();
+        for ((id, _), w) in indexed.iter().zip(scratch.iter()) {
+            roll -= w;
+            if roll <= 0.0 {
+                return *id;
+            }
+        }
+        return indexed.last().map(|(id, _)| *id).unwrap_or(0);
     }
-    let max = indexed.iter().map(|(_, v)| *v).fold(f32::NEG_INFINITY, f32::max);
-    let mut weights: Vec<f32> =
-        indexed.iter().map(|(_, v)| ((v - max) / opts.temperature).exp()).collect();
-    let total: f32 = weights.iter().sum();
-    for w in weights.iter_mut() {
+    // Dense path: candidate order is index order, no sort needed.
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    scratch.clear();
+    scratch.extend(logits.iter().map(|v| ((v - max) / opts.temperature).exp()));
+    let total: f32 = scratch.iter().sum();
+    for w in scratch.iter_mut() {
         *w /= total;
     }
     let mut roll: f32 = rng.random();
-    for ((id, _), w) in indexed.iter().zip(&weights) {
+    for (id, w) in scratch.iter().enumerate() {
         roll -= w;
         if roll <= 0.0 {
-            return *id;
+            return id;
         }
     }
-    indexed.last().map(|(id, _)| *id).unwrap_or(0)
+    logits.len() - 1
 }
 
 fn argmax(xs: &[f32]) -> usize {

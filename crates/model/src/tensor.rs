@@ -358,6 +358,22 @@ pub(crate) fn online_max_expsum(row: &[f32]) -> (f32, f32) {
     (max, denom)
 }
 
+/// Fused in-place row softmax: one read-only [`online_max_expsum`] sweep,
+/// one write sweep fusing the exponential with the reciprocal scale.
+///
+/// This is the **single** softmax implementation shared by the graph op
+/// ([`Graph::softmax`]) and the KV-cached decode path
+/// (`pyranet_model::decode`), so the two can never drift apart — they are
+/// bit-identical by construction, and the shared unit test pins the
+/// numerics.
+pub fn softmax_row_inplace(row: &mut [f32]) {
+    let (max, denom) = online_max_expsum(row);
+    let inv = 1.0 / denom;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp() * inv;
+    }
+}
+
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Graph {
@@ -530,12 +546,9 @@ impl Graph {
         let mut out = Matrix::zeros(v.rows, v.cols);
         for r in 0..v.rows {
             let limit = if causal { (r + 1).min(v.cols) } else { v.cols };
-            let row = &v.data[r * v.cols..r * v.cols + limit];
-            let (max, denom) = online_max_expsum(row);
-            let inv = 1.0 / denom;
-            for (o, &x) in out.data[r * v.cols..r * v.cols + limit].iter_mut().zip(row) {
-                *o = (x - max).exp() * inv;
-            }
+            let dst = &mut out.data[r * v.cols..r * v.cols + limit];
+            dst.copy_from_slice(&v.data[r * v.cols..r * v.cols + limit]);
+            softmax_row_inplace(dst);
             // masked entries stay exactly 0
         }
         let needs = self.needs(a);
@@ -895,7 +908,9 @@ impl Graph {
     }
 }
 
-fn gelu_fwd(x: f32) -> f32 {
+/// GELU forward (tanh approximation) — shared by the graph op and the
+/// KV-cached decode path.
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
@@ -939,6 +954,39 @@ mod tests {
             })
             .collect();
         Matrix::new(rows, cols, data)
+    }
+
+    #[test]
+    fn shared_softmax_matches_graph_softmax_bitwise() {
+        // `softmax_row_inplace` is the one softmax both the graph op and
+        // the decode fast path use; pin that the graph op really routes
+        // through it (bit-identical rows) and that it behaves.
+        let m = seeded(5, 9, 42);
+        let mut g = Graph::new();
+        let a = g.constant(m.clone());
+        let s = g.softmax(a, false);
+        let graph_rows = g.value(s).clone();
+        for r in 0..m.rows {
+            let mut row = m.data[r * m.cols..(r + 1) * m.cols].to_vec();
+            softmax_row_inplace(&mut row);
+            let graph_row = &graph_rows.data[r * m.cols..(r + 1) * m.cols];
+            let ours: Vec<u32> = row.iter().map(|x| x.to_bits()).collect();
+            let theirs: Vec<u32> = graph_row.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ours, theirs, "row {r} diverged");
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn shared_softmax_handles_extreme_rows() {
+        let mut row = vec![1000.0f32, 0.0, -1000.0];
+        softmax_row_inplace(&mut row);
+        assert!((row[0] - 1.0).abs() < 1e-6, "{row:?}");
+        let mut single = vec![-3.5f32];
+        softmax_row_inplace(&mut single);
+        assert_eq!(single[0].to_bits(), 1.0f32.to_bits());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::adam::Adam;
 use crate::config::ModelConfig;
+use crate::decode::{DecodeSession, Generation};
 use crate::lora::{Adapter, LoraConfig, LoraState};
 use crate::sampler::{sample_logits, SampleOptions};
 use crate::tensor::{Graph, Matrix, TensorId};
@@ -393,7 +394,46 @@ impl TransformerLm {
 
     /// Greedy/stochastic generation with a KV cache. Returns only the newly
     /// generated ids (stops at `<eos>`).
+    ///
+    /// Runs through a one-shot [`crate::decode::DecodeSession`] (pre-merged
+    /// weights, scratch arenas, explicit prompt clamping). Output ids are
+    /// bit-identical to [`TransformerLm::generate_legacy`] whenever the
+    /// prompt fits the context window; over-long prompts are now clamped
+    /// tail-first instead of silently swallowing the completion — use
+    /// [`TransformerLm::generate_report`] to observe the clamp.
     pub fn generate<R: Rng>(
+        &self,
+        prompt: &[usize],
+        max_new: usize,
+        opts: &SampleOptions,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        self.generate_report(prompt, max_new, opts, rng).ids
+    }
+
+    /// [`TransformerLm::generate`] returning the full [`Generation`]
+    /// (generated ids plus the explicit truncation report).
+    pub fn generate_report<R: Rng>(
+        &self,
+        prompt: &[usize],
+        max_new: usize,
+        opts: &SampleOptions,
+        rng: &mut R,
+    ) -> Generation {
+        let mut session = DecodeSession::new(self);
+        let prefix = session.prefill(prompt, max_new);
+        session.decode_one(&prefix, max_new, opts, rng)
+    }
+
+    /// The pre-engine generation loop, retained verbatim as the reference
+    /// implementation (same discipline as [`crate::tensor::KernelMode`]:
+    /// the naive path stays so benchmarks can measure the engine and
+    /// property tests can pin bit-identity).
+    ///
+    /// Known (historical) wart, fixed in the engine path: when
+    /// `prompt.len() >= cfg.max_seq` the loop silently drops the forced
+    /// tail of the prompt and returns an empty completion.
+    pub fn generate_legacy<R: Rng>(
         &self,
         prompt: &[usize],
         max_new: usize,
@@ -406,21 +446,7 @@ impl TransformerLm {
         let scale = 1.0 / (hs as f32).sqrt();
         // Merged weights once per call (borrowed straight from the model
         // unless a LoRA adapter forces a merge copy).
-        let wq: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.wq)).collect();
-        let wk: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.wk)).collect();
-        let wv: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.wv)).collect();
-        let wo: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.wo)).collect();
-        let w1: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.w1)).collect();
-        let w2: Vec<Cow<'_, Matrix>> =
-            self.layers.iter().map(|l| self.effective_weight(l.w2)).collect();
-        let tok = &self.params[self.tok_emb];
-        let pos = &self.params[self.pos_emb];
-        let head = &self.params[self.head];
+        let w = self.decode_weights();
 
         let mut kcache: Vec<Vec<f32>> = vec![Vec::new(); self.layers.len()];
         let mut vcache: Vec<Vec<f32>> = vec![Vec::new(); self.layers.len()];
@@ -440,12 +466,12 @@ impl TransformerLm {
             };
             // x = tok[id] + pos[t]
             let mut x: Vec<f32> =
-                (0..d).map(|c| tok.data[id * d + c] + pos.data[t * d + c]).collect();
+                (0..d).map(|c| w.tok.data[id * d + c] + w.pos.data[t * d + c]).collect();
             for (li, _) in self.layers.iter().enumerate() {
                 let xn = ln_vec(&x);
-                let q = vec_mat(&xn, &wq[li]);
-                let k = vec_mat(&xn, &wk[li]);
-                let v = vec_mat(&xn, &wv[li]);
+                let q = vec_mat(&xn, &w.wq[li]);
+                let k = vec_mat(&xn, &w.wk[li]);
+                let v = vec_mat(&xn, &w.wv[li]);
                 kcache[li].extend_from_slice(&k);
                 vcache[li].extend_from_slice(&v);
                 let steps = kcache[li].len() / d;
@@ -459,7 +485,7 @@ impl TransformerLm {
                         let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
                         scores.push(dot * scale);
                     }
-                    softmax_inplace(&mut scores);
+                    crate::tensor::softmax_row_inplace(&mut scores);
                     for (s, w) in scores.iter().enumerate() {
                         let vh = &vcache[li][s * d + h * hs..s * d + (h + 1) * hs];
                         for (j, vx) in vh.iter().enumerate() {
@@ -467,25 +493,57 @@ impl TransformerLm {
                         }
                     }
                 }
-                let proj = vec_mat(&merged, &wo[li]);
+                let proj = vec_mat(&merged, &w.wo[li]);
                 for (xi, p) in x.iter_mut().zip(&proj) {
                     *xi += p;
                 }
                 let xn = ln_vec(&x);
-                let mut h1 = vec_mat(&xn, &w1[li]);
+                let mut h1 = vec_mat(&xn, &w.w1[li]);
                 for v in h1.iter_mut() {
-                    *v = gelu(*v);
+                    *v = crate::tensor::gelu_fwd(*v);
                 }
-                let h2 = vec_mat(&h1, &w2[li]);
+                let h2 = vec_mat(&h1, &w.w2[li]);
                 for (xi, p) in x.iter_mut().zip(&h2) {
                     *xi += p;
                 }
             }
             let xn = ln_vec(&x);
-            logits = vec_mat(&xn, head);
+            logits = vec_mat(&xn, w.head);
         }
         out
     }
+
+    /// The effective (LoRA-merged) weight set the inference engine runs
+    /// on, materialised **once** — borrowed straight from the model unless
+    /// an adapter forces a merge copy.
+    pub(crate) fn decode_weights(&self) -> DecodeWeights<'_> {
+        DecodeWeights {
+            tok: &self.params[self.tok_emb],
+            pos: &self.params[self.pos_emb],
+            head: &self.params[self.head],
+            wq: self.layers.iter().map(|l| self.effective_weight(l.wq)).collect(),
+            wk: self.layers.iter().map(|l| self.effective_weight(l.wk)).collect(),
+            wv: self.layers.iter().map(|l| self.effective_weight(l.wv)).collect(),
+            wo: self.layers.iter().map(|l| self.effective_weight(l.wo)).collect(),
+            w1: self.layers.iter().map(|l| self.effective_weight(l.w1)).collect(),
+            w2: self.layers.iter().map(|l| self.effective_weight(l.w2)).collect(),
+        }
+    }
+}
+
+/// Per-parameter effective weights for the inference fast path (see
+/// [`TransformerLm::decode_weights`]). Layer vectors are indexed by block.
+#[derive(Debug)]
+pub(crate) struct DecodeWeights<'a> {
+    pub tok: &'a Matrix,
+    pub pos: &'a Matrix,
+    pub head: &'a Matrix,
+    pub wq: Vec<Cow<'a, Matrix>>,
+    pub wk: Vec<Cow<'a, Matrix>>,
+    pub wv: Vec<Cow<'a, Matrix>>,
+    pub wo: Vec<Cow<'a, Matrix>>,
+    pub w1: Vec<Cow<'a, Matrix>>,
+    pub w2: Vec<Cow<'a, Matrix>>,
 }
 
 /// Stable ordering key for trainable tensors.
@@ -497,8 +555,14 @@ enum TrainKey {
 }
 
 // ---- small-vector helpers for the inference fast path ----
+// (Shared with `crate::decode`; softmax and GELU live in `crate::tensor`
+// so the graph ops and both decode paths use one implementation each.)
 
-fn vec_mat(x: &[f32], w: &Matrix) -> Vec<f32> {
+/// `out = x · w` for a `[1, rows]` vector against a `[rows, cols]` matrix,
+/// accumulating in ascending shared-dimension order (the same order as the
+/// `KernelMode` matmul kernels, so per-row results agree bit-for-bit with
+/// a batched matmul over stacked vectors).
+pub(crate) fn vec_mat(x: &[f32], w: &Matrix) -> Vec<f32> {
     debug_assert_eq!(x.len(), w.rows);
     let mut out = vec![0.0f32; w.cols];
     for (k, &xv) in x.iter().enumerate() {
@@ -513,8 +577,17 @@ fn vec_mat(x: &[f32], w: &Matrix) -> Vec<f32> {
     out
 }
 
-fn ln_vec(x: &[f32]) -> Vec<f32> {
-    // Single statistics sweep: sum and sum-of-squares together.
+/// Row layer norm into a fresh vector (see [`ln_row_into`]).
+pub(crate) fn ln_vec(x: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    ln_row_into(x, &mut out);
+    out
+}
+
+/// Row layer norm written into `out`. Single statistics sweep (sum and
+/// sum-of-squares together), identical arithmetic to the graph layernorm.
+pub(crate) fn ln_row_into(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
     let n = x.len() as f32;
     let (mut sum, mut sumsq) = (0.0f32, 0.0f32);
     for &v in x {
@@ -524,22 +597,9 @@ fn ln_vec(x: &[f32]) -> Vec<f32> {
     let mean = sum / n;
     let var = (sumsq / n - mean * mean).max(0.0);
     let rstd = 1.0 / (var + 1e-5).sqrt();
-    x.iter().map(|v| (v - mean) * rstd).collect()
-}
-
-fn softmax_inplace(xs: &mut [f32]) {
-    // Online max/denom sweep, then one write sweep fusing exp with the
-    // reciprocal scale.
-    let (max, denom) = crate::tensor::online_max_expsum(xs);
-    let inv = 1.0 / denom;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp() * inv;
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = (v - mean) * rstd;
     }
-}
-
-fn gelu(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
 
 #[cfg(test)]

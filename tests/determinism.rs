@@ -206,6 +206,34 @@ fn batched_sft_training_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn eval_engines_are_byte_identical_at_any_thread_count() {
+    // The acceptance pin for the decode engine: the batched session path
+    // (shared prefill + lock-step decode) and the retained per-sample
+    // legacy loop must produce *byte-identical* serialized EvalResults at
+    // every thread count. Batching is a throughput knob, never a semantic
+    // one.
+    use pyranet::eval::EngineMode;
+    let (lm, tk) = tiny_model();
+    let problems: Vec<_> = machine_split().into_iter().take(4).collect();
+    let run = |engine, threads| {
+        let opts = EvalOptions {
+            samples_per_problem: 3,
+            max_new_tokens: 16,
+            threads,
+            engine,
+            ..EvalOptions::default()
+        };
+        serde_json::to_string(&evaluate(&lm, &tk, &problems, &opts)).expect("serialize EvalResult")
+    };
+    let reference = run(EngineMode::PerSample, 1);
+    for engine in [EngineMode::Session, EngineMode::PerSample] {
+        for threads in THREAD_COUNTS {
+            assert_eq!(run(engine, threads), reference, "engine = {engine:?}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
 fn eval_is_independent_of_problem_order() {
     // Each problem's sampling stream is keyed by (seed, problem id), so
     // shuffling the split must only permute the per-problem results.
