@@ -197,4 +197,20 @@ fn main() {
     std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     println!("{json}");
     eprintln!("wrote BENCH_eval.json");
+
+    // The session path runs through the instrumented engine, so the global
+    // registry must have seen every fork and decode token (`repeats`
+    // passes per problem). Export the snapshot next to the wall-time
+    // report and cross-check it against the independent count above.
+    let snap = pyranet::obs::global().snapshot();
+    let forks = snap.counter("decode.forks").unwrap_or(0);
+    let engine_tokens = snap.counter("decode.tokens").unwrap_or(0);
+    assert_eq!(
+        forks,
+        report.problems * report.samples_per_problem * report.repeats,
+        "every repeat forks n_samples sequences"
+    );
+    assert_eq!(engine_tokens, decode_tokens * report.repeats, "engine token count drifted");
+    std::fs::write("BENCH_eval_metrics.json", snap.to_json()).expect("write metrics snapshot");
+    eprintln!("wrote BENCH_eval_metrics.json ({} metric(s))", snap.entries.len());
 }

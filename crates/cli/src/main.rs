@@ -17,6 +17,10 @@
 //!              [--threads T] [--seed S] [--engine session|per-sample]
 //!              [--files N] [--epochs E] [--json OUT]
 //! ```
+//!
+//! `build-dataset`, `train`, and `eval` also accept `--metrics OUT.json`
+//! (flush-checked JSON snapshot of the process-global metrics registry)
+//! and `--verbose` (human-readable metrics summary on stdout).
 
 use pyranet::model::{ModelConfig, TransformerLm};
 use pyranet::pipeline::rank::{rank_sample, render_response};
@@ -65,12 +69,52 @@ fn print_usage() {
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
          pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
         \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
-        \x20            [--files N] [--epochs E] [--json OUT]"
+        \x20            [--files N] [--epochs E] [--json OUT]\n\n\
+         build-dataset, train, and eval also accept:\n  \
+         --metrics OUT.json   write a JSON snapshot of all recorded metrics\n  \
+         --verbose            print a human-readable metrics summary"
     );
 }
 
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// `--metrics OUT.json` / `--verbose` state shared by `build-dataset`,
+/// `train`, and `eval`. Recording is always on (the registry is
+/// process-global and costs a few atomic adds); these flags only control
+/// whether the end-of-run snapshot is exported.
+#[derive(Debug, Default)]
+struct MetricsArgs {
+    out: Option<String>,
+    verbose: bool,
+}
+
+impl MetricsArgs {
+    /// Snapshots the global registry: writes the JSON export (flush-checked,
+    /// same discipline as the dataset writers) and/or prints the human
+    /// summary.
+    fn finish(&self) -> Result<(), String> {
+        if self.out.is_none() && !self.verbose {
+            return Ok(());
+        }
+        let snap = pyranet::obs::global().snapshot();
+        if let Some(path) = &self.out {
+            use std::io::Write;
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            w.write_all(snap.to_json().as_bytes()).map_err(|e| format!("write failed: {e}"))?;
+            w.write_all(b"\n").map_err(|e| format!("write failed: {e}"))?;
+            // Explicit flush: BufWriter's Drop swallows errors.
+            w.flush().map_err(|e| format!("write failed: {e}"))?;
+            println!("wrote {} metric(s) to {path}", snap.entries.len());
+        }
+        if self.verbose {
+            print!("{}", snap.render());
+        }
+        Ok(())
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -172,9 +216,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut shard_size: Option<usize> = None;
+    let mut metrics = MetricsArgs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--metrics" => metrics.out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--verbose" => metrics.verbose = true,
             "--files" => {
                 files = it
                     .next()
@@ -253,13 +300,14 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         w.flush().map_err(|e| format!("write failed: {e}"))?;
         println!("wrote {} samples to {out}", built.dataset.len());
     }
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut files = 300usize;
     let mut seed = BuildOptions::default().seed;
     let mut cfg = TrainConfig::default();
+    let mut metrics = MetricsArgs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |flag: &str| -> Result<usize, String> {
@@ -269,6 +317,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("bad {flag}: {e}"))
         };
         match a.as_str() {
+            "--metrics" => {
+                metrics.out = Some(it.next().ok_or("--metrics needs a path")?.clone());
+            }
+            "--verbose" => metrics.verbose = true,
             "--files" => files = num("--files")?,
             "--seed" => seed = num("--seed")? as u64,
             "--threads" => cfg.threads = num("--threads")?,
@@ -304,11 +356,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let report = SftTrainer::run(&mut lm, &tk, &built.dataset, &cfg);
     for p in &report.phases {
         println!(
-            "  phase {:<12} {:>5} examples  loss {:.4} -> {:.4}",
-            p.name, p.examples, p.first_loss, p.last_loss
+            "  phase {:<12} {:>5} examples  {:>5} steps  loss {:.4} -> {:.4}",
+            p.name, p.examples, p.steps, p.first_loss, p.last_loss
         );
     }
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
@@ -318,6 +370,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let mut files = 300usize;
     let mut epochs = 1usize;
     let mut json: Option<String> = None;
+    let mut metrics = MetricsArgs::default();
     let mut opts = EvalOptions { samples_per_problem: 5, max_new_tokens: 48, ..Default::default() };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -326,6 +379,8 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
             v?.parse().map_err(|e| format!("bad {flag}: {e}"))
         };
         match a.as_str() {
+            "--metrics" => metrics.out = Some(val("--metrics")?),
+            "--verbose" => metrics.verbose = true,
             "--split" => split = val("--split")?,
             "--samples" => {
                 opts.samples_per_problem = num("--samples", val("--samples"))?.max(1) as u32;
@@ -412,7 +467,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         w.flush().map_err(|e| format!("write failed: {e}"))?;
         println!("wrote {} result(s) to {path}", results.len());
     }
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

@@ -41,6 +41,7 @@ pub use experiment::{
 pub use pyranet_corpus as corpus;
 pub use pyranet_eval as eval;
 pub use pyranet_model as model;
+pub use pyranet_obs as obs;
 pub use pyranet_pipeline as pipeline;
 pub use pyranet_train as train;
 pub use pyranet_verilog as verilog;

@@ -148,6 +148,7 @@ pub fn evaluate(
     problems: &[Problem],
     opts: &EvalOptions,
 ) -> EvalResult {
+    let _span = pyranet_obs::global().span("eval.run");
     let split_name =
         problems.first().map(|p| p.split.to_string()).unwrap_or_else(|| Split::Machine.to_string());
     // Problems are independent: sample i of a problem derives its RNG
@@ -224,6 +225,14 @@ pub fn evaluate(
             prompt_dropped_tokens: dropped,
         }
     });
+    // Aggregate into the metrics registry once, after the fan-out, so the
+    // hot per-problem path stays free of registry traffic.
+    let obs = pyranet_obs::global();
+    obs.counter("eval.problems").add(out.len() as u64);
+    obs.counter("eval.samples").add(out.iter().map(|p| u64::from(p.n)).sum());
+    obs.counter("eval.passed").add(out.iter().map(|p| u64::from(p.passed)).sum());
+    obs.counter("eval.syntax_valid")
+        .add(out.iter().map(|p| u64::from(p.syntactically_valid)).sum());
     EvalResult { split_name, problems: out, ks: opts.ks.clone() }
 }
 

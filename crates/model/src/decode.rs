@@ -328,9 +328,12 @@ impl<'m> DecodeSession<'m> {
     /// Logits are computed for the final row alone — the legacy loop's
     /// per-prompt-token logit products were dead work.
     pub fn prefill(&mut self, prompt: &[usize], max_new: usize) -> PrefixState {
+        let obs = pyranet_obs::global();
+        let span = obs.span("decode.prefill");
         let plan = PromptPlan::new(prompt.len(), max_new, self.max_seq);
         let prompt = &prompt[plan.dropped_prompt_tokens..];
         let n = prompt.len();
+        obs.counter("decode.prefill.tokens").add(n as u64);
         let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
         let mut kcache: Vec<Vec<f32>> = (0..self.n_layers).map(|_| vec![0.0; n * d]).collect();
         let mut vcache: Vec<Vec<f32>> = (0..self.n_layers).map(|_| vec![0.0; n * d]).collect();
@@ -405,6 +408,10 @@ impl<'m> DecodeSession<'m> {
         let mut last_ln = vec![0.0f32; d];
         ln_row_into(&sc.x.data[(n - 1) * d..n * d], &mut last_ln);
         let logits = vec_mat(&last_ln, self.w.head);
+        let secs = span.stop().as_secs_f64();
+        if secs > 0.0 {
+            obs.gauge("decode.prefill.tokens_per_sec").set(n as f64 / secs);
+        }
         PrefixState {
             kcache,
             vcache,
@@ -443,7 +450,10 @@ impl<'m> DecodeSession<'m> {
         samplers: &mut [S],
     ) -> Vec<Generation> {
         assert_eq!(opts.len(), samplers.len(), "one sampler per sequence");
+        let obs = pyranet_obs::global();
+        let span = obs.span("decode.batch");
         let n_seq = opts.len();
+        obs.counter("decode.forks").add(n_seq as u64);
         let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
         let new_budget = max_new.min(self.max_seq - prefix.len);
         let clamped = max_new - new_budget;
@@ -557,6 +567,15 @@ impl<'m> DecodeSession<'m> {
             for (r, &i) in live.iter().enumerate() {
                 seqs[i].logits.copy_from_slice(&sc.logits.data[r * vocab..(r + 1) * vocab]);
             }
+        }
+        let tokens: u64 = seqs.iter().map(|s| s.out.len() as u64).sum();
+        let eos_retired = seqs.iter().filter(|s| !s.alive).count();
+        obs.counter("decode.tokens").add(tokens);
+        obs.counter("decode.retired_eos").add(eos_retired as u64);
+        obs.counter("decode.retired_budget").add((n_seq - eos_retired) as u64);
+        let secs = span.stop().as_secs_f64();
+        if secs > 0.0 {
+            obs.gauge("decode.tokens_per_sec").set(tokens as f64 / secs);
         }
         seqs.into_iter()
             .map(|s| Generation {

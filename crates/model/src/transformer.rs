@@ -316,6 +316,7 @@ impl TransformerLm {
         opt: &mut Adam,
         exec: &ExecConfig,
     ) -> Option<f32> {
+        let _span = pyranet_obs::global().span("model.train_step");
         let model = &*self;
         let per_example = pyranet_exec::par_map_ref(exec, batch, |ex| model.example_grads(ex));
         let mut grad_acc: HashMap<TrainKey, Matrix> = HashMap::new();
@@ -335,6 +336,9 @@ impl TransformerLm {
                     .or_insert(grad);
             }
         }
+        let obs = pyranet_obs::global();
+        obs.counter("model.train_step.examples").add(n as u64);
+        obs.counter("model.train_step.skipped").add((batch.len() - n) as u64);
         if n == 0 {
             return None;
         }

@@ -1,0 +1,594 @@
+//! # pyranet-obs
+//!
+//! A small, dependency-free observability layer for the PyraNet
+//! toolchain: a [`MetricsRegistry`] of named **counters**, **gauges**,
+//! and fixed-bucket **histograms**, plus RAII [`Span`] timers.
+//!
+//! The design contract is strict: metrics **record, never perturb**.
+//! Every instrumentation site is write-only — no compute path reads a
+//! metric back — so byte-pinned outputs (the determinism suite, the
+//! sharded-export digests, the decode-equivalence pins) are unaffected
+//! by whether a snapshot is ever taken.
+//!
+//! # Shape
+//!
+//! * [`Counter`] — monotonic `u64`, atomic add.
+//! * [`Gauge`] — last-write-wins `f64` (loss curves, tokens/sec).
+//! * [`Histogram`] — fixed upper-bound buckets plus an implicit `+inf`
+//!   bucket, with total count and sum (span durations land here).
+//! * [`Span`] — an RAII timer: created via [`MetricsRegistry::span`],
+//!   it observes its elapsed seconds into `<name>.seconds` when dropped
+//!   (or when explicitly [`Span::stop`]ped, which also returns the
+//!   elapsed [`Duration`] for callers that report wall time themselves).
+//!
+//! Handles are cheap `Arc` clones over atomics: resolve once (by name)
+//! outside a hot loop, then record lock-free inside it.
+//!
+//! # The global registry
+//!
+//! Instrumented subsystems (pipeline stages, the trainers, the decode
+//! engine) record into [`global()`], following the default-registry
+//! convention of production metrics stacks; `pyranet … --metrics OUT.json`
+//! snapshots it at exit. Isolated registries ([`MetricsRegistry::new`])
+//! remain available for tests.
+//!
+//! # Snapshots
+//!
+//! [`MetricsRegistry::snapshot`] freezes every metric into a
+//! [`MetricsSnapshot`], which renders as a human summary
+//! ([`MetricsSnapshot::render`]) or as JSON ([`MetricsSnapshot::to_json`])
+//! with the schema `name → {type, value | count/sum/buckets}`:
+//!
+//! ```json
+//! {
+//!   "pipeline.funnel.curated": {"type": "counter", "value": 1234},
+//!   "train.phase.tokens_per_sec": {"type": "gauge", "value": 8123.4},
+//!   "pipeline.stage.dedup.seconds": {
+//!     "type": "histogram", "count": 1, "sum": 0.0421,
+//!     "buckets": [{"le": 0.000001, "count": 0}, …, {"le": null, "count": 1}]
+//!   }
+//! }
+//! ```
+//!
+//! `"le": null` marks the `+inf` bucket. Names are emitted in sorted
+//! order, so two snapshots of the same state are byte-identical.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Default histogram bounds for span durations, in seconds: microseconds
+/// through minutes, plus the implicit `+inf` overflow bucket.
+pub const DURATION_BUCKETS: [f64; 12] =
+    [1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell, so a handle resolved once can be bumped lock-free in hot loops.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` value (stored as bits in an atomic, so
+/// setting from worker threads never locks).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending bucket upper bounds; an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing `+inf` count.
+    counts: Vec<AtomicU64>,
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observed values (f64 bits, CAS-accumulated).
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram: cumulative-style bucket counts are derivable
+/// from the per-bucket counts in the snapshot; `count`/`sum` give the
+/// mean. Observations are lock-free.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < v);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match inner.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum.load(Ordering::Relaxed))
+    }
+
+    fn freeze(&self) -> SnapshotValue {
+        let inner = &self.0;
+        let buckets = inner
+            .bounds
+            .iter()
+            .copied()
+            .map(Some)
+            .chain([None])
+            .zip(inner.counts.iter().map(|c| c.load(Ordering::Relaxed)))
+            .map(|(le, count)| Bucket { le, count })
+            .collect();
+        SnapshotValue::Histogram { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// An RAII wall-time span. Observes elapsed seconds into its histogram
+/// when dropped; [`Span::stop`] does the same eagerly and hands back the
+/// elapsed [`Duration`] for callers that also report timings directly.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// Stops the span now, records it, and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        self.finish().expect("span not yet stopped")
+    }
+
+    fn finish(&mut self) -> Option<Duration> {
+        let started = self.started.take()?;
+        let elapsed = started.elapsed();
+        self.hist.observe(elapsed.as_secs_f64());
+        Some(elapsed)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Cheap to clone (shared interior);
+/// get-or-create lookups lock briefly, recording through a resolved
+/// handle never does.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+/// The process-wide default registry the instrumented subsystems record
+/// into (and `--metrics` snapshots).
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        map.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use (later calls reuse the original bounds).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::with_bounds(bounds))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Starts an RAII timer recording into the `<name>.seconds` histogram
+    /// (with [`DURATION_BUCKETS`]).
+    pub fn span(&self, name: &str) -> Span {
+        let hist = self.histogram(&format!("{name}.seconds"), &DURATION_BUCKETS);
+        Span { hist, started: Some(Instant::now()) }
+    }
+
+    /// Freezes every registered metric into a point-in-time snapshot,
+    /// sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        let entries = map
+            .iter()
+            .map(|(name, metric)| SnapshotEntry {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => h.freeze(),
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One histogram bucket in a snapshot: observations `<= le` landed here
+/// (exclusive of earlier buckets); `le: None` is the `+inf` bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Upper bound, or `None` for `+inf`.
+    pub le: Option<f64>,
+    /// Observations in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: f64,
+        /// Per-bucket counts, ascending bounds, `+inf` last.
+        buckets: Vec<Bucket>,
+    },
+}
+
+/// A point-in-time copy of a registry, ready to serialize or render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Metrics sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Registered metric name.
+    pub name: String,
+    /// Frozen value.
+    pub value: SnapshotValue,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.value)
+    }
+
+    /// Counter value by name (`None` when absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (`None` when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            SnapshotValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object keyed by metric name
+    /// (schema in the crate docs). Deterministic: names are sorted and
+    /// float text is `f64` shortest-round-trip.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.entries.len().max(1));
+        out.push_str("{\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            json_string(&e.name, &mut out);
+            out.push_str(": ");
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str("{\"type\": \"gauge\", \"value\": ");
+                    json_f64(*v, &mut out);
+                    out.push('}');
+                }
+                SnapshotValue::Histogram { count, sum, buckets } => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"histogram\", \"count\": {count}, \"sum\": "
+                    ));
+                    json_f64(*sum, &mut out);
+                    out.push_str(", \"buckets\": [");
+                    for (j, b) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str("{\"le\": ");
+                        match b.le {
+                            Some(le) => json_f64(le, &mut out),
+                            None => out.push_str("null"),
+                        }
+                        out.push_str(&format!(", \"count\": {}}}", b.count));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Renders a human-readable one-line-per-metric summary (the
+    /// `--verbose` output).
+    pub fn render(&self) -> String {
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("counter    {:<width$}  {v}\n", e.name));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("gauge      {:<width$}  {v:.4}\n", e.name));
+                }
+                SnapshotValue::Histogram { count, sum, .. } => {
+                    let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    out.push_str(&format!(
+                        "histogram  {:<width$}  count={count} sum={sum:.4} mean={mean:.6}\n",
+                        e.name
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends `v` as a JSON number (non-finite values become `null` — JSON
+/// has no NaN/Infinity).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a JSON string literal with minimal escaping.
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("loss").set(3.5);
+        reg.gauge("loss").set(1.25);
+        assert_eq!(reg.gauge("loss").get(), 1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 1.0, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 107.4).abs() < 1e-9);
+        let snap = reg.snapshot();
+        match snap.get("lat").unwrap() {
+            SnapshotValue::Histogram { count, buckets, .. } => {
+                assert_eq!(*count, 5);
+                // `le` is inclusive: 1.0 lands in the first bucket.
+                let counts: Vec<u64> = buckets.iter().map(|b| b.count).collect();
+                assert_eq!(counts, vec![3, 1, 1]);
+                assert_eq!(buckets[2].le, None, "+inf bucket last");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_records_elapsed_seconds() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let elapsed = reg.span("work").stop();
+        let h = reg.histogram("work.seconds", &DURATION_BUCKETS);
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() >= 0.002, "sum {} too small", h.sum());
+        assert!(h.sum() >= elapsed.as_secs_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").inc();
+        reg.counter("a.count").add(2);
+        reg.gauge("c.rate").set(1.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.count", "b.count", "c.rate"]);
+        assert_eq!(snap.counter("a.count"), Some(2));
+        assert_eq!(snap.gauge("c.rate"), Some(1.5));
+        assert_eq!(snap.counter("c.rate"), None, "kind-checked accessor");
+        assert_eq!(reg.snapshot(), snap, "same state, same snapshot");
+    }
+
+    #[test]
+    fn json_escapes_and_handles_non_finite() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("weird\"name\n").set(f64::NAN);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\\\"name\\n"), "{json}");
+        assert!(json.contains("\"value\": null"), "{json}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits");
+        let h = reg.histogram("obs", &[0.5]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(if i % 2 == 0 { 0.25 } else { 1.0 });
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - (2000.0 * 0.25 + 2000.0 * 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs.selftest").inc();
+        assert!(global().snapshot().counter("obs.selftest").unwrap() >= 1);
+    }
+}

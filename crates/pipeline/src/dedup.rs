@@ -28,23 +28,30 @@ const BANDS: usize = 16;
 /// Tokens are word-level (identifiers, numbers, operators collapse to
 /// single chars); 3-gram shingles make the measure order-sensitive enough
 /// that different circuits with the same vocabulary don't collide.
+///
+/// Tokenization is char-aware: a multibyte character (a `// café`
+/// comment, a CJK identifier in a scraped file) is one single-char token.
+/// The earlier byte-indexed slicing (`&source[i..i + 1]`) panicked on any
+/// non-char-boundary index, taking the whole pipeline down with it. For
+/// pure-ASCII sources the token stream is byte-identical to the old one,
+/// so existing dedup outcomes (and the export digest pins) are unchanged.
 pub fn shingles(source: &str) -> HashSet<u64> {
     let mut tokens: Vec<&str> = Vec::new();
-    let bytes = source.as_bytes();
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'$';
-    let mut i = 0;
-    while i < bytes.len() {
-        if is_word(bytes[i]) {
-            let start = i;
-            while i < bytes.len() && is_word(bytes[i]) {
-                i += 1;
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '$';
+    let mut chars = source.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if is_word(c) {
+            let mut end = start + c.len_utf8();
+            while let Some(&(j, cj)) = chars.peek() {
+                if !is_word(cj) {
+                    break;
+                }
+                end = j + cj.len_utf8();
+                chars.next();
             }
-            tokens.push(&source[start..i]);
-        } else {
-            if !bytes[i].is_ascii_whitespace() {
-                tokens.push(&source[i..i + 1]);
-            }
-            i += 1;
+            tokens.push(&source[start..end]);
+        } else if !c.is_whitespace() {
+            tokens.push(&source[start..start + c.len_utf8()]);
         }
     }
     let mut set = HashSet::with_capacity(tokens.len());
@@ -257,11 +264,65 @@ mod tests {
         assert!(!shingles("module m; endmodule").is_empty());
     }
 
+    #[test]
+    fn multibyte_sources_dedup_without_panicking() {
+        // Regression: byte-indexed tokenization panicked on the first
+        // non-ASCII char. A scraped file with a `// café` comment must
+        // tokenize, and near-duplicates differing only in such comments
+        // must still collapse.
+        // Each non-ASCII char tokenizes alone, so keep the comment short
+        // enough that the copy stays above the 0.8 Jaccard threshold.
+        let near = format!("// café 配線\n{M1}");
+        assert!(!shingles(&near).is_empty());
+        assert!(jaccard(&shingles(M1), &shingles(&near)) >= 0.8, "fixture drifted");
+        let pool = vec![raw(0, M1), raw(1, &near), raw(2, M2)];
+        let out = dedup(pool, 0.8);
+        let ids: Vec<u64> = out.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 2], "multibyte-comment near-copy removed, first kept");
+    }
+
+    #[test]
+    fn multibyte_and_ascii_tokenization_agree_on_ascii() {
+        // The char-aware rewrite must be a drop-in for ASCII sources —
+        // identical shingles keep every pinned dedup outcome identical.
+        let sets = shingles(M1);
+        assert!((jaccard(&sets, &shingles(M1)) - 1.0).abs() < 1e-12);
+        // A multibyte char is one token, not a byte sequence: the same
+        // text with the char removed differs by exactly that token stream.
+        let a = shingles("assign y = a; // é\nassign z = b;");
+        let b = shingles("assign y = a; //\nassign z = b;");
+        assert_ne!(a, b);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
         use rand::{Rng, SeedableRng};
         use rand_chacha::ChaCha8Rng;
+
+        /// A random Unicode source: every draw mixes plain ASCII
+        /// Verilog-ish text with code points from the whole scalar-value
+        /// range (multibyte letters, combining marks, emoji, exotic
+        /// whitespace) so word/boundary handling sees every byte-length.
+        fn arbitrary_unicode(seed: u64, len: usize) -> String {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut out = String::with_capacity(len * 2);
+            for _ in 0..len {
+                let c = match rng.random_range(0..4u32) {
+                    0 => char::from(rng.random_range(0x20u32..0x7f) as u8),
+                    1 => [' ', '\n', '\t', '\u{a0}', '\u{2028}', ';', '_', '$']
+                        [rng.random_range(0..8usize)],
+                    _ => loop {
+                        let raw = rng.random_range(0u32..0x11_0000);
+                        if let Some(c) = char::from_u32(raw) {
+                            break c;
+                        }
+                    },
+                };
+                out.push(c);
+            }
+            out
+        }
 
         /// Builds a pool mixing exact copies, lightly mutated copies, and
         /// fresh unrelated modules — the three regimes that exercise the
@@ -312,6 +373,25 @@ mod tests {
                 let fast: Vec<u64> =
                     dedup(pool, 0.85).into_iter().map(|s| s.id).collect();
                 prop_assert_eq!(naive, fast);
+            }
+
+            /// `shingles` never panics, whatever Unicode lands in the
+            /// pool — scraped corpora carry non-ASCII comments,
+            /// identifiers, and the occasional binary-ish garbage, and a
+            /// char-boundary panic here used to kill the whole pipeline.
+            #[test]
+            fn shingles_never_panics_on_arbitrary_unicode(
+                seed in 0u64..100_000,
+                len in 0usize..300,
+            ) {
+                let src = arbitrary_unicode(seed, len);
+                let set = shingles(&src);
+                prop_assert!((jaccard(&set, &set) - 1.0).abs() < 1e-12);
+                // And the full dedup sweep over such sources stays sound.
+                let pool = vec![raw(0, &src), raw(1, &src), raw(2, M1)];
+                let out = dedup(pool, 0.85);
+                prop_assert!(out.iter().any(|s| s.id == 0), "first copy survives");
+                prop_assert!(!out.iter().any(|s| s.id == 1), "exact copy removed");
             }
 
             /// The survivor set is invariant under the executor's thread

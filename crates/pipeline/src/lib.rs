@@ -56,7 +56,7 @@ use pyranet_corpus::RawSample;
 use pyranet_exec::{par_map, ExecConfig};
 use pyranet_verilog::metrics::ComplexityTier;
 use pyranet_verilog::{check_file, parse, SourceFile, SyntaxVerdict};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration for a pipeline run.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,35 +97,42 @@ impl Pipeline {
     }
 
     /// Runs the pipeline, additionally reporting per-stage wall time.
+    ///
+    /// Every stage runs under a `pyranet_obs` span (`pipeline.stage.*`)
+    /// and the funnel counts are mirrored into `pipeline.funnel.*`
+    /// counters — observational only, the curated output is byte-for-byte
+    /// what it was without instrumentation.
     pub fn run_timed(&self, pool: Vec<RawSample>) -> (PipelineOutcome, StageTimings) {
+        let obs = pyranet_obs::global();
+        let run_span = obs.span("pipeline.run");
         let exec = self.exec_config();
         let mut funnel = Funnel { collected: pool.len(), ..Funnel::default() };
         let mut timings = StageTimings::default();
 
         // Stage 1: empty/broken.
-        let t = Instant::now();
+        let span = obs.span("pipeline.stage.broken");
         let (alive, rejected) = filter::filter_broken(pool);
         funnel.rejected_broken = rejected;
-        timings.broken = t.elapsed();
+        timings.broken = span.stop();
 
         // Stage 2: module declaration.
-        let t = Instant::now();
+        let span = obs.span("pipeline.stage.no_module");
         let (alive, rejected) = filter::filter_no_module(alive);
         funnel.rejected_no_module = rejected;
-        timings.no_module = t.elapsed();
+        timings.no_module = span.stop();
 
         // Stage 3: dedup (MinHash signatures computed in parallel).
-        let t = Instant::now();
+        let span = obs.span("pipeline.stage.dedup");
         let before = alive.len();
         let alive = dedup::dedup_with(alive, self.jaccard_threshold, &exec);
         funnel.rejected_duplicates = before - alive.len();
-        timings.dedup = t.elapsed();
+        timings.dedup = span.stop();
 
         // Stage 4: syntax check + rank + complexity, one parse per
         // survivor, fanned out across the executor. Each sample's curation
         // is a pure function of the sample, so par_map's determinism
         // contract makes the outcome thread-count-independent.
-        let t = Instant::now();
+        let span = obs.span("pipeline.stage.syntax_rank");
         timings.syntax_in = alive.len();
         let curated = par_map(&exec, alive, |s| {
             let file = match parse(&s.source) {
@@ -144,9 +151,30 @@ impl Pipeline {
                 None => funnel.rejected_syntax += 1,
             }
         }
-        timings.syntax_rank = t.elapsed();
+        timings.syntax_rank = span.stop();
 
         funnel.curated = dataset.len();
+        assert!(
+            funnel.is_consistent(),
+            "funnel lost samples: {} collected vs {} accounted",
+            funnel.collected,
+            funnel.rejected_broken
+                + funnel.rejected_no_module
+                + funnel.rejected_duplicates
+                + funnel.rejected_syntax
+                + funnel.curated
+        );
+        for (name, count) in [
+            ("collected", funnel.collected),
+            ("rejected_broken", funnel.rejected_broken),
+            ("rejected_no_module", funnel.rejected_no_module),
+            ("rejected_duplicates", funnel.rejected_duplicates),
+            ("rejected_syntax", funnel.rejected_syntax),
+            ("curated", funnel.curated),
+        ] {
+            obs.counter(&format!("pipeline.funnel.{name}")).add(count as u64);
+        }
+        drop(run_span);
         (PipelineOutcome { dataset, funnel }, timings)
     }
 }

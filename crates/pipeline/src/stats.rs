@@ -20,6 +20,18 @@ pub struct Funnel {
 }
 
 impl Funnel {
+    /// Conservation invariant: every collected sample is accounted for by
+    /// exactly one rejection stage or by survival. `Pipeline::run` asserts
+    /// this at the end of every run.
+    pub fn is_consistent(&self) -> bool {
+        self.collected
+            == self.rejected_broken
+                + self.rejected_no_module
+                + self.rejected_duplicates
+                + self.rejected_syntax
+                + self.curated
+    }
+
     /// Survival rate, curated / collected.
     pub fn survival_rate(&self) -> f64 {
         if self.collected == 0 {
@@ -53,6 +65,22 @@ impl Funnel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn consistency_counts_every_sample_once() {
+        let f = Funnel {
+            collected: 100,
+            rejected_broken: 10,
+            rejected_no_module: 20,
+            rejected_duplicates: 30,
+            rejected_syntax: 11,
+            curated: 29,
+        };
+        assert!(f.is_consistent());
+        assert!(Funnel::default().is_consistent(), "empty funnel is trivially consistent");
+        let lossy = Funnel { curated: 28, ..f };
+        assert!(!lossy.is_consistent(), "a dropped sample must be detected");
+    }
 
     #[test]
     fn survival_rate_basics() {

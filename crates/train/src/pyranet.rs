@@ -116,8 +116,11 @@ mod tests {
         assert_eq!(report.phases.len(), 24, "one phase per layer/tier");
         for p in &report.phases {
             if p.examples == 0 {
+                assert_eq!(p.steps, 0, "empty groups take no optimizer steps");
                 assert_eq!(p.first_loss, 0.0);
                 assert_eq!(p.last_loss, 0.0);
+            } else {
+                assert!(p.steps > 0, "non-empty group {} reported zero steps", p.name);
             }
         }
         assert!(report.phases.iter().any(|p| p.examples > 0), "some groups must train");

@@ -12,6 +12,10 @@ pub struct PhaseReport {
     pub loss_weight: f64,
     /// Number of examples in the phase.
     pub examples: usize,
+    /// Optimizer steps actually taken. `0` with `examples > 0` means every
+    /// batch lacked a supervisable code region — previously invisible,
+    /// because `first_loss`/`last_loss` default to `0.0` either way.
+    pub steps: usize,
     /// Mean loss of the first optimizer step.
     pub first_loss: f32,
     /// Mean loss of the last optimizer step.
@@ -67,6 +71,7 @@ mod tests {
             name: "L1/Basic".into(),
             loss_weight: 1.0,
             examples: 10,
+            steps: 2,
             first_loss: 3.0,
             last_loss: 1.0,
         });
@@ -74,6 +79,7 @@ mod tests {
             name: "L2/Basic".into(),
             loss_weight: 0.8,
             examples: 20,
+            steps: 3,
             first_loss: 2.0,
             last_loss: 0.9,
         });

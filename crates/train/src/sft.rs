@@ -57,8 +57,23 @@ pub(crate) fn run_phase(
     run_phase_with_order(lm, examples, cfg, name, loss_weight, report, true);
 }
 
+/// Shuffle seed for one named phase: the full phase name is folded in via
+/// FNV-1a ([`pyranet_exec::stream_seed_str`]), so every phase of the
+/// 24-phase curriculum draws a distinct permutation. The previous
+/// `cfg.seed ^ name.len()` collided for all same-length names —
+/// "L1/Basic" through "L6/Basic" (and every other tier column) reused one
+/// identical permutation.
+pub(crate) fn phase_shuffle_seed(seed: u64, name: &str) -> u64 {
+    pyranet_exec::stream_seed_str(seed, name)
+}
+
 /// [`run_phase`] with explicit control over shuffling — the curriculum
 /// ablation trains in the given order.
+///
+/// Instrumented with `pyranet_obs`: a `train.phase` span, example/step/
+/// token counters, and loss-curve + throughput gauges. Recording only —
+/// the trained weights are byte-identical with or without a snapshot
+/// consumer.
 pub(crate) fn run_phase_with_order(
     lm: &mut TransformerLm,
     examples: &mut Vec<TrainExample>,
@@ -68,20 +83,25 @@ pub(crate) fn run_phase_with_order(
     report: &mut TrainReport,
     shuffle: bool,
 ) {
+    let obs = pyranet_obs::global();
+    obs.counter("train.phases").inc();
     if examples.is_empty() {
         // Record an explicit zero-step phase so curriculum reports always
         // carry one entry per scheduled layer/tier.
+        obs.counter("train.zero_example_phases").inc();
         report.phases.push(PhaseReport {
             name: name.to_owned(),
             loss_weight,
             examples: 0,
+            steps: 0,
             first_loss: 0.0,
             last_loss: 0.0,
         });
         return;
     }
+    let span = obs.span("train.phase");
     if shuffle {
-        shuffle_examples(examples, cfg.seed ^ name.len() as u64);
+        shuffle_examples(examples, phase_shuffle_seed(cfg.seed, name));
     }
     if let Some(cap) = cfg.max_examples_per_phase {
         examples.truncate(cap);
@@ -95,6 +115,8 @@ pub(crate) fn run_phase_with_order(
     let mut opt = Adam::new(lm.trainable_count(), cfg.learning_rate);
     let mut first = None;
     let mut last = 0.0f32;
+    let mut steps = 0usize;
+    let mut tokens = 0u64;
     for _epoch in 0..cfg.epochs {
         for batch in examples.chunks(cfg.batch_size) {
             if let Some(loss) = lm.train_step_with(batch, &mut opt, &exec) {
@@ -102,15 +124,31 @@ pub(crate) fn run_phase_with_order(
                     first = Some(loss);
                 }
                 last = loss;
+                steps += 1;
+                tokens += batch.iter().map(|ex| ex.ids.len() as u64).sum::<u64>();
             }
         }
     }
     // Fold adapters so later phases/evaluation see one coherent model.
     lm.merge_lora();
+    let secs = span.stop().as_secs_f64();
+    obs.counter("train.steps").add(steps as u64);
+    obs.counter("train.tokens").add(tokens);
+    obs.counter("train.examples").add(examples.len() as u64 * cfg.epochs as u64);
+    if steps == 0 {
+        obs.counter("train.zero_step_phases").inc();
+    } else {
+        obs.gauge("train.phase.first_loss").set(f64::from(first.unwrap_or(0.0)));
+        obs.gauge("train.phase.last_loss").set(f64::from(last));
+        if secs > 0.0 {
+            obs.gauge("train.phase.tokens_per_sec").set(tokens as f64 / secs);
+        }
+    }
     report.phases.push(PhaseReport {
         name: name.to_owned(),
         loss_weight,
         examples: examples.len(),
+        steps,
         first_loss: first.unwrap_or(0.0),
         last_loss: last,
     });
@@ -170,6 +208,30 @@ mod tests {
             TrainConfig { epochs: 1, max_examples_per_phase: Some(5), ..TrainConfig::default() };
         let report = SftTrainer::run(&mut lm, &tk, &ds, &cfg);
         assert_eq!(report.phases[0].examples, 5);
+    }
+
+    #[test]
+    fn same_length_phase_names_get_distinct_permutations() {
+        // Regression: the shuffle seed used to be `cfg.seed ^ name.len()`,
+        // so "L1/Basic" and "L2/Basic" (same length) reused one identical
+        // permutation — adjacent curriculum phases saw examples in the
+        // same order every run.
+        let seed = TrainConfig::default().seed;
+        assert_ne!(phase_shuffle_seed(seed, "L1/Basic"), phase_shuffle_seed(seed, "L2/Basic"));
+
+        let base: Vec<TrainExample> =
+            (0..64).map(|i| TrainExample { ids: vec![i], code_start: 0, weight: 1.0 }).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        shuffle_examples(&mut a, phase_shuffle_seed(seed, "L1/Basic"));
+        shuffle_examples(&mut b, phase_shuffle_seed(seed, "L2/Basic"));
+        let order = |v: &[TrainExample]| v.iter().map(|e| e.ids[0]).collect::<Vec<_>>();
+        assert_ne!(order(&a), order(&b), "same-length phase names must not share an order");
+
+        // Same name + same master seed still replays the same permutation.
+        let mut a2 = base.clone();
+        shuffle_examples(&mut a2, phase_shuffle_seed(seed, "L1/Basic"));
+        assert_eq!(order(&a), order(&a2));
     }
 
     #[test]

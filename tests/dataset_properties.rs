@@ -18,6 +18,28 @@ fn build(seed: u64, n: usize) -> PyraNetDataset {
 }
 
 #[test]
+fn funnel_accounts_for_every_collected_sample() {
+    // Conservation across the curation funnel: collected = sum of the four
+    // rejection classes + curated, for varying pools. `Pipeline::run` also
+    // asserts this internally; checking it here pins the invariant against
+    // real end-to-end builds (including the metrics-counter export, which
+    // mirrors these exact fields).
+    for (seed, n) in [(1u64, 120usize), (7, 250), (42, 400)] {
+        let built = PyraNetBuilder::new(BuildOptions {
+            scraped_files: n,
+            seed,
+            llm_generation: false,
+            ..BuildOptions::default()
+        })
+        .build();
+        let f = built.funnel;
+        assert!(f.is_consistent(), "seed {seed}: lossy funnel {f:?}");
+        assert_eq!(f.collected, n, "seed {seed}: pool size mismatch");
+        assert_eq!(f.curated, built.dataset.len(), "seed {seed}");
+    }
+}
+
+#[test]
 fn layer_assignment_is_a_partition() {
     for seed in [1u64, 2, 3] {
         let ds = build(seed, 250);

@@ -60,6 +60,48 @@ fn full_build_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn metrics_recording_does_not_perturb_outputs() {
+    // The observability layer is passive: with the global registry
+    // recording every stage, outputs stay byte-identical at any thread
+    // count while the counters demonstrably advance. Counters are
+    // compared as *deltas with slack* because the registry is
+    // process-global and other tests in this binary record concurrently.
+    use pyranet::obs::{global, SnapshotValue};
+
+    let hist_count = |name: &str| match global().snapshot().get(name) {
+        Some(SnapshotValue::Histogram { count, .. }) => *count,
+        _ => 0,
+    };
+    let collected_before = global().snapshot().counter("pipeline.funnel.collected").unwrap_or(0);
+    let runs_before = hist_count("pipeline.run.seconds");
+
+    let build = |threads| {
+        PyraNetBuilder::new(BuildOptions {
+            scraped_files: 220,
+            seed: 29,
+            llm_generation: false,
+            threads,
+            ..BuildOptions::default()
+        })
+        .build()
+    };
+    let reference = build(1);
+    for threads in THREAD_COUNTS {
+        let built = build(threads);
+        assert_eq!(built.dataset, reference.dataset, "threads = {threads}");
+        assert_eq!(built.funnel, reference.funnel, "threads = {threads}");
+    }
+
+    let n_runs = 1 + THREAD_COUNTS.len() as u64;
+    let collected_after = global().snapshot().counter("pipeline.funnel.collected").unwrap_or(0);
+    assert!(
+        collected_after >= collected_before + n_runs * 220,
+        "funnel counters must record every run: {collected_before} -> {collected_after}"
+    );
+    assert!(hist_count("pipeline.run.seconds") >= runs_before + n_runs, "span must time each run");
+}
+
+#[test]
 fn sharded_export_is_identical_at_any_thread_count() {
     use pyranet::pipeline::persist::{fnv1a64, format_checksum};
     use pyranet::pipeline::ShardSpec;

@@ -121,6 +121,21 @@ pub trait Deserialize: Sized {
     fn from_content(c: &Content) -> Result<Self, DeError>;
 }
 
+// `Content` is its own data model: identity impls let callers serialize
+// or deserialize arbitrary JSON (`serde_json::from_str::<Content>`), the
+// stand-in's equivalent of upstream `serde_json::Value`.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)
