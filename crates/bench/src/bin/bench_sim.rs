@@ -1,0 +1,220 @@
+//! Simulation-backend benchmark: the testbench scoring workload (random
+//! stimulus vectors through the golden models of the eval problems) timed
+//! on both simulation backends, written to `BENCH_sim.json`.
+//!
+//! * **reference** — the event-driven interpreter walking the elaborated
+//!   AST for every evaluation.
+//! * **compiled** — the bytecode VM: each design lowered once to flat
+//!   stack-machine instruction streams with fixed evaluation schedules,
+//!   then run with pre-sized, allocation-free state.
+//!
+//! Both backends are driven with identical per-design RNG streams and
+//! must produce identical output traces (asserted every repeat) — the
+//! speedup is pure engineering, not a semantics change. Vectors/sec
+//! counts stimulus vectors (one input assignment sweep + optional clock
+//! edge + full output readback each).
+//!
+//! Honours `PYRANET_SCALE` (`quick` for the CI smoke run, `full` default).
+
+use pyranet::eval::machine_split;
+use pyranet::verilog::{SimDesign, SimMode};
+use pyranet_bench::Scale;
+use pyranet_corpus::gen::generate;
+use pyranet_corpus::style::StyleOptions;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PathReport {
+    /// Wall seconds (fastest repeat, summed across designs).
+    secs: f64,
+    /// Stimulus vectors driven.
+    vectors: u64,
+    /// Vector throughput.
+    vectors_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct PerDesign {
+    /// Problem id whose golden model is benchmarked.
+    id: String,
+    /// Stimulus vectors per repeat.
+    vectors: u64,
+    /// Whether the design is clocked (a clock edge per vector).
+    clocked: bool,
+    /// Fastest reference wall time.
+    reference_secs: f64,
+    /// Fastest compiled wall time.
+    compiled_secs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// `std::thread::available_parallelism()` on the benchmarking host.
+    host_parallelism: u64,
+    /// Designs in the workload.
+    designs: u64,
+    /// Stimulus vectors per design.
+    vectors_per_design: u64,
+    /// Repeats per measurement (fastest wins).
+    repeats: u64,
+    /// Event-driven interpreter.
+    reference: PathReport,
+    /// Bytecode VM.
+    compiled: PathReport,
+    /// Compiled throughput over reference (same vector count, so this is
+    /// also the wall-time ratio).
+    speedup_vs_reference: f64,
+    /// Per-design wall times.
+    per_design: Vec<PerDesign>,
+}
+
+fn path(secs: f64, vectors: u64) -> PathReport {
+    PathReport {
+        secs,
+        vectors,
+        vectors_per_sec: if secs > 0.0 { vectors as f64 / secs } else { 0.0 },
+    }
+}
+
+/// One timed pass: instantiate the design and drive `vectors` random
+/// stimulus vectors, returning the full output trace for the identity
+/// assertion. Instantiation is inside the timed region — it is per-
+/// candidate work in the eval harness, and both backends pay it.
+fn drive(
+    design: &SimDesign,
+    inputs: &[(String, bool)],
+    outputs: &[String],
+    clock: Option<&str>,
+    reset: Option<&str>,
+    vectors: usize,
+    mut rng: ChaCha8Rng,
+) -> Vec<u64> {
+    let mut sim = design.instantiate().expect("instantiate golden design");
+    if let (Some(clk), Some(rst)) = (clock, reset) {
+        sim.set(rst, 1).expect("set reset");
+        sim.clock(clk).expect("reset pulse");
+        sim.set(rst, 0).expect("clear reset");
+    }
+    let mut trace = Vec::with_capacity(vectors * outputs.len());
+    for _ in 0..vectors {
+        for (name, is_clock) in inputs {
+            if !is_clock {
+                sim.set(name, rng.random::<u64>()).expect("set input");
+            }
+        }
+        if let Some(clk) = clock {
+            sim.clock(clk).expect("clock");
+        }
+        for name in outputs {
+            trace.push(sim.get(name).expect("read output").as_u64());
+        }
+    }
+    trace
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_designs, vectors, repeats) = match scale {
+        Scale::Quick => (6usize, 300usize, 2usize),
+        Scale::Full => (15, 2_000, 3),
+    };
+
+    let problems: Vec<_> = machine_split().into_iter().take(n_designs).collect();
+    let mut per_design = Vec::new();
+    let (mut reference_secs, mut compiled_secs) = (0.0f64, 0.0f64);
+    let mut total_vectors = 0u64;
+    for problem in &problems {
+        // Same seed as the eval testbench, so this benchmarks the exact
+        // golden models the harness scores against.
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(0x601D);
+        let golden = generate(&problem.family, &StyleOptions::clean(), &mut gen_rng);
+        let clock = golden.port("clock").map(str::to_owned);
+        let reset = golden.port("reset").map(str::to_owned);
+
+        let build = |mode| {
+            SimDesign::build(&golden.source, &golden.module.name, mode).expect("build golden")
+        };
+        let reference = build(SimMode::Reference);
+        let compiled = build(SimMode::Compiled);
+        assert!(compiled.is_compiled(), "golden model `{}` fell back to reference", problem.id);
+
+        let probe = reference.instantiate().expect("probe interface");
+        let inputs: Vec<(String, bool)> = probe
+            .inputs()
+            .iter()
+            .map(|n| (n.clone(), Some(n.as_str()) == clock.as_deref()))
+            .collect();
+        let outputs: Vec<String> = probe.outputs().to_vec();
+        drop(probe);
+
+        let stimulus =
+            || ChaCha8Rng::seed_from_u64(pyranet_exec::stream_seed_str(0x51AB, &problem.id));
+        let run = |design: &SimDesign| {
+            let mut best = f64::INFINITY;
+            let mut trace = Vec::new();
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let t = drive(
+                    design,
+                    &inputs,
+                    &outputs,
+                    clock.as_deref(),
+                    reset.as_deref(),
+                    vectors,
+                    stimulus(),
+                );
+                best = best.min(start.elapsed().as_secs_f64());
+                trace = t;
+            }
+            (best, trace)
+        };
+
+        let (best_ref, trace_ref) = run(&reference);
+        let (best_cmp, trace_cmp) = run(&compiled);
+        assert_eq!(trace_cmp, trace_ref, "backends diverged on {}", problem.id);
+
+        eprintln!(
+            "{:<24} {vectors:>5} vectors: reference {:.4}s, compiled {:.4}s ({:.2}x)",
+            problem.id,
+            best_ref,
+            best_cmp,
+            if best_cmp > 0.0 { best_ref / best_cmp } else { 1.0 },
+        );
+        reference_secs += best_ref;
+        compiled_secs += best_cmp;
+        total_vectors += vectors as u64;
+        per_design.push(PerDesign {
+            id: problem.id.clone(),
+            vectors: vectors as u64,
+            clocked: clock.is_some(),
+            reference_secs: best_ref,
+            compiled_secs: best_cmp,
+        });
+    }
+
+    let reference = path(reference_secs, total_vectors);
+    let compiled = path(compiled_secs, total_vectors);
+    let speedup = if compiled.secs > 0.0 { reference.secs / compiled.secs } else { 1.0 };
+    eprintln!(
+        "total: reference {:.3}s ({:.0} vec/s) vs compiled {:.3}s ({:.0} vec/s) — {speedup:.2}x",
+        reference.secs, reference.vectors_per_sec, compiled.secs, compiled.vectors_per_sec
+    );
+
+    let report = BenchReport {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
+        designs: problems.len() as u64,
+        vectors_per_design: vectors as u64,
+        repeats: repeats as u64,
+        reference,
+        compiled,
+        speedup_vs_reference: speedup,
+        per_design,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_sim.json");
+}

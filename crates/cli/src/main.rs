@@ -8,14 +8,16 @@
 //! pyranet rank <file.v>           # 0–20 quality rank + findings
 //! pyranet complexity <file.v>     # Basic/Intermediate/Advanced/Expert
 //! pyranet sim <file.v> <top> ...  # drive a module interactively
+//!                                 # [--backend compiled|reference]
 //! pyranet build-dataset [--files N] [--seed S] [--threads T] [--out F.jsonl]
 //!                       [--out-dir DIR] [--shard-size N]
+//!                       [--sim-check [compiled|reference]]
 //! pyranet stats <dataset.jsonl | shard-dir | manifest.json>
 //!                                 # layer pyramid of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
 //! pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]
 //!              [--threads T] [--seed S] [--engine session|per-sample]
-//!              [--files N] [--epochs E] [--json OUT]
+//!              [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]
 //! ```
 //!
 //! `build-dataset`, `train`, and `eval` also accept `--metrics OUT.json`
@@ -28,7 +30,7 @@ use pyranet::pipeline::ShardSpec;
 use pyranet::train::{build_tokenizer, SftTrainer};
 use pyranet::verilog::lint::lint_module;
 use pyranet::verilog::metrics::{measure, ComplexityTier};
-use pyranet::verilog::{check_source, parse_module, Simulator, SyntaxVerdict};
+use pyranet::verilog::{check_source, parse_module, SimDesign, SimMode, SyntaxVerdict};
 use pyranet::{BuildOptions, Layer, PyraNetBuilder, TrainConfig};
 use std::process::ExitCode;
 
@@ -63,13 +65,14 @@ fn print_usage() {
         "pyranet — PyraNet dataset toolchain\n\n\
          USAGE:\n  pyranet check <file.v>\n  pyranet rank <file.v>\n  \
          pyranet complexity <file.v>\n  pyranet sim <file.v> <top> [name=value]... [--clock clk] [--cycles N]\n  \
+        \x20            [--backend compiled|reference]\n  \
          pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
-        \x20                     [--out-dir shards/] [--shard-size N]\n  \
+        \x20                     [--out-dir shards/] [--shard-size N] [--sim-check [compiled|reference]]\n  \
          pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
          pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
         \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
-        \x20            [--files N] [--epochs E] [--json OUT]\n\n\
+        \x20            [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]\n\n\
          build-dataset, train, and eval also accept:\n  \
          --metrics OUT.json   write a JSON snapshot of all recorded metrics\n  \
          --verbose            print a human-readable metrics summary"
@@ -167,9 +170,10 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: pyranet sim <file.v> <top> [name=value]...")?;
     let top = args.get(1).ok_or("missing top module name")?;
     let src = read_file(path)?;
-    let mut sim = Simulator::from_source(&src, top).map_err(|e| e.to_string())?;
     let mut clock: Option<String> = None;
     let mut cycles = 1usize;
+    let mut backend = SimMode::default();
+    let mut sets: Vec<(String, u64)> = Vec::new();
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         if a == "--clock" {
@@ -180,12 +184,18 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
                 .ok_or("--cycles needs a number")?
                 .parse()
                 .map_err(|e| format!("bad cycle count: {e}"))?;
+        } else if a == "--backend" {
+            backend = it.next().ok_or("--backend needs compiled|reference")?.parse()?;
         } else if let Some((name, value)) = a.split_once('=') {
-            let v = parse_value(value)?;
-            sim.set(name, v).map_err(|e| e.to_string())?;
+            sets.push((name.to_owned(), parse_value(value)?));
         } else {
             return Err(format!("unexpected argument `{a}`"));
         }
+    }
+    let design = SimDesign::build(&src, top, backend).map_err(|e| e.to_string())?;
+    let mut sim = design.instantiate().map_err(|e| e.to_string())?;
+    for (name, v) in &sets {
+        sim.set(name, *v).map_err(|e| e.to_string())?;
     }
     if let Some(clk) = &clock {
         for _ in 0..cycles {
@@ -216,12 +226,22 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut shard_size: Option<usize> = None;
+    let mut sim_check: Option<SimMode> = None;
     let mut metrics = MetricsArgs::default();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--metrics" => metrics.out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--verbose" => metrics.verbose = true,
+            "--sim-check" => {
+                // The backend is optional: `--sim-check` alone uses the
+                // default (compiled) backend.
+                let explicit = it.peek().and_then(|n| n.parse::<SimMode>().ok());
+                if explicit.is_some() {
+                    it.next();
+                }
+                sim_check = Some(explicit.unwrap_or_default());
+            }
             "--files" => {
                 files = it
                     .next()
@@ -263,6 +283,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         scraped_files: files,
         seed,
         threads,
+        sim_check,
         ..BuildOptions::default()
     })
     .build();
@@ -397,6 +418,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("bad --engine `{other}` (session|per-sample)")),
                 };
             }
+            "--sim" => opts.sim = val("--sim")?.parse()?,
             "--files" => files = num("--files", val("--files"))?,
             "--epochs" => epochs = num("--epochs", val("--epochs"))?.max(1),
             "--json" => json = Some(val("--json")?),

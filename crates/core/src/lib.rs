@@ -70,6 +70,11 @@ pub struct BuildOptions {
     /// honouring the `PYRANET_THREADS` environment variable). Outputs are
     /// identical at any thread count.
     pub threads: usize,
+    /// Opt-in curation stage: reject survivors whose first module fails to
+    /// elaborate and instantiate under the given simulation backend
+    /// (`None` = disabled, the default). The backend choice is a
+    /// performance knob — both modes reject the same samples.
+    pub sim_check: Option<pyranet_verilog::SimMode>,
 }
 
 impl Default for BuildOptions {
@@ -80,6 +85,7 @@ impl Default for BuildOptions {
             llm_generation: true,
             jaccard_threshold: 0.85,
             threads: 0,
+            sim_check: None,
         }
     }
 }
@@ -115,10 +121,13 @@ impl PyraNetBuilder {
             .threads(self.options.threads)
             .build();
         let gen_funnel = pool.gen_funnel;
-        let outcome = Pipeline::new()
+        let mut pipeline = Pipeline::new()
             .jaccard_threshold(self.options.jaccard_threshold)
-            .threads(self.options.threads)
-            .run(pool.samples);
+            .threads(self.options.threads);
+        if let Some(mode) = self.options.sim_check {
+            pipeline = pipeline.sim_check(mode);
+        }
+        let outcome = pipeline.run(pool.samples);
         Built { dataset: outcome.dataset, funnel: outcome.funnel, gen_funnel }
     }
 }

@@ -3,13 +3,15 @@
 
 use crate::passk::pass_at_k;
 use crate::problems::{Problem, Split};
-use crate::testbench::check_functional;
+use crate::testbench::{FunctionalVerdict, ProblemBench, SimStats};
 use pyranet_exec::{par_map, stream_seed_str, ExecConfig};
 use pyranet_model::decode::{DecodeSession, PromptPlan};
 use pyranet_model::{SampleOptions, Tokenizer, TransformerLm};
+use pyranet_verilog::SimMode;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Which inference path drives the per-problem sampling.
 ///
@@ -51,6 +53,10 @@ pub struct EvalOptions {
     pub threads: usize,
     /// Inference path (defaults to the batched session engine).
     pub engine: EngineMode,
+    /// Simulation backend for the functional checks (defaults to the
+    /// compiled bytecode VM; the reference engine is pinned bit-identical,
+    /// so this is a throughput knob, never a semantic one).
+    pub sim: SimMode,
 }
 
 impl Default for EvalOptions {
@@ -63,6 +69,7 @@ impl Default for EvalOptions {
             seed: 0xEA_11,
             threads: 0,
             engine: EngineMode::default(),
+            sim: SimMode::default(),
         }
     }
 }
@@ -118,6 +125,21 @@ impl EvalResult {
             100.0 * ok as f64 / total as f64
         }
     }
+}
+
+/// FNV-1a over a candidate source and its problem id — the verdict-cache
+/// key (distinct problems check the same source against different goldens).
+fn fnv1a64(source: &[u8], problem_id: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for chunk in [source, b"\x00", problem_id.as_bytes()] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 /// Near-greedy floor of the per-problem temperature cycle.
@@ -206,6 +228,14 @@ pub fn evaluate(
         };
         let mut passed = 0u32;
         let mut valid = 0u32;
+        // The golden model is prepared (and, in compiled mode, lowered to
+        // bytecode) once per problem and reused across all n samples.
+        let mut bench = ProblemBench::new(&problem.family, opts.sim);
+        // Identical completions are common at low temperature; their
+        // verdicts are deduplicated by content hash so each distinct
+        // candidate is simulated exactly once.
+        let mut verdicts: HashMap<u64, FunctionalVerdict> = HashMap::new();
+        let mut cache_hits = 0u64;
         for body in &bodies {
             let mut ids = header_ids.clone();
             ids.extend_from_slice(body);
@@ -213,26 +243,57 @@ pub fn evaluate(
             if pyranet_verilog::check_source(&text).is_compilable() {
                 valid += 1;
             }
-            if check_functional(&text, &problem.family).is_pass() {
+            let key = fnv1a64(text.as_bytes(), &problem.id);
+            let verdict = match verdicts.get(&key) {
+                Some(v) => {
+                    cache_hits += 1;
+                    v.clone()
+                }
+                None => {
+                    let v = bench.check(&text);
+                    verdicts.insert(key, v.clone());
+                    v
+                }
+            };
+            if verdict.is_pass() {
                 passed += 1;
             }
         }
-        ProblemResult {
+        let result = ProblemResult {
             id: problem.id.clone(),
             n,
             passed,
             syntactically_valid: valid,
             prompt_dropped_tokens: dropped,
-        }
+        };
+        (result, bench.stats, cache_hits)
     });
     // Aggregate into the metrics registry once, after the fan-out, so the
     // hot per-problem path stays free of registry traffic.
+    let mut sim_stats = SimStats::default();
+    let mut cache_hits = 0u64;
+    let out: Vec<ProblemResult> = out
+        .into_iter()
+        .map(|(result, stats, hits)| {
+            sim_stats.merge(&stats);
+            cache_hits += hits;
+            result
+        })
+        .collect();
     let obs = pyranet_obs::global();
     obs.counter("eval.problems").add(out.len() as u64);
     obs.counter("eval.samples").add(out.iter().map(|p| u64::from(p.n)).sum());
     obs.counter("eval.passed").add(out.iter().map(|p| u64::from(p.passed)).sum());
     obs.counter("eval.syntax_valid")
         .add(out.iter().map(|p| u64::from(p.syntactically_valid)).sum());
+    obs.counter("sim.programs").add(sim_stats.programs);
+    obs.counter("sim.cache_hits").add(cache_hits);
+    obs.counter("sim.vectors").add(sim_stats.vectors);
+    obs.counter("sim.steps").add(sim_stats.steps);
+    obs.histogram("sim.compile.seconds", &pyranet_obs::DURATION_BUCKETS)
+        .observe(sim_stats.compile_time.as_secs_f64());
+    obs.histogram("sim.run.seconds", &pyranet_obs::DURATION_BUCKETS)
+        .observe(sim_stats.run_time.as_secs_f64());
     EvalResult { split_name, problems: out, ks: opts.ks.clone() }
 }
 

@@ -29,4 +29,7 @@ pub mod testbench;
 pub use harness::{evaluate, sample_temperature, EngineMode, EvalOptions, EvalResult};
 pub use passk::pass_at_k;
 pub use problems::{human_split, machine_split, Problem, Split};
-pub use testbench::{check_functional, FunctionalVerdict};
+pub use pyranet_verilog::SimMode;
+pub use testbench::{
+    check_functional, check_functional_with, FunctionalVerdict, ProblemBench, SimStats,
+};

@@ -7,15 +7,23 @@
 //! to i-th non-clock input, i-th output to i-th output), so candidates are
 //! free to choose their own port names — as VerilogEval candidates are free
 //! to choose internal structure.
+//!
+//! Simulation runs through [`pyranet_verilog::SimDesign`]: the golden model
+//! is parsed, elaborated and (by default) compiled to bytecode **once per
+//! [`ProblemBench`]**, then cheaply re-instantiated for every candidate
+//! check; each candidate is compiled once and driven for all vectors. The
+//! compiled and reference backends are pinned bit-identical, so
+//! [`SimMode`] never changes a verdict — only how fast it arrives.
 
 use pyranet_corpus::families::{Category, DesignFamily};
 use pyranet_corpus::gen::generate;
 use pyranet_corpus::style::StyleOptions;
 use pyranet_verilog::ast::PortDir;
-use pyranet_verilog::{parse, Simulator};
+use pyranet_verilog::{parse, SimDesign, SimInstance, SimMode};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
 
 /// Outcome of a functional check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +49,33 @@ impl FunctionalVerdict {
     /// True for [`FunctionalVerdict::Pass`].
     pub fn is_pass(&self) -> bool {
         *self == FunctionalVerdict::Pass
+    }
+}
+
+/// Simulation-work counters accumulated by a [`ProblemBench`], reported
+/// into the `sim.*` metrics by the eval harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Designs prepared (golden + candidates; compile-once each).
+    pub programs: u64,
+    /// Stimulus vectors driven.
+    pub vectors: u64,
+    /// Individual `set`/`clock` operations applied across both designs.
+    pub steps: u64,
+    /// Wall time spent parsing/elaborating/compiling designs.
+    pub compile_time: Duration,
+    /// Wall time spent driving vectors.
+    pub run_time: Duration,
+}
+
+impl SimStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.programs += other.programs;
+        self.vectors += other.vectors;
+        self.steps += other.steps;
+        self.compile_time += other.compile_time;
+        self.run_time += other.run_time;
     }
 }
 
@@ -111,131 +146,234 @@ pub fn golden_source(family: &DesignFamily) -> String {
 /// Number of stimulus vectors per check.
 const VECTORS: usize = 48;
 
-/// Checks `candidate_src` against the golden model of `family`.
+/// Golden-side preparation shared across all candidate checks of a problem.
+struct Prepared {
+    gold_iface: Interface,
+    /// Parse/elab (and compile) the golden source once; errors are deferred
+    /// to check time so the verdict ordering matches the historical
+    /// single-shot path (interface mismatches win over golden failures).
+    golden: Result<SimDesign, String>,
+}
+
+/// A problem's testbench, with the golden model prepared once.
 ///
-/// The candidate may name its module and ports freely; interfaces are
-/// matched positionally and must agree in input count and widths and in
-/// output count.
-pub fn check_functional(candidate_src: &str, family: &DesignFamily) -> FunctionalVerdict {
-    let sequential = family.category() == Category::Sequential;
-    let golden_src = golden_source(family);
-    let (gold_iface, gold_top) = match classify(&golden_src, sequential) {
-        Ok(x) => x,
-        Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
-    };
-    let (cand_iface, cand_top) = match classify(candidate_src, sequential) {
-        Ok(x) => x,
-        Err(e) => return FunctionalVerdict::BuildFailure(e),
-    };
-    if cand_iface.inputs.len() != gold_iface.inputs.len() {
-        return FunctionalVerdict::InterfaceMismatch(format!(
-            "expected {} data inputs, found {}",
-            gold_iface.inputs.len(),
-            cand_iface.inputs.len()
-        ));
+/// `check` may be called for any number of candidates; each pays only its
+/// own front-end cost plus a cheap golden re-instantiation.
+pub struct ProblemBench {
+    mode: SimMode,
+    sequential: bool,
+    prep: Result<Prepared, FunctionalVerdict>,
+    /// Simulation-work counters across all checks so far.
+    pub stats: SimStats,
+}
+
+impl ProblemBench {
+    /// Prepares the golden model of `family` under `mode`.
+    pub fn new(family: &DesignFamily, mode: SimMode) -> ProblemBench {
+        let mut stats = SimStats::default();
+        let sequential = family.category() == Category::Sequential;
+        let golden_src = golden_source(family);
+        let started = Instant::now();
+        let prep = match classify(&golden_src, sequential) {
+            Ok((gold_iface, gold_top)) => {
+                let golden =
+                    SimDesign::build(&golden_src, &gold_top, mode).map_err(|e| e.to_string());
+                if golden.is_ok() {
+                    stats.programs += 1;
+                }
+                Ok(Prepared { gold_iface, golden })
+            }
+            Err(e) => Err(FunctionalVerdict::BuildFailure(format!("golden: {e}"))),
+        };
+        stats.compile_time += started.elapsed();
+        ProblemBench { mode, sequential, prep, stats }
     }
-    for (i, ((_, gw), (cn, cw))) in gold_iface.inputs.iter().zip(&cand_iface.inputs).enumerate() {
-        if gw != cw {
+
+    /// Checks `candidate_src` against the prepared golden model.
+    ///
+    /// The candidate may name its module and ports freely; interfaces are
+    /// matched positionally and must agree in input count and widths and in
+    /// output count.
+    pub fn check(&mut self, candidate_src: &str) -> FunctionalVerdict {
+        let prep = match &self.prep {
+            Ok(p) => p,
+            Err(v) => return v.clone(),
+        };
+        let (cand_iface, cand_top) = match classify(candidate_src, self.sequential) {
+            Ok(x) => x,
+            Err(e) => return FunctionalVerdict::BuildFailure(e),
+        };
+        // Small clone so `drive` can take `&mut self` for stats counting.
+        let gold_iface = prep.gold_iface.clone();
+        let gold_iface = &gold_iface;
+        if cand_iface.inputs.len() != gold_iface.inputs.len() {
             return FunctionalVerdict::InterfaceMismatch(format!(
-                "input {i} (`{cn}`) is {cw} bits, expected {gw}"
+                "expected {} data inputs, found {}",
+                gold_iface.inputs.len(),
+                cand_iface.inputs.len()
             ));
         }
-    }
-    if cand_iface.outputs.len() != gold_iface.outputs.len() {
-        return FunctionalVerdict::InterfaceMismatch(format!(
-            "expected {} outputs, found {}",
-            gold_iface.outputs.len(),
-            cand_iface.outputs.len()
-        ));
-    }
-    if sequential && cand_iface.clock.is_none() {
-        return FunctionalVerdict::InterfaceMismatch("no clock input found".into());
-    }
-    if gold_iface.reset.is_some() && sequential && cand_iface.reset.is_none() {
-        return FunctionalVerdict::InterfaceMismatch("no reset input found".into());
-    }
+        for (i, ((_, gw), (cn, cw))) in gold_iface.inputs.iter().zip(&cand_iface.inputs).enumerate()
+        {
+            if gw != cw {
+                return FunctionalVerdict::InterfaceMismatch(format!(
+                    "input {i} (`{cn}`) is {cw} bits, expected {gw}"
+                ));
+            }
+        }
+        if cand_iface.outputs.len() != gold_iface.outputs.len() {
+            return FunctionalVerdict::InterfaceMismatch(format!(
+                "expected {} outputs, found {}",
+                gold_iface.outputs.len(),
+                cand_iface.outputs.len()
+            ));
+        }
+        if self.sequential && cand_iface.clock.is_none() {
+            return FunctionalVerdict::InterfaceMismatch("no clock input found".into());
+        }
+        if gold_iface.reset.is_some() && self.sequential && cand_iface.reset.is_none() {
+            return FunctionalVerdict::InterfaceMismatch("no reset input found".into());
+        }
 
-    let mut gold = match Simulator::from_source(&golden_src, &gold_top) {
-        Ok(s) => s,
-        Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
-    };
-    let mut cand = match Simulator::from_source(candidate_src, &cand_top) {
-        Ok(s) => s,
-        Err(e) => return FunctionalVerdict::BuildFailure(e.to_string()),
-    };
-
-    let mut rng = ChaCha8Rng::seed_from_u64(0x57EE7);
-    // reset pulse for sequential designs
-    if sequential {
-        let pulse = |sim: &mut Simulator, iface: &Interface| -> Result<(), String> {
-            if let Some(r) = &iface.reset {
-                sim.set(r, 1).map_err(|e| e.to_string())?;
-            }
-            if let Some(c) = &iface.clock {
-                sim.clock(c).map_err(|e| e.to_string())?;
-            }
-            if let Some(r) = &iface.reset {
-                sim.set(r, 0).map_err(|e| e.to_string())?;
-            }
-            Ok(())
+        let mut gold = match &prep.golden {
+            Ok(design) => match design.instantiate() {
+                Ok(s) => s,
+                Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
+            },
+            Err(e) => return FunctionalVerdict::BuildFailure(format!("golden: {e}")),
         };
-        if let Err(e) = pulse(&mut gold, &gold_iface) {
-            return FunctionalVerdict::BuildFailure(format!("golden reset: {e}"));
-        }
-        if let Err(e) = pulse(&mut cand, &cand_iface) {
-            return FunctionalVerdict::RuntimeFailure(format!("reset: {e}"));
-        }
+        let compile_started = Instant::now();
+        let cand_design = match SimDesign::build(candidate_src, &cand_top, self.mode) {
+            Ok(d) => d,
+            Err(e) => {
+                self.stats.compile_time += compile_started.elapsed();
+                return FunctionalVerdict::BuildFailure(e.to_string());
+            }
+        };
+        self.stats.programs += 1;
+        self.stats.compile_time += compile_started.elapsed();
+        let mut cand = match cand_design.instantiate() {
+            Ok(s) => s,
+            Err(e) => return FunctionalVerdict::BuildFailure(e.to_string()),
+        };
+
+        let run_started = Instant::now();
+        let verdict = self.drive(&mut gold, gold_iface, &mut cand, &cand_iface);
+        self.stats.run_time += run_started.elapsed();
+        verdict
     }
 
-    for v in 0..VECTORS {
-        // one stimulus for both designs
-        let values: Vec<u64> = gold_iface
-            .inputs
-            .iter()
-            .map(|(_, w)| rng.random::<u64>() & pyranet_verilog::Value::mask(*w))
-            .collect();
-        for ((gn, _), val) in gold_iface.inputs.iter().zip(&values) {
-            if let Err(e) = gold.set(gn, *val) {
-                return FunctionalVerdict::BuildFailure(format!("golden drive: {e}"));
+    fn drive(
+        &mut self,
+        gold: &mut SimInstance,
+        gold_iface: &Interface,
+        cand: &mut SimInstance,
+        cand_iface: &Interface,
+    ) -> FunctionalVerdict {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x57EE7);
+        // reset pulse for sequential designs
+        if self.sequential {
+            let pulse = |sim: &mut SimInstance, iface: &Interface| -> Result<u64, String> {
+                let mut steps = 0u64;
+                if let Some(r) = &iface.reset {
+                    sim.set(r, 1).map_err(|e| e.to_string())?;
+                    steps += 1;
+                }
+                if let Some(c) = &iface.clock {
+                    sim.clock(c).map_err(|e| e.to_string())?;
+                    steps += 1;
+                }
+                if let Some(r) = &iface.reset {
+                    sim.set(r, 0).map_err(|e| e.to_string())?;
+                    steps += 1;
+                }
+                Ok(steps)
+            };
+            match pulse(gold, gold_iface) {
+                Ok(steps) => self.stats.steps += steps,
+                Err(e) => return FunctionalVerdict::BuildFailure(format!("golden reset: {e}")),
+            }
+            match pulse(cand, cand_iface) {
+                Ok(steps) => self.stats.steps += steps,
+                Err(e) => return FunctionalVerdict::RuntimeFailure(format!("reset: {e}")),
             }
         }
-        for ((cn, _), val) in cand_iface.inputs.iter().zip(&values) {
-            if let Err(e) = cand.set(cn, *val) {
-                return FunctionalVerdict::RuntimeFailure(format!("drive `{cn}`: {e}"));
-            }
-        }
-        if sequential {
-            if let Some(c) = &gold_iface.clock {
-                if let Err(e) = gold.clock(c) {
-                    return FunctionalVerdict::BuildFailure(format!("golden clock: {e}"));
+
+        for v in 0..VECTORS {
+            self.stats.vectors += 1;
+            // one stimulus for both designs
+            let values: Vec<u64> = gold_iface
+                .inputs
+                .iter()
+                .map(|(_, w)| rng.random::<u64>() & pyranet_verilog::Value::mask(*w))
+                .collect();
+            for ((gn, _), val) in gold_iface.inputs.iter().zip(&values) {
+                self.stats.steps += 1;
+                if let Err(e) = gold.set(gn, *val) {
+                    return FunctionalVerdict::BuildFailure(format!("golden drive: {e}"));
                 }
             }
-            if let Some(c) = &cand_iface.clock {
-                if let Err(e) = cand.clock(c) {
-                    return FunctionalVerdict::RuntimeFailure(format!("clock: {e}"));
+            for ((cn, _), val) in cand_iface.inputs.iter().zip(&values) {
+                self.stats.steps += 1;
+                if let Err(e) = cand.set(cn, *val) {
+                    return FunctionalVerdict::RuntimeFailure(format!("drive `{cn}`: {e}"));
+                }
+            }
+            if self.sequential {
+                if let Some(c) = &gold_iface.clock {
+                    self.stats.steps += 1;
+                    if let Err(e) = gold.clock(c) {
+                        return FunctionalVerdict::BuildFailure(format!("golden clock: {e}"));
+                    }
+                }
+                if let Some(c) = &cand_iface.clock {
+                    self.stats.steps += 1;
+                    if let Err(e) = cand.clock(c) {
+                        return FunctionalVerdict::RuntimeFailure(format!("clock: {e}"));
+                    }
+                }
+            }
+            for (o, (gn, cn)) in gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate() {
+                let gv = match gold.get(gn) {
+                    Ok(v) => v,
+                    Err(e) => return FunctionalVerdict::BuildFailure(format!("golden read: {e}")),
+                };
+                let cv = match cand.get(cn) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        return FunctionalVerdict::RuntimeFailure(format!("read `{cn}`: {e}"))
+                    }
+                };
+                // compare at the golden width (a wider candidate output is
+                // tolerated if the low bits agree and the rest are zero)
+                let w = gv.width();
+                if gv.as_u64() != (cv.as_u64() & pyranet_verilog::Value::mask(w))
+                    || cv.as_u64() >> w.min(63) != 0
+                {
+                    return FunctionalVerdict::Mismatch { vector: v, output: o };
                 }
             }
         }
-        for (o, (gn, cn)) in gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate() {
-            let gv = match gold.get(gn) {
-                Ok(v) => v,
-                Err(e) => return FunctionalVerdict::BuildFailure(format!("golden read: {e}")),
-            };
-            let cv = match cand.get(cn) {
-                Ok(v) => v,
-                Err(e) => return FunctionalVerdict::RuntimeFailure(format!("read `{cn}`: {e}")),
-            };
-            // compare at the golden width (a wider candidate output is
-            // tolerated if the low bits agree and the rest are zero)
-            let w = gv.width();
-            if gv.as_u64() != (cv.as_u64() & pyranet_verilog::Value::mask(w))
-                || cv.as_u64() >> w.min(63) != 0
-            {
-                return FunctionalVerdict::Mismatch { vector: v, output: o };
-            }
-        }
+        FunctionalVerdict::Pass
     }
-    FunctionalVerdict::Pass
+}
+
+/// Checks `candidate_src` against the golden model of `family` under the
+/// default (compiled) backend.
+pub fn check_functional(candidate_src: &str, family: &DesignFamily) -> FunctionalVerdict {
+    check_functional_with(candidate_src, family, SimMode::default())
+}
+
+/// Checks `candidate_src` against the golden model of `family` under an
+/// explicit simulation backend. Verdicts are identical across modes (the
+/// backends are pinned bit-identical); use [`ProblemBench`] directly to
+/// amortise golden preparation over many candidates.
+pub fn check_functional_with(
+    candidate_src: &str,
+    family: &DesignFamily,
+    mode: SimMode,
+) -> FunctionalVerdict {
+    ProblemBench::new(family, mode).check(candidate_src)
 }
 
 #[cfg(test)]
@@ -328,5 +466,57 @@ mod tests {
     fn verdict_is_pass_helper() {
         assert!(FunctionalVerdict::Pass.is_pass());
         assert!(!FunctionalVerdict::BuildFailure("x".into()).is_pass());
+    }
+
+    #[test]
+    fn modes_agree_on_every_verdict_class() {
+        // One candidate per verdict class, checked under both backends:
+        // the mode must never change the verdict.
+        let candidates = [
+            golden_source(&DesignFamily::HalfAdder),
+            "module ha(input a, input b, output s, output c);\n\
+             assign s = a | b; assign c = a & b; endmodule"
+                .to_owned(),
+            "module oops(".to_owned(),
+            "module m(input a, output y); assign y = a; endmodule".to_owned(),
+        ];
+        for family in [
+            DesignFamily::HalfAdder,
+            DesignFamily::Counter { width: 8 },
+            DesignFamily::Alu { width: 8 },
+        ] {
+            let mut compiled = ProblemBench::new(&family, SimMode::Compiled);
+            let mut reference = ProblemBench::new(&family, SimMode::Reference);
+            for cand in &candidates {
+                assert_eq!(
+                    compiled.check(cand),
+                    reference.check(cand),
+                    "{family:?} verdict diverges on:\n{cand}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn problem_bench_amortises_and_counts() {
+        let family = DesignFamily::Counter { width: 8 };
+        let mut bench = ProblemBench::new(&family, SimMode::Compiled);
+        assert_eq!(bench.stats.programs, 1, "golden prepared once");
+        let golden = golden_source(&family);
+        for _ in 0..3 {
+            assert!(bench.check(&golden).is_pass());
+        }
+        assert_eq!(bench.stats.programs, 4, "one program per candidate check");
+        assert_eq!(bench.stats.vectors, 3 * 48);
+        assert!(bench.stats.steps > bench.stats.vectors, "steps include drives and clocks");
+    }
+
+    #[test]
+    fn check_functional_with_matches_default() {
+        let src = golden_source(&DesignFamily::HalfAdder);
+        assert_eq!(
+            check_functional(&src, &DesignFamily::HalfAdder),
+            check_functional_with(&src, &DesignFamily::HalfAdder, SimMode::Reference),
+        );
     }
 }

@@ -55,7 +55,7 @@ pub use stats::Funnel;
 use pyranet_corpus::RawSample;
 use pyranet_exec::{par_map, ExecConfig};
 use pyranet_verilog::metrics::ComplexityTier;
-use pyranet_verilog::{check_file, parse, SourceFile, SyntaxVerdict};
+use pyranet_verilog::{check_file, parse, SimDesign, SimMode, SourceFile, SyntaxVerdict};
 use std::time::Duration;
 
 /// Configuration for a pipeline run.
@@ -67,12 +67,18 @@ pub struct Pipeline {
     /// syntax/rank stage); `0` means auto (`PYRANET_THREADS`, then
     /// available parallelism). Outputs are identical at any value.
     pub threads: usize,
+    /// Opt-in simulation check: when set, self-contained survivors (no
+    /// dependency issue) must also build and settle in the simulator under
+    /// the given backend; failures land in `Funnel::rejected_sim`. `None`
+    /// (the default) skips the stage and reproduces the historical curated
+    /// output byte-for-byte.
+    pub sim_check: Option<SimMode>,
 }
 
 impl Pipeline {
     /// Pipeline with the default 0.85 Jaccard threshold and auto threads.
     pub fn new() -> Pipeline {
-        Pipeline { jaccard_threshold: 0.85, threads: 0 }
+        Pipeline { jaccard_threshold: 0.85, threads: 0, sim_check: None }
     }
 
     /// Sets the dedup threshold.
@@ -84,6 +90,12 @@ impl Pipeline {
     /// Sets the worker-thread count (`0` = auto).
     pub fn threads(mut self, threads: usize) -> Pipeline {
         self.threads = threads;
+        self
+    }
+
+    /// Enables the opt-in simulation check under `mode`.
+    pub fn sim_check(mut self, mode: SimMode) -> Pipeline {
+        self.sim_check = Some(mode);
         self
     }
 
@@ -134,21 +146,35 @@ impl Pipeline {
         // contract makes the outcome thread-count-independent.
         let span = obs.span("pipeline.stage.syntax_rank");
         timings.syntax_in = alive.len();
-        let curated = par_map(&exec, alive, |s| {
+        let sim_check = self.sim_check;
+        let curated = par_map(&exec, alive, move |s| {
             let file = match parse(&s.source) {
                 Ok(f) => f,
-                Err(_) => return None,
+                Err(_) => return Curation::Syntax,
             };
             match check_file(&file) {
-                SyntaxVerdict::SyntaxError { .. } => None,
-                verdict => Some(curate_survivor(s, &verdict, &file)),
+                SyntaxVerdict::SyntaxError { .. } => Curation::Syntax,
+                verdict => {
+                    let sample = curate_survivor(s, &verdict, &file);
+                    // Opt-in: self-contained survivors must also build and
+                    // settle in the simulator. Dependency-issue samples are
+                    // exempt (their missing modules cannot elaborate) —
+                    // they keep their Layer-6 demotion instead.
+                    if let Some(mode) = sim_check {
+                        if !sample.dependency_issue && !simulates(&file, mode) {
+                            return Curation::Sim;
+                        }
+                    }
+                    Curation::Keep(Box::new(sample))
+                }
             }
         });
         let mut dataset = PyraNetDataset::default();
         for outcome in curated {
             match outcome {
-                Some(sample) => dataset.push(sample),
-                None => funnel.rejected_syntax += 1,
+                Curation::Keep(sample) => dataset.push(*sample),
+                Curation::Syntax => funnel.rejected_syntax += 1,
+                Curation::Sim => funnel.rejected_sim += 1,
             }
         }
         timings.syntax_rank = span.stop();
@@ -162,6 +188,7 @@ impl Pipeline {
                 + funnel.rejected_no_module
                 + funnel.rejected_duplicates
                 + funnel.rejected_syntax
+                + funnel.rejected_sim
                 + funnel.curated
         );
         for (name, count) in [
@@ -170,6 +197,7 @@ impl Pipeline {
             ("rejected_no_module", funnel.rejected_no_module),
             ("rejected_duplicates", funnel.rejected_duplicates),
             ("rejected_syntax", funnel.rejected_syntax),
+            ("rejected_sim", funnel.rejected_sim),
             ("curated", funnel.curated),
         ] {
             obs.counter(&format!("pipeline.funnel.{name}")).add(count as u64);
@@ -182,6 +210,24 @@ impl Pipeline {
 impl Default for Pipeline {
     fn default() -> Self {
         Pipeline::new()
+    }
+}
+
+/// Per-sample outcome of the curation stage (keeps the funnel's rejection
+/// buckets distinct through the parallel fan-out).
+enum Curation {
+    Keep(Box<CuratedSample>),
+    Syntax,
+    Sim,
+}
+
+/// True when the file's first module elaborates, builds and settles under
+/// `mode` (the same front end the eval testbench uses).
+fn simulates(file: &SourceFile, mode: SimMode) -> bool {
+    let Some(top) = file.modules.first() else { return false };
+    match SimDesign::from_file(file, &top.name, mode) {
+        Ok(design) => design.instantiate().is_ok(),
+        Err(_) => false,
     }
 }
 
@@ -256,6 +302,30 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn sim_check_rejects_unsimulatable_survivors() {
+        use pyranet_corpus::{Origin, RawSample};
+        // Syntactically clean, but combinationally oscillating: only the
+        // opt-in sim stage can catch it.
+        let osc = "module osc(output y); wire n; assign n = ~n; assign y = n; endmodule";
+        let good = "module ok(input a, output y); assign y = ~a; endmodule";
+        let pool = vec![
+            RawSample::new(1, osc.to_owned(), "", Origin::Scraped, TruthLabel::Clean),
+            RawSample::new(2, good.to_owned(), "", Origin::Scraped, TruthLabel::Clean),
+        ];
+        for mode in [pyranet_verilog::SimMode::Compiled, pyranet_verilog::SimMode::Reference] {
+            let outcome = Pipeline::new().sim_check(mode).run(pool.clone());
+            assert_eq!(outcome.funnel.rejected_sim, 1, "{mode:?}");
+            assert_eq!(outcome.funnel.curated, 1, "{mode:?}");
+            assert!(outcome.funnel.is_consistent(), "{mode:?}");
+            assert!(outcome.dataset.iter().all(|s| s.id == 2), "{mode:?}");
+        }
+        // Default-off: the oscillator survives, as it always has.
+        let outcome = Pipeline::new().run(pool);
+        assert_eq!(outcome.funnel.rejected_sim, 0);
+        assert_eq!(outcome.funnel.curated, 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub struct Funnel {
     pub rejected_duplicates: usize,
     /// Rejected by the syntax check.
     pub rejected_syntax: usize,
+    /// Rejected by the opt-in simulation check (`Pipeline::sim_check`);
+    /// always 0 when the stage is disabled (the default).
+    pub rejected_sim: usize,
     /// Survivors (curated dataset size).
     pub curated: usize,
 }
@@ -29,6 +32,7 @@ impl Funnel {
                 + self.rejected_no_module
                 + self.rejected_duplicates
                 + self.rejected_syntax
+                + self.rejected_sim
                 + self.curated
     }
 
@@ -44,12 +48,18 @@ impl Funnel {
     /// Renders the funnel as aligned text rows (used by the `funnel` bench
     /// binary).
     pub fn render(&self) -> String {
+        let sim_row = if self.rejected_sim > 0 {
+            format!("- sim check          {:>10}\n", self.rejected_sim)
+        } else {
+            String::new()
+        };
         format!(
             "collected            {:>10}\n\
              - empty/broken       {:>10}\n\
              - no module decl     {:>10}\n\
              - duplicates         {:>10}\n\
              - syntax errors      {:>10}\n\
+             {sim_row}\
              = curated            {:>10}  ({:.1}% survival)",
             self.collected,
             self.rejected_broken,
@@ -73,7 +83,8 @@ mod tests {
             rejected_broken: 10,
             rejected_no_module: 20,
             rejected_duplicates: 30,
-            rejected_syntax: 11,
+            rejected_syntax: 9,
+            rejected_sim: 2,
             curated: 29,
         };
         assert!(f.is_consistent());
@@ -97,11 +108,15 @@ mod tests {
             rejected_no_module: 100_000,
             rejected_duplicates: 800_000,
             rejected_syntax: 307_762,
+            rejected_sim: 0,
             curated: 692_238,
         };
         let r = f.render();
         assert!(r.contains("2400000"));
         assert!(r.contains("692238"));
         assert!(r.contains("28.8% survival"));
+        assert!(!r.contains("sim check"), "disabled stage stays out of the render");
+        let with_sim = Funnel { rejected_sim: 5, curated: 692_233, ..f };
+        assert!(with_sim.render().contains("sim check"));
     }
 }

@@ -1,0 +1,190 @@
+//! Flat bytecode representation of a compiled design.
+//!
+//! A [`Program`] is what [`super::compile`] produces from a
+//! [`super::resolve::ResolvedDesign`] and what [`super::vm`] executes:
+//! a single instruction arena plus code ranges for each evaluation unit
+//! (the continuous-assign sweep, each combinational always block, each
+//! edge-sensitive block, and one non-blocking writer fragment per `<=`).
+//!
+//! Every op mirrors one evaluation step of the reference engine exactly —
+//! the compiler is responsible for emitting ops in the engine's evaluation
+//! (and error) order, so running a unit produces bit-identical values and
+//! identical `SimError`s.
+
+use super::engine::SimError;
+use super::value::Value;
+use crate::ast::{BinaryOp, Edge, UnaryOp};
+use std::collections::HashMap;
+
+/// Half-open range `[start, end)` into [`Program::ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeRange {
+    /// First op index.
+    pub start: u32,
+    /// One past the last op index.
+    pub end: u32,
+}
+
+/// One stack-machine instruction.
+///
+/// Stack effects are noted as `pops → pushes`. `ctx`/`w` operands are the
+/// statically known context widths the engine would have computed at
+/// evaluation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `0 → 1`: push a constant.
+    PushLit(Value),
+    /// `0 → 1`: push the current value of a slot.
+    LoadSlot(u32),
+    /// `1 → 1`: resize the top of stack to a fixed width.
+    Resize(u32),
+    /// `1 → 2`: duplicate the top of stack.
+    Dup,
+    /// `1 → 0`: discard the top of stack.
+    Drop,
+    /// Unconditional jump to an absolute op index.
+    Jump(u32),
+    /// `1 → 0`: jump when the popped value is falsy.
+    JumpIfFalse(u32),
+    /// `1 → 0`: jump when the popped value is truthy.
+    JumpIfTrue(u32),
+    /// `1 → 1`: unary operator evaluated at context width `ctx`.
+    Unary(UnaryOp, u32),
+    /// `2 → 1`: comparison (operands pre-resized); pushes a bit.
+    Cmp(BinaryOp),
+    /// `2 → 1`: arithmetic/bitwise operator at fixed width `w`.
+    Arith(BinaryOp, u32),
+    /// `2 → 1`: logical AND (no short-circuit; both operands evaluated).
+    LogicAnd,
+    /// `2 → 1`: logical OR.
+    LogicOr,
+    /// `2 → 1`: left shift; pops shift amount then operand; `ctx` widens.
+    Shl(u32),
+    /// `2 → 1`: logical right shift.
+    Shr,
+    /// `2 → 1`: arithmetic right shift.
+    AShr,
+    /// `2 → 1`: power; result width is `ctx.max(base width)`.
+    Pow(u32),
+    /// `2 → 1`: concatenate two values (first popped is the LSB side);
+    /// errors when the combined width exceeds 64.
+    ConcatPair,
+    /// `1 → 1`: replicate the popped value `reps` times.
+    Repeat(u64),
+    /// `1 → 1`: bit select of a scalar slot; pops the address.
+    BitIndex(u32),
+    /// `1 → 1`: memory word read; pops the address.
+    MemRead(u32),
+    /// `0 → 1`: constant-bound part select of a slot.
+    RangeSel {
+        /// Slot to read.
+        slot: u32,
+        /// Pre-clamped shift (`lo.min(63)`).
+        lo: u32,
+        /// Result width.
+        span: u32,
+    },
+    /// `1 → 1`: indexed part select; pops the base address.
+    IdxSel {
+        /// Slot to read.
+        slot: u32,
+        /// Static select width (possibly 0; clamped like the engine).
+        width: u32,
+        /// True for `+:`.
+        ascending: bool,
+    },
+    /// `1 → 1`: `$clog2`.
+    Clog2,
+    /// `2 → 1`: case-label compare; pops label then subject copy, pushes a
+    /// match bit (widths compared at `max(subject, label)` like the engine).
+    CaseCmp,
+    /// `1 → 0`: store into a scalar slot (resized to the slot width).
+    StoreSlot(u32),
+    /// `2 → 0`: bit store; pops address then value; out-of-range dropped.
+    StoreBit(u32),
+    /// `2 → 0`: memory word store; pops address then value.
+    StoreMem(u32),
+    /// `3 → 0`: part-select store; pops lsb, msb, then value.
+    StoreRange(u32),
+    /// `1 → 1`: extract a concat piece: `Value::new(v >> shift, width)`.
+    Piece {
+        /// Right shift applied to the popped (pre-resized) value.
+        shift: u32,
+        /// Piece width.
+        width: u32,
+    },
+    /// `1 → 0`: queue the popped value for non-blocking commit through the
+    /// given writer fragment.
+    NbAssign(u32),
+    /// Statement entry: errors with `RunawayLoop` when the budget is
+    /// exhausted, otherwise decrements it.
+    Budget,
+    /// For-loop back-edge check: errors when the budget is exhausted
+    /// (without decrementing), mirroring the engine's loop guard.
+    BudgetCheck,
+    /// Raise `Program::traps[i]` — a deferred evaluation-time error the
+    /// compiler proved the engine would produce at this exact point.
+    Trap(u32),
+}
+
+/// Static metadata for one signal slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMeta {
+    /// Bit width.
+    pub width: u32,
+    /// Lowest memory address (memories only).
+    pub mem_base: u64,
+    /// Offset of this memory's words in the VM's word arena.
+    pub words_off: u32,
+    /// Word count (0 for scalars).
+    pub words_len: u32,
+}
+
+/// One compiled edge-sensitive block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeUnit {
+    /// `(polarity, index into edge_sigs)` triggers.
+    pub triggers: Vec<(Edge, u32)>,
+    /// Body code.
+    pub code: CodeRange,
+}
+
+/// A compiled design: one op arena plus unit ranges and static tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Instruction arena; jump targets are absolute indices into this.
+    pub ops: Vec<Op>,
+    /// Deferred evaluation-time errors referenced by [`Op::Trap`].
+    pub traps: Vec<SimError>,
+    /// The continuous-assign sweep (no budget ops).
+    pub assigns: CodeRange,
+    /// Combinational always-block bodies, in source order.
+    pub comb: Vec<CodeRange>,
+    /// Edge-sensitive blocks, in source order.
+    pub edges: Vec<EdgeUnit>,
+    /// Slot sampled by each edge trigger signal (`None`: never resolves).
+    pub edge_sigs: Vec<Option<u32>>,
+    /// Non-blocking writer fragments (value arrives on the stack).
+    pub writers: Vec<CodeRange>,
+    /// Fixed one-pass settle schedule: the assign/comb units in
+    /// topological dependency order. Present only when the compiler proved
+    /// a single ordered pass reaches the engine's fixpoint (acyclic reads/
+    /// writes, one writing unit per slot, no loops, no fallible ops); the
+    /// VM then skips the iterate-and-compare settle loop entirely.
+    pub schedule: Option<Vec<CodeRange>>,
+    /// Slot table.
+    pub slots: Vec<SlotMeta>,
+    /// Total length of the memory word arena.
+    pub words_len: usize,
+    /// Initial constant applications `(slot, masked value)` in order.
+    pub init: Vec<(u32, u64)>,
+    /// Error to raise at instantiation (a constant referenced an unknown
+    /// signal), mirroring the engine's construction-time failure.
+    pub init_err: Option<SimError>,
+    /// Name → slot lookup for the `get`/`set` API boundary.
+    pub names: HashMap<String, u32>,
+    /// Top-level input names.
+    pub inputs: Vec<String>,
+    /// Top-level output names.
+    pub outputs: Vec<String>,
+}

@@ -1,0 +1,1024 @@
+//! Lowering a resolved design to bytecode.
+//!
+//! The compiler walks the resolved design once and emits ops in the exact
+//! order the reference engine evaluates (including the order errors are
+//! raised in), so the VM is bit-identical by construction. Two escape
+//! hatches keep that guarantee airtight:
+//!
+//! * Evaluation-time errors the engine is *guaranteed* to raise at a given
+//!   point (unknown signal, non-constant select bound, unsupported system
+//!   function, …) become [`Op::Trap`] ops at that exact position — they only
+//!   fire if execution actually reaches them, matching the engine's lazy
+//!   error behaviour in untaken branches.
+//! * Anything the compiler cannot fold statically with certainty — chiefly
+//!   select bounds that read a signal some statement writes at runtime —
+//!   aborts compilation with [`CompileError`]; the facade then silently runs
+//!   that design on the reference engine instead.
+//!
+//! Width computations fold at compile time because every width the engine
+//! derives comes from slot widths, literal widths, and `const_like` folds
+//! over constants — all static once runtime-varying `const_like` reads are
+//! excluded via the fallback above.
+
+use super::bytecode::{CodeRange, EdgeUnit, Op, Program, SlotMeta};
+use super::engine::SimError;
+use super::resolve::{RExpr, RLValue, RStmt, ResolvedDesign, SigRef};
+use super::value::Value;
+use crate::ast::BinaryOp;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A construct that cannot be lowered with guaranteed bit-identity to the
+/// reference engine. Not a simulation error: the caller falls back to the
+/// reference engine for the whole design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not compilable: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compile-time fold result: either the value, or the exact error the
+/// engine would raise at this evaluation point.
+enum Static<T> {
+    Known(T),
+    Trap(SimError),
+}
+
+/// Compiles a resolved design into a bytecode [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when some construct cannot be mirrored exactly
+/// (the caller should fall back to the reference engine).
+pub fn compile(res: &ResolvedDesign) -> Result<Program, CompileError> {
+    // Which slots' packed values may change at runtime: every lvalue target
+    // plus every top-level input. Anything else keeps its initial constant
+    // (or zero) forever, making `const_like` reads of it foldable.
+    let mut written: HashSet<u32> = HashSet::new();
+    for (lhs, _) in &res.assigns {
+        mark_lvalue(lhs, &mut written);
+    }
+    for body in &res.comb {
+        mark_stmt(body, &mut written);
+    }
+    for blk in &res.edges {
+        mark_stmt(&blk.body, &mut written);
+    }
+    for input in &res.inputs {
+        if let Some(&i) = res.names.get(input) {
+            written.insert(i);
+        }
+    }
+
+    let mut statics: Vec<Option<u64>> = vec![Some(0); res.signals.len()];
+    let mut init: Vec<(u32, u64)> = Vec::new();
+    let mut init_err = None;
+    for (sig, v) in &res.constants {
+        match sig {
+            SigRef::Slot(i) => {
+                let masked = v & Value::mask(res.signals[*i as usize].width);
+                init.push((*i, masked));
+                statics[*i as usize] = Some(masked);
+            }
+            SigRef::Unknown(n) => {
+                // The engine fails construction right here; record the same
+                // error for instantiation time and stop applying.
+                init_err = Some(SimError::UnknownSignal(n.clone()));
+                break;
+            }
+        }
+    }
+    for &i in &written {
+        statics[i as usize] = None;
+    }
+
+    let mut words_off = 0u64;
+    let mut slots = Vec::with_capacity(res.signals.len());
+    for s in &res.signals {
+        slots.push(SlotMeta {
+            width: s.width,
+            mem_base: s.mem_base,
+            words_off: u32::try_from(words_off)
+                .map_err(|_| CompileError("memory arena exceeds u32 addressing".into()))?,
+            words_len: s.depth,
+        });
+        words_off += u64::from(s.depth);
+    }
+
+    let mut c = Compiler {
+        res,
+        statics,
+        ops: Vec::new(),
+        traps: Vec::new(),
+        writer_lvs: Vec::new(),
+        fallible_at: Vec::new(),
+    };
+
+    let a_start = c.here();
+    let mut assign_units = Vec::with_capacity(res.assigns.len());
+    for (lhs, rhs) in &res.assigns {
+        let start = c.here();
+        match c.lv_width(lhs)? {
+            Static::Trap(e) => c.trap(e), // aborts the settle; rest is dead
+            Static::Known(w) => {
+                c.emit_eval_ctx(rhs, w)?;
+                c.emit_store(lhs)?;
+            }
+        }
+        assign_units.push(CodeRange { start, end: c.here() });
+    }
+    let assigns = CodeRange { start: a_start, end: c.here() };
+
+    let mut comb = Vec::with_capacity(res.comb.len());
+    for body in &res.comb {
+        let start = c.here();
+        c.emit_stmt(body)?;
+        comb.push(CodeRange { start, end: c.here() });
+    }
+
+    let mut edges = Vec::with_capacity(res.edges.len());
+    for blk in &res.edges {
+        let start = c.here();
+        c.emit_stmt(&blk.body)?;
+        edges.push(EdgeUnit {
+            triggers: blk.triggers.iter().map(|(e, i)| (*e, *i as u32)).collect(),
+            code: CodeRange { start, end: c.here() },
+        });
+    }
+
+    // Non-blocking writer fragments, compiled after all units so each unit's
+    // code stays contiguous. Ids were assigned in emission order.
+    let writer_lvs = std::mem::take(&mut c.writer_lvs);
+    let mut writers = Vec::with_capacity(writer_lvs.len());
+    for lv in writer_lvs {
+        let start = c.here();
+        c.emit_store(lv)?;
+        writers.push(CodeRange { start, end: c.here() });
+    }
+
+    let mut units = assign_units;
+    units.extend(comb.iter().copied());
+    let schedule = build_schedule(&c.ops, &units, &writers, &c.fallible_at, res.signals.len());
+
+    Ok(Program {
+        ops: c.ops,
+        traps: c.traps,
+        assigns,
+        comb,
+        edges,
+        edge_sigs: res.edge_sigs.iter().map(|(_, slot)| *slot).collect(),
+        writers,
+        schedule,
+        slots,
+        words_len: words_off as usize,
+        init,
+        init_err,
+        names: res.names.clone(),
+        inputs: res.inputs.clone(),
+        outputs: res.outputs.clone(),
+    })
+}
+
+fn mark_lvalue(lv: &RLValue, written: &mut HashSet<u32>) {
+    match lv {
+        RLValue::Ident(sig) | RLValue::Index(sig, _) | RLValue::Range(sig, _, _) => {
+            if let SigRef::Slot(i) = sig {
+                written.insert(*i);
+            }
+        }
+        RLValue::Concat(parts) => {
+            for p in parts {
+                mark_lvalue(p, written);
+            }
+        }
+    }
+}
+
+fn mark_stmt(s: &RStmt, written: &mut HashSet<u32>) {
+    match s {
+        RStmt::Blocking(lv, _) | RStmt::NonBlocking(lv, _) => mark_lvalue(lv, written),
+        RStmt::If { then_branch, else_branch, .. } => {
+            mark_stmt(then_branch, written);
+            if let Some(e) = else_branch {
+                mark_stmt(e, written);
+            }
+        }
+        RStmt::Case { arms, .. } => {
+            for a in arms {
+                mark_stmt(&a.body, written);
+            }
+        }
+        RStmt::For { init, step, body, .. } => {
+            mark_stmt(init, written);
+            mark_stmt(step, written);
+            mark_stmt(body, written);
+        }
+        RStmt::Block(stmts) => {
+            for s in stmts {
+                mark_stmt(s, written);
+            }
+        }
+        RStmt::Nop => {}
+    }
+}
+
+/// Attempts to order the settle units (per-assign fragments + comb blocks)
+/// into a fixed one-pass schedule that provably reaches the engine's
+/// iterate-to-fixpoint result.
+///
+/// A schedule exists only when every unit is a pure, infallible function
+/// of its reads and the dataflow is acyclic:
+///
+/// * no loops (backward jumps) — rules out budget exhaustion, and each op
+///   executes at most once;
+/// * no [`Op::Trap`] and no fallible concatenation — a scheduled pass can
+///   never error, so error *ordering* differences against the engine's
+///   declaration-order iteration cannot arise;
+/// * no read-modify-write stores (bit/range stores read the old value,
+///   which is genuinely iterative state);
+/// * each slot written by at most one unit (multiple writers make the
+///   fixpoint order-dependent — or nonexistent, and the engine's
+///   oscillation verdict must be preserved);
+/// * the writer→reader graph is acyclic.
+///
+/// Under those rules the fixpoint is unique and one topologically ordered
+/// pass computes it, so the VM can skip the settle loop and its state
+/// captures entirely. Any violation returns `None` and the VM falls back
+/// to the loop — identity first, speed second.
+fn build_schedule(
+    ops: &[Op],
+    units: &[CodeRange],
+    writers: &[CodeRange],
+    fallible_at: &[u32],
+    n_slots: usize,
+) -> Option<Vec<CodeRange>> {
+    let in_range = |r: &CodeRange, i: u32| i >= r.start && i < r.end;
+    let mut reads: Vec<Vec<u32>> = vec![Vec::new(); units.len()];
+    let mut writes: Vec<Vec<u32>> = vec![Vec::new(); units.len()];
+    for (u, range) in units.iter().enumerate() {
+        // A unit's code plus the writer fragments its NB assigns commit.
+        let mut ranges = vec![*range];
+        for i in range.start..range.end {
+            if let Op::NbAssign(w) = ops[i as usize] {
+                ranges.push(writers[w as usize]);
+            }
+        }
+        for r in &ranges {
+            if fallible_at.iter().any(|&i| in_range(r, i)) {
+                return None;
+            }
+            for pc in r.start..r.end {
+                match &ops[pc as usize] {
+                    Op::Trap(_) => return None,
+                    Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) if *t <= pc => {
+                        return None; // a loop
+                    }
+                    Op::LoadSlot(i) | Op::MemRead(i) | Op::BitIndex(i) => reads[u].push(*i),
+                    Op::RangeSel { slot, .. } | Op::IdxSel { slot, .. } => reads[u].push(*slot),
+                    Op::StoreSlot(i) | Op::StoreMem(i) => writes[u].push(*i),
+                    Op::StoreBit(_) | Op::StoreRange(_) => return None, // RMW
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let mut writer_of: Vec<Option<usize>> = vec![None; n_slots];
+    for (u, ws) in writes.iter().enumerate() {
+        for &s in ws {
+            match writer_of[s as usize] {
+                Some(prev) if prev != u => return None, // multiple writers
+                _ => writer_of[s as usize] = Some(u),
+            }
+        }
+    }
+
+    // deps[u] = units whose writes feed u's reads.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    for (u, rs) in reads.iter().enumerate() {
+        for &s in rs {
+            match writer_of[s as usize] {
+                Some(w) if w == u => return None, // self-dependency
+                Some(w) => deps[u].push(w),
+                None => {} // input, seq register, or constant: fixed during settle
+            }
+        }
+    }
+
+    // Topological order, lowest unit index first for determinism.
+    let mut order = Vec::with_capacity(units.len());
+    let mut placed = vec![false; units.len()];
+    while order.len() < units.len() {
+        let mut progressed = false;
+        for u in 0..units.len() {
+            if !placed[u] && deps[u].iter().all(|&d| placed[d]) {
+                placed[u] = true;
+                order.push(units[u]);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return None; // combinational cycle
+        }
+    }
+    Some(order)
+}
+
+struct Compiler<'a> {
+    res: &'a ResolvedDesign,
+    /// Per-slot statically known packed value (`None`: runtime-varying).
+    statics: Vec<Option<u64>>,
+    ops: Vec<Op>,
+    traps: Vec<SimError>,
+    /// LValues of non-blocking assignments, in writer-id order.
+    writer_lvs: Vec<&'a RLValue>,
+    /// Op indices of emitted ops that may fail at runtime (over-wide
+    /// concatenation); units containing one are excluded from the fixed
+    /// settle schedule.
+    fallible_at: Vec<u32>,
+}
+
+impl<'a> Compiler<'a> {
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Emits a jump-family op with a placeholder target; returns its index
+    /// for patching.
+    fn jmp(&mut self, op: Op) -> usize {
+        let at = self.ops.len();
+        self.ops.push(op);
+        at
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => *t = target,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn trap(&mut self, e: SimError) {
+        let i = self.traps.len() as u32;
+        self.traps.push(e);
+        self.emit(Op::Trap(i));
+    }
+
+    /// Trap in value position: everything after it on this path is dead, but
+    /// a dummy push keeps downstream emission's stack shape consistent.
+    fn trap_value(&mut self, e: SimError) {
+        self.trap(e);
+        self.emit(Op::PushLit(Value::bit(false)));
+    }
+
+    // ---- compile-time folds (mirror engine `const_like` / `expr_width` /
+    // `lvalue_width`, including error order) ----
+
+    fn static_const(&self, e: &RExpr) -> Result<Static<u64>, CompileError> {
+        Ok(match e {
+            RExpr::Lit { value, .. } => Static::Known(*value),
+            RExpr::Sig(SigRef::Slot(i)) => match self.statics[*i as usize] {
+                Some(v) => Static::Known(v),
+                None => {
+                    return Err(CompileError("select bound reads a runtime-varying signal".into()))
+                }
+            },
+            RExpr::Sig(SigRef::Unknown(n)) => Static::Trap(SimError::UnknownSignal(n.clone())),
+            RExpr::Binary(op, a, b) => {
+                let a = match self.static_const(a)? {
+                    Static::Known(v) => v,
+                    t => return Ok(t),
+                };
+                let b = match self.static_const(b)? {
+                    Static::Known(v) => v,
+                    t => return Ok(t),
+                };
+                match op {
+                    BinaryOp::Add => Static::Known(a.wrapping_add(b)),
+                    BinaryOp::Sub => Static::Known(a.wrapping_sub(b)),
+                    BinaryOp::Mul => Static::Known(a.wrapping_mul(b)),
+                    BinaryOp::Div => Static::Known(a.checked_div(b).unwrap_or(0)),
+                    _ => Static::Trap(SimError::Unsupported(
+                        "non-arithmetic operator in constant select".into(),
+                    )),
+                }
+            }
+            _ => Static::Trap(SimError::Unsupported("non-constant width expression".into())),
+        })
+    }
+
+    /// Folds a range-select span `((msb - lsb).abs + 1).min(64)` exactly like
+    /// the engine; arithmetic the engine would overflow on is not mirrored.
+    fn fold_span(&self, msb: u64, lsb: u64) -> Result<u32, CompileError> {
+        let (msb, lsb) = (msb as i64, lsb as i64);
+        let diff = msb
+            .checked_sub(lsb)
+            .ok_or_else(|| CompileError("range-select bound overflow".into()))?;
+        Ok((diff.unsigned_abs() + 1).min(64) as u32)
+    }
+
+    /// Statically known width of `e`, `None` when unknowable (which the
+    /// schedule analysis treats as fallible, never as safe).
+    fn known_width(&self, e: &RExpr) -> Option<u32> {
+        match self.width_of(e) {
+            Ok(Static::Known(w)) => Some(w),
+            _ => None,
+        }
+    }
+
+    fn width_of(&self, e: &RExpr) -> Result<Static<u32>, CompileError> {
+        use crate::ast::UnaryOp;
+        Ok(match e {
+            RExpr::Sig(SigRef::Slot(i)) => Static::Known(self.res.signals[*i as usize].width),
+            RExpr::Sig(SigRef::Unknown(n)) => Static::Trap(SimError::UnknownSignal(n.clone())),
+            RExpr::Lit { width, .. } => {
+                Static::Known(if *width == 0 { 32 } else { (*width as u32).min(64) })
+            }
+            RExpr::Str(s) => Static::Known((8 * s.len().max(1) as u32).min(64)),
+            RExpr::Unary(op, a) => match op {
+                UnaryOp::LogicalNot
+                | UnaryOp::RedAnd
+                | UnaryOp::RedOr
+                | UnaryOp::RedXor
+                | UnaryOp::RedNand
+                | UnaryOp::RedNor
+                | UnaryOp::RedXnor => Static::Known(1),
+                _ => self.width_of(a)?,
+            },
+            RExpr::Binary(op, a, b) => {
+                use BinaryOp::*;
+                match op {
+                    LogicalAnd | LogicalOr | Eq | Ne | CaseEq | CaseNe | Lt | Le | Gt | Ge => {
+                        Static::Known(1)
+                    }
+                    Shl | Shr | AShl | AShr | Pow => self.width_of(a)?,
+                    _ => {
+                        let wa = match self.width_of(a)? {
+                            Static::Known(w) => w,
+                            t => return Ok(t),
+                        };
+                        let wb = match self.width_of(b)? {
+                            Static::Known(w) => w,
+                            t => return Ok(t),
+                        };
+                        Static::Known(wa.max(wb))
+                    }
+                }
+            }
+            RExpr::Ternary(_, a, b) => {
+                let wa = match self.width_of(a)? {
+                    Static::Known(w) => w,
+                    t => return Ok(t),
+                };
+                let wb = match self.width_of(b)? {
+                    Static::Known(w) => w,
+                    t => return Ok(t),
+                };
+                Static::Known(wa.max(wb))
+            }
+            RExpr::Concat(parts) => {
+                let mut w = 0u32;
+                for p in parts {
+                    w += match self.width_of(p)? {
+                        Static::Known(x) => x,
+                        t => return Ok(t),
+                    };
+                }
+                Static::Known(w.min(64))
+            }
+            RExpr::Repeat(n, inner) => {
+                let reps = match self.static_const(n)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => return Ok(Static::Trap(e)),
+                };
+                let wi = match self.width_of(inner)? {
+                    Static::Known(w) => w,
+                    t => return Ok(t),
+                };
+                Static::Known((reps as u32).saturating_mul(wi).min(64))
+            }
+            RExpr::Index(sig, _) => match sig {
+                SigRef::Slot(i) => {
+                    let s = &self.res.signals[*i as usize];
+                    Static::Known(if s.depth == 0 { 1 } else { s.width })
+                }
+                SigRef::Unknown(n) => Static::Trap(SimError::UnknownSignal(n.clone())),
+            },
+            RExpr::RangeSelect(_, a, b) => {
+                let msb = match self.static_const(a)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => return Ok(Static::Trap(e)),
+                };
+                let lsb = match self.static_const(b)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => return Ok(Static::Trap(e)),
+                };
+                Static::Known(self.fold_span(msb, lsb)?)
+            }
+            RExpr::IndexedSelect { width, .. } => match self.static_const(width)? {
+                Static::Known(v) => Static::Known((v as u32).min(64)),
+                Static::Trap(e) => Static::Trap(e),
+            },
+            RExpr::Call(f, args) => match f.as_str() {
+                "$signed" | "$unsigned" => match args.first() {
+                    Some(a) => self.width_of(a)?,
+                    None => Static::Known(1),
+                },
+                _ => Static::Known(32),
+            },
+        })
+    }
+
+    fn lv_width(&self, lv: &RLValue) -> Result<Static<u32>, CompileError> {
+        Ok(match lv {
+            RLValue::Ident(SigRef::Slot(i)) => Static::Known(self.res.signals[*i as usize].width),
+            RLValue::Index(SigRef::Slot(i), _) => {
+                let s = &self.res.signals[*i as usize];
+                Static::Known(if s.depth == 0 { 1 } else { s.width })
+            }
+            RLValue::Ident(SigRef::Unknown(n)) | RLValue::Index(SigRef::Unknown(n), _) => {
+                Static::Trap(SimError::UnknownSignal(n.clone()))
+            }
+            RLValue::Range(sig, a, b) => {
+                // Engine checks the signal exists before folding the bounds.
+                if let SigRef::Unknown(n) = sig {
+                    return Ok(Static::Trap(SimError::UnknownSignal(n.clone())));
+                }
+                let msb = match self.static_const(a)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => return Ok(Static::Trap(e)),
+                };
+                let lsb = match self.static_const(b)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => return Ok(Static::Trap(e)),
+                };
+                Static::Known(self.fold_span(msb, lsb)?)
+            }
+            RLValue::Concat(parts) => {
+                let mut w = 0u32;
+                for p in parts {
+                    w += match self.lv_width(p)? {
+                        Static::Known(x) => x,
+                        t => return Ok(t),
+                    };
+                }
+                Static::Known(w.min(64))
+            }
+        })
+    }
+
+    // ---- expression emission (mirrors engine `eval` / `eval_ctx` /
+    // `eval_width`) ----
+
+    /// Engine `eval(e)`: self-determined width, then evaluate at it.
+    fn emit_eval(&mut self, e: &'a RExpr) -> Result<(), CompileError> {
+        match self.width_of(e)? {
+            Static::Known(w) => self.emit_eval_width(e, w),
+            Static::Trap(err) => {
+                self.trap_value(err);
+                Ok(())
+            }
+        }
+    }
+
+    /// Engine `eval_ctx(e, w)`: evaluate at the context width, then resize.
+    fn emit_eval_ctx(&mut self, e: &'a RExpr, w: u32) -> Result<(), CompileError> {
+        if !(1..=64).contains(&w) {
+            return Err(CompileError(format!("assignment context width {w} out of range")));
+        }
+        self.emit_eval_width(e, w)?;
+        self.emit(Op::Resize(w));
+        Ok(())
+    }
+
+    fn emit_eval_width(&mut self, e: &'a RExpr, ctx: u32) -> Result<(), CompileError> {
+        let ctx = ctx.clamp(1, 64);
+        match e {
+            RExpr::Sig(SigRef::Slot(i)) => {
+                let s = &self.res.signals[*i as usize];
+                if s.depth > 0 {
+                    let n = s.name.clone();
+                    self.trap_value(SimError::Unsupported(format!("whole-memory read of `{n}`")));
+                } else {
+                    self.emit(Op::LoadSlot(*i));
+                }
+            }
+            RExpr::Sig(SigRef::Unknown(n)) => {
+                self.trap_value(SimError::UnknownSignal(n.clone()));
+            }
+            RExpr::Lit { width, value } => {
+                let w = if *width == 0 { ctx.max(32) } else { (*width as u32).min(64) };
+                self.emit(Op::PushLit(Value::new(*value, w)));
+            }
+            RExpr::Str(s) => {
+                let w = 8 * s.len() as u32;
+                if w > 64 {
+                    self.trap_value(SimError::Unsupported(
+                        "string literal wider than 64 bits".into(),
+                    ));
+                } else {
+                    let mut bits = 0u64;
+                    for byte in s.bytes() {
+                        bits = (bits << 8) | u64::from(byte);
+                    }
+                    self.emit(Op::PushLit(Value::new(bits, w.max(8))));
+                }
+            }
+            RExpr::Unary(op, a) => {
+                self.emit_eval_width(a, ctx)?;
+                self.emit(Op::Unary(*op, ctx));
+            }
+            RExpr::Binary(op, a, b) => {
+                use BinaryOp::*;
+                match op {
+                    LogicalAnd | LogicalOr => {
+                        self.emit_eval(a)?;
+                        self.emit_eval(b)?;
+                        self.emit(if matches!(op, LogicalAnd) {
+                            Op::LogicAnd
+                        } else {
+                            Op::LogicOr
+                        });
+                    }
+                    Eq | CaseEq | Ne | CaseNe | Lt | Le | Gt | Ge => {
+                        let wa = match self.width_of(a)? {
+                            Static::Known(w) => w,
+                            Static::Trap(e) => {
+                                self.trap_value(e);
+                                return Ok(());
+                            }
+                        };
+                        let wb = match self.width_of(b)? {
+                            Static::Known(w) => w,
+                            Static::Trap(e) => {
+                                self.trap_value(e);
+                                return Ok(());
+                            }
+                        };
+                        let w = wa.max(wb);
+                        if !(1..=64).contains(&w) {
+                            return Err(CompileError("zero-width comparison".into()));
+                        }
+                        self.emit_eval_width(a, w)?;
+                        self.emit(Op::Resize(w));
+                        self.emit_eval_width(b, w)?;
+                        self.emit(Op::Resize(w));
+                        self.emit(Op::Cmp(*op));
+                    }
+                    Shl | AShl => {
+                        self.emit_eval_width(a, ctx)?;
+                        self.emit_eval(b)?;
+                        self.emit(Op::Shl(ctx));
+                    }
+                    Shr => {
+                        self.emit_eval_width(a, ctx)?;
+                        self.emit_eval(b)?;
+                        self.emit(Op::Shr);
+                    }
+                    AShr => {
+                        self.emit_eval_width(a, ctx)?;
+                        self.emit_eval(b)?;
+                        self.emit(Op::AShr);
+                    }
+                    Pow => {
+                        self.emit_eval(a)?;
+                        self.emit_eval(b)?;
+                        self.emit(Op::Pow(ctx));
+                    }
+                    _ => {
+                        let wa = match self.width_of(a)? {
+                            Static::Known(w) => w,
+                            Static::Trap(e) => {
+                                self.trap_value(e);
+                                return Ok(());
+                            }
+                        };
+                        let wb = match self.width_of(b)? {
+                            Static::Known(w) => w,
+                            Static::Trap(e) => {
+                                self.trap_value(e);
+                                return Ok(());
+                            }
+                        };
+                        let w = ctx.max(wa).max(wb).min(64);
+                        self.emit_eval_width(a, w)?;
+                        self.emit(Op::Resize(w));
+                        self.emit_eval_width(b, w)?;
+                        self.emit(Op::Resize(w));
+                        self.emit(Op::Arith(*op, w));
+                    }
+                }
+            }
+            RExpr::Ternary(c, a, b) => {
+                self.emit_eval(c)?;
+                let jf = self.jmp(Op::JumpIfFalse(0));
+                self.emit_eval_width(a, ctx)?;
+                let j = self.jmp(Op::Jump(0));
+                let else_at = self.here();
+                self.patch(jf, else_at);
+                self.emit_eval_width(b, ctx)?;
+                let end = self.here();
+                self.patch(j, end);
+            }
+            RExpr::Concat(parts) => match parts.split_first() {
+                None => self.emit(Op::PushLit(Value::new(0, 1))),
+                Some((first, rest)) => {
+                    self.emit_eval(first)?;
+                    let mut w = self.known_width(first);
+                    for p in rest {
+                        self.emit_eval(p)?;
+                        w = w.and_then(|a| Some(a + self.known_width(p)?));
+                        if w.is_none_or(|t| t > 64) {
+                            // This ConcatPair can raise the engine's
+                            // over-wide-concatenation error at runtime,
+                            // which makes its unit unschedulable.
+                            self.fallible_at.push(self.here());
+                        }
+                        self.emit(Op::ConcatPair);
+                    }
+                }
+            },
+            RExpr::Repeat(n, inner) => {
+                let reps = match self.static_const(n)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => {
+                        self.trap_value(e);
+                        return Ok(());
+                    }
+                };
+                self.emit_eval(inner)?;
+                self.emit(Op::Repeat(reps));
+            }
+            RExpr::Index(sig, idx) => {
+                self.emit_eval(idx)?;
+                match sig {
+                    SigRef::Slot(i) => {
+                        if self.res.signals[*i as usize].depth == 0 {
+                            self.emit(Op::BitIndex(*i));
+                        } else {
+                            self.emit(Op::MemRead(*i));
+                        }
+                    }
+                    SigRef::Unknown(n) => self.trap_value(SimError::UnknownSignal(n.clone())),
+                }
+            }
+            RExpr::RangeSelect(sig, a, b) => {
+                let msb = match self.static_const(a)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => {
+                        self.trap_value(e);
+                        return Ok(());
+                    }
+                };
+                let lsb = match self.static_const(b)? {
+                    Static::Known(v) => v,
+                    Static::Trap(e) => {
+                        self.trap_value(e);
+                        return Ok(());
+                    }
+                };
+                match sig {
+                    SigRef::Unknown(n) => self.trap_value(SimError::UnknownSignal(n.clone())),
+                    SigRef::Slot(i) => {
+                        let span = self.fold_span(msb, lsb)?;
+                        let lo = (msb as i64).min(lsb as i64) as u32;
+                        self.emit(Op::RangeSel { slot: *i, lo: lo.min(63), span });
+                    }
+                }
+            }
+            RExpr::IndexedSelect { sig, base, width, ascending } => {
+                self.emit_eval(base)?;
+                let w = match self.static_const(width)? {
+                    Static::Known(v) => v as u32,
+                    Static::Trap(e) => {
+                        self.trap_value(e);
+                        return Ok(());
+                    }
+                };
+                match sig {
+                    SigRef::Unknown(n) => self.trap_value(SimError::UnknownSignal(n.clone())),
+                    SigRef::Slot(i) => {
+                        self.emit(Op::IdxSel { slot: *i, width: w, ascending: *ascending });
+                    }
+                }
+            }
+            RExpr::Call(f, args) => match f.as_str() {
+                "$signed" | "$unsigned" => match args.first() {
+                    Some(a) => self.emit_eval_width(a, ctx)?,
+                    None => {
+                        self.trap_value(SimError::Unsupported(format!(
+                            "{f} requires one argument"
+                        )));
+                    }
+                },
+                "$clog2" => match args.first() {
+                    Some(a) => {
+                        self.emit_eval(a)?;
+                        self.emit(Op::Clog2);
+                    }
+                    None => {
+                        self.trap_value(SimError::Unsupported(
+                            "$clog2 requires one argument".into(),
+                        ));
+                    }
+                },
+                other => {
+                    self.trap_value(SimError::Unsupported(format!("system function `{other}`")));
+                }
+            },
+        }
+        Ok(())
+    }
+
+    // ---- statement emission (mirrors engine `exec_stmt`) ----
+
+    fn emit_stmt(&mut self, s: &'a RStmt) -> Result<(), CompileError> {
+        self.emit(Op::Budget);
+        match s {
+            RStmt::Blocking(lv, e) => {
+                let w = match self.lv_width(lv)? {
+                    Static::Known(w) => w,
+                    Static::Trap(err) => {
+                        self.trap(err);
+                        return Ok(());
+                    }
+                };
+                self.emit_eval_ctx(e, w)?;
+                self.emit_store(lv)?;
+            }
+            RStmt::NonBlocking(lv, e) => {
+                let w = match self.lv_width(lv)? {
+                    Static::Known(w) => w,
+                    Static::Trap(err) => {
+                        self.trap(err);
+                        return Ok(());
+                    }
+                };
+                self.emit_eval_ctx(e, w)?;
+                let id = self.writer_lvs.len() as u32;
+                self.writer_lvs.push(lv);
+                self.emit(Op::NbAssign(id));
+            }
+            RStmt::If { cond, then_branch, else_branch } => {
+                self.emit_eval(cond)?;
+                let jf = self.jmp(Op::JumpIfFalse(0));
+                self.emit_stmt(then_branch)?;
+                match else_branch {
+                    Some(e) => {
+                        let j = self.jmp(Op::Jump(0));
+                        let else_at = self.here();
+                        self.patch(jf, else_at);
+                        self.emit_stmt(e)?;
+                        let end = self.here();
+                        self.patch(j, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(jf, end);
+                    }
+                }
+            }
+            RStmt::Case { subject, arms } => {
+                self.emit_eval(subject)?;
+                // Label tests in source order, skipping default arms (the
+                // engine checks defaults last). The subject stays under the
+                // test results; every exit path drops it.
+                let mut body_jumps: Vec<(usize, usize)> = Vec::new();
+                for (ai, arm) in arms.iter().enumerate() {
+                    if arm.labels.is_empty() {
+                        continue;
+                    }
+                    for l in &arm.labels {
+                        self.emit(Op::Dup);
+                        self.emit_eval(l)?;
+                        self.emit(Op::CaseCmp);
+                        let j = self.jmp(Op::JumpIfTrue(0));
+                        body_jumps.push((ai, j));
+                    }
+                }
+                let mut end_jumps = Vec::new();
+                self.emit(Op::Drop);
+                if let Some(default) = arms.iter().find(|a| a.labels.is_empty()) {
+                    self.emit_stmt(&default.body)?;
+                }
+                end_jumps.push(self.jmp(Op::Jump(0)));
+                let mut body_at: Vec<Option<u32>> = vec![None; arms.len()];
+                for (ai, arm) in arms.iter().enumerate() {
+                    if arm.labels.is_empty() {
+                        continue;
+                    }
+                    body_at[ai] = Some(self.here());
+                    self.emit(Op::Drop);
+                    self.emit_stmt(&arm.body)?;
+                    end_jumps.push(self.jmp(Op::Jump(0)));
+                }
+                for (ai, j) in body_jumps {
+                    let at = body_at[ai].expect("label jump to armless body");
+                    self.patch(j, at);
+                }
+                let end = self.here();
+                for j in end_jumps {
+                    self.patch(j, end);
+                }
+            }
+            RStmt::For { init, cond, step, body } => {
+                self.emit_stmt(init)?;
+                let cond_at = self.here();
+                self.emit_eval(cond)?;
+                let jf = self.jmp(Op::JumpIfFalse(0));
+                self.emit_stmt(body)?;
+                self.emit_stmt(step)?;
+                self.emit(Op::BudgetCheck);
+                self.emit(Op::Jump(cond_at));
+                let end = self.here();
+                self.patch(jf, end);
+            }
+            RStmt::Block(stmts) => {
+                for s in stmts {
+                    self.emit_stmt(s)?;
+                }
+            }
+            RStmt::Nop => {}
+        }
+        Ok(())
+    }
+
+    // ---- store emission (mirrors engine `write_lvalue`; consumes the
+    // value on top of the stack) ----
+
+    fn emit_store(&mut self, lv: &'a RLValue) -> Result<(), CompileError> {
+        match lv {
+            RLValue::Ident(SigRef::Slot(i)) => {
+                let s = &self.res.signals[*i as usize];
+                if s.depth > 0 {
+                    let n = s.name.clone();
+                    self.trap(SimError::Unsupported(format!("whole-memory assignment to `{n}`")));
+                } else {
+                    self.emit(Op::StoreSlot(*i));
+                }
+            }
+            RLValue::Ident(SigRef::Unknown(n)) => {
+                self.trap(SimError::UnknownSignal(n.clone()));
+            }
+            RLValue::Index(sig, idx) => {
+                // Engine evaluates the address before resolving the signal.
+                self.emit_eval(idx)?;
+                match sig {
+                    SigRef::Slot(i) => {
+                        if self.res.signals[*i as usize].depth == 0 {
+                            self.emit(Op::StoreBit(*i));
+                        } else {
+                            self.emit(Op::StoreMem(*i));
+                        }
+                    }
+                    SigRef::Unknown(n) => self.trap(SimError::UnknownSignal(n.clone())),
+                }
+            }
+            RLValue::Range(sig, a, b) => {
+                self.emit_eval(a)?;
+                self.emit_eval(b)?;
+                match sig {
+                    SigRef::Slot(i) => self.emit(Op::StoreRange(*i)),
+                    SigRef::Unknown(n) => self.trap(SimError::UnknownSignal(n.clone())),
+                }
+            }
+            RLValue::Concat(parts) => {
+                let mut widths = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match self.lv_width(p)? {
+                        Static::Known(w) => widths.push(w),
+                        Static::Trap(e) => {
+                            self.trap(e);
+                            return Ok(());
+                        }
+                    }
+                }
+                let raw: u32 = widths.iter().sum();
+                if raw == 0 || raw > 64 || widths.contains(&0) {
+                    // The engine's MSB-first split would underflow or build a
+                    // zero-width piece here; don't mirror that.
+                    return Err(CompileError("concat lvalue width out of range".into()));
+                }
+                self.emit(Op::Resize(raw));
+                let mut remaining = raw;
+                for (p, w) in parts.iter().zip(widths) {
+                    remaining -= w;
+                    self.emit(Op::Dup);
+                    self.emit(Op::Piece { shift: remaining, width: w });
+                    self.emit_store(p)?;
+                }
+                self.emit(Op::Drop);
+            }
+        }
+        Ok(())
+    }
+}

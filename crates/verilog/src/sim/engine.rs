@@ -1,12 +1,24 @@
-//! The simulation engine: signal store plus evaluation loop.
+//! The reference simulation engine: signal store plus evaluation loop.
+//!
+//! This is the event-driven "spec" oracle: it walks the resolved statement
+//! tree directly, settling combinational logic to a fixpoint and firing
+//! edge-sensitive blocks with non-blocking commit ordering. The compiled
+//! bytecode backend ([`super::vm`]) is pinned bit-identical to this engine;
+//! differential tests drive both.
+//!
+//! Signal references were historically looked up through a string-keyed
+//! HashMap on every expression evaluation; the engine now runs over the
+//! [`ResolvedDesign`] produced by [`super::resolve`], where every name has
+//! already been resolved to a dense slot index.
 
-use super::elab::{elaborate, ElabError, FlatDesign};
+use super::elab::{elaborate, ElabError};
+use super::resolve::{RArm, RExpr, RLValue, RStmt, ResolvedDesign, SigRef};
 use super::value::Value;
-use crate::ast::*;
+use crate::ast::{BinaryOp, Edge, SourceFile, UnaryOp};
 use crate::parser::{parse, ParseError};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,29 +78,29 @@ struct Slot {
 }
 
 /// Maximum combinational settle iterations before declaring oscillation.
-const MAX_SETTLE: usize = 1000;
+pub(super) const MAX_SETTLE: usize = 1000;
 /// Maximum edge-firing rounds per propagation (derived-clock chains).
-const MAX_EDGE_ROUNDS: usize = 64;
+pub(super) const MAX_EDGE_ROUNDS: usize = 64;
 /// Statement budget per procedural block execution.
-const STMT_BUDGET: usize = 1 << 20;
+pub(super) const STMT_BUDGET: usize = 1 << 20;
 
 /// An interactive simulator over a flattened design.
 ///
 /// See the [module docs](crate::sim) for an end-to-end example.
 pub struct Simulator {
-    design: FlatDesign,
-    names: HashMap<String, usize>,
+    res: Arc<ResolvedDesign>,
     slots: Vec<Slot>,
-    /// Previous sampled values of every edge-sensitive signal.
-    edge_prev: HashMap<String, bool>,
+    /// Previous sampled values of every edge-sensitive signal, indexed like
+    /// [`ResolvedDesign::edge_sigs`].
+    edge_prev: Vec<bool>,
 }
 
 impl fmt::Debug for Simulator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulator")
             .field("signals", &self.slots.len())
-            .field("assigns", &self.design.assigns.len())
-            .field("always", &self.design.always.len())
+            .field("assigns", &self.res.assigns.len())
+            .field("always", &(self.res.comb.len() + self.res.edges.len()))
             .finish()
     }
 }
@@ -112,30 +124,33 @@ impl Simulator {
     /// non-constant widths, >64-bit vectors).
     pub fn new(file: &SourceFile, top: &str) -> Result<Simulator, SimError> {
         let design = elaborate(file, top)?;
-        let mut names = HashMap::new();
-        let mut slots = Vec::with_capacity(design.signals.len());
-        for (i, s) in design.signals.iter().enumerate() {
-            names.insert(s.name.clone(), i);
-            slots.push(Slot {
+        Simulator::from_resolved(Arc::new(ResolvedDesign::resolve(&design)))
+    }
+
+    /// Builds a simulator over an already-resolved design.
+    ///
+    /// # Errors
+    ///
+    /// Fails when constant application or the initial combinational settle
+    /// fails (unknown signals, oscillating logic).
+    pub(super) fn from_resolved(res: Arc<ResolvedDesign>) -> Result<Simulator, SimError> {
+        let slots = res
+            .signals
+            .iter()
+            .map(|s| Slot {
                 value: Value::zero(s.width),
                 words: vec![0; s.depth as usize],
                 mem_base: s.mem_base,
                 width: s.width,
-            });
-        }
-        let mut sim = Simulator { design, names, slots, edge_prev: HashMap::new() };
-        for (name, v) in sim.design.constants.clone() {
-            let idx = sim.idx(&name)?;
+            })
+            .collect();
+        let edge_prev = vec![false; res.edge_sigs.len()];
+        let mut sim = Simulator { res, slots, edge_prev };
+        let constants = sim.res.clone();
+        for (sig, v) in &constants.constants {
+            let idx = sim.slot(sig)?;
             let w = sim.slots[idx].width;
-            sim.slots[idx].value = Value::new(v, w);
-        }
-        // Snapshot edge signals before the first settle.
-        for blk in &sim.design.always {
-            if let Sensitivity::Edges(es) = &blk.sensitivity {
-                for e in es {
-                    sim.edge_prev.insert(e.signal.clone(), false);
-                }
-            }
+            sim.slots[idx].value = Value::new(*v, w);
         }
         sim.settle_comb()?;
         // Take the post-settle snapshot so initial values don't count as edges.
@@ -145,16 +160,19 @@ impl Simulator {
 
     /// Names of the top-level inputs.
     pub fn inputs(&self) -> &[String] {
-        &self.design.inputs
+        &self.res.inputs
     }
 
     /// Names of the top-level outputs.
     pub fn outputs(&self) -> &[String] {
-        &self.design.outputs
+        &self.res.outputs
     }
 
-    fn idx(&self, name: &str) -> Result<usize, SimError> {
-        self.names.get(name).copied().ok_or_else(|| SimError::UnknownSignal(name.to_owned()))
+    fn slot(&self, sig: &SigRef) -> Result<usize, SimError> {
+        match sig {
+            SigRef::Slot(i) => Ok(*i as usize),
+            SigRef::Unknown(n) => Err(SimError::UnknownSignal(n.clone())),
+        }
     }
 
     /// Reads a signal's current value.
@@ -163,7 +181,13 @@ impl Simulator {
     ///
     /// Fails when `name` is not a signal of the flattened design.
     pub fn get(&self, name: &str) -> Result<Value, SimError> {
-        Ok(self.slots[self.idx(name)?].value)
+        let i = self
+            .res
+            .names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))?;
+        Ok(self.slots[i as usize].value)
     }
 
     /// Drives a top-level input and propagates the change (combinational
@@ -173,10 +197,15 @@ impl Simulator {
     ///
     /// Fails on unknown/non-input signals and on oscillating logic.
     pub fn set(&mut self, name: &str, value: u64) -> Result<(), SimError> {
-        if !self.design.inputs.iter().any(|i| i == name) {
+        if !self.res.inputs.iter().any(|i| i == name) {
             return Err(SimError::NotAnInput(name.to_owned()));
         }
-        let idx = self.idx(name)?;
+        let idx = self
+            .res
+            .names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownSignal(name.to_owned()))? as usize;
         let w = self.slots[idx].width;
         self.slots[idx].value = Value::new(value, w);
         self.propagate()
@@ -205,10 +234,10 @@ impl Simulator {
     }
 
     fn snapshot_edges(&mut self) {
-        let keys: Vec<String> = self.edge_prev.keys().cloned().collect();
-        for k in keys {
-            let cur = self.names.get(&k).map(|&i| self.slots[i].value.bit_at(0)).unwrap_or(false);
-            self.edge_prev.insert(k, cur);
+        let res = self.res.clone();
+        for (i, (_, slot)) in res.edge_sigs.iter().enumerate() {
+            self.edge_prev[i] =
+                slot.map(|s| self.slots[s as usize].value.bit_at(0)).unwrap_or(false);
         }
     }
 
@@ -216,17 +245,16 @@ impl Simulator {
     /// last snapshot; commits their non-blocking updates together. Returns
     /// whether anything fired.
     fn fire_edges(&mut self) -> Result<bool, SimError> {
+        let res = self.res.clone();
         let mut to_run: Vec<usize> = Vec::new();
-        for (i, blk) in self.design.always.iter().enumerate() {
-            let Sensitivity::Edges(es) = &blk.sensitivity else { continue };
-            let triggered = es.iter().any(|e| {
-                let prev = self.edge_prev.get(&e.signal).copied().unwrap_or(false);
-                let cur = self
-                    .names
-                    .get(&e.signal)
-                    .map(|&i| self.slots[i].value.bit_at(0))
+        for (i, blk) in res.edges.iter().enumerate() {
+            let triggered = blk.triggers.iter().any(|(edge, sig)| {
+                let prev = self.edge_prev[*sig];
+                let cur = res.edge_sigs[*sig]
+                    .1
+                    .map(|s| self.slots[s as usize].value.bit_at(0))
                     .unwrap_or(false);
-                match e.edge {
+                match edge {
                     Edge::Pos => !prev && cur,
                     Edge::Neg => prev && !cur,
                 }
@@ -239,11 +267,10 @@ impl Simulator {
         if to_run.is_empty() {
             return Ok(false);
         }
-        let mut nb: Vec<(LValue, Value)> = Vec::new();
+        let mut nb: Vec<(RLValue, Value)> = Vec::new();
         for i in to_run {
-            let body = self.design.always[i].body.clone();
             let mut budget = STMT_BUDGET;
-            self.exec_stmt(&body, &mut nb, &mut budget)?;
+            self.exec_stmt(&res.edges[i].body, &mut nb, &mut budget)?;
         }
         for (lv, v) in nb {
             self.write_lvalue(&lv, v)?;
@@ -254,54 +281,44 @@ impl Simulator {
     /// Evaluates continuous assigns and combinational always blocks to a
     /// fixpoint.
     fn settle_comb(&mut self) -> Result<(), SimError> {
+        let res = self.res.clone();
         for _ in 0..MAX_SETTLE {
-            let before = self.state_hash();
-            let assigns = self.design.assigns.clone();
-            for a in &assigns {
-                let w = self.lvalue_width(&a.lhs)?;
-                let v = self.eval_ctx(&a.rhs, w)?;
-                self.write_lvalue(&a.lhs, v)?;
+            let before = self.state_vec();
+            for (lhs, rhs) in &res.assigns {
+                let w = self.lvalue_width(lhs)?;
+                let v = self.eval_ctx(rhs, w)?;
+                self.write_lvalue(lhs, v)?;
             }
-            let blocks: Vec<usize> = self
-                .design
-                .always
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| !matches!(b.sensitivity, Sensitivity::Edges(_)))
-                .map(|(i, _)| i)
-                .collect();
-            for i in blocks {
-                let body = self.design.always[i].body.clone();
+            for body in &res.comb {
                 let mut nb = Vec::new();
                 let mut budget = STMT_BUDGET;
-                self.exec_stmt(&body, &mut nb, &mut budget)?;
+                self.exec_stmt(body, &mut nb, &mut budget)?;
                 for (lv, v) in nb {
                     self.write_lvalue(&lv, v)?;
                 }
             }
-            if self.state_hash() == before {
+            if self.state_vec() == before {
                 return Ok(());
             }
         }
         Err(SimError::Oscillation)
     }
 
-    fn state_hash(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+    fn state_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.slots.len());
         for s in &self.slots {
-            s.value.as_u64().hash(&mut h);
-            s.words.hash(&mut h);
+            out.push(s.value.as_u64());
+            out.extend_from_slice(&s.words);
         }
-        h.finish()
+        out
     }
 
     // ---- statement execution ----
 
     fn exec_stmt(
         &mut self,
-        stmt: &Stmt,
-        nb: &mut Vec<(LValue, Value)>,
+        stmt: &RStmt,
+        nb: &mut Vec<(RLValue, Value)>,
         budget: &mut usize,
     ) -> Result<(), SimError> {
         if *budget == 0 {
@@ -309,18 +326,18 @@ impl Simulator {
         }
         *budget -= 1;
         match stmt {
-            Stmt::Blocking(lv, e) => {
+            RStmt::Blocking(lv, e) => {
                 let w = self.lvalue_width(lv)?;
                 let v = self.eval_ctx(e, w)?;
                 self.write_lvalue(lv, v)
             }
-            Stmt::NonBlocking(lv, e) => {
+            RStmt::NonBlocking(lv, e) => {
                 let w = self.lvalue_width(lv)?;
                 let v = self.eval_ctx(e, w)?;
                 nb.push((lv.clone(), v));
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            RStmt::If { cond, then_branch, else_branch } => {
                 if self.eval(cond)?.is_truthy() {
                     self.exec_stmt(then_branch, nb, budget)
                 } else if let Some(e) = else_branch {
@@ -329,7 +346,7 @@ impl Simulator {
                     Ok(())
                 }
             }
-            Stmt::Case { subject, arms, .. } => {
+            RStmt::Case { subject, arms } => {
                 let subj = self.eval(subject)?;
                 let w = subj.width().max(1);
                 for arm in arms {
@@ -344,12 +361,12 @@ impl Simulator {
                         }
                     }
                 }
-                if let Some(default) = arms.iter().find(|a| a.labels.is_empty()) {
+                if let Some(default) = arms.iter().find(|a: &&RArm| a.labels.is_empty()) {
                     return self.exec_stmt(&default.body, nb, budget);
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            RStmt::For { init, cond, step, body } => {
                 self.exec_stmt(init, nb, budget)?;
                 while self.eval(cond)?.is_truthy() {
                     self.exec_stmt(body, nb, budget)?;
@@ -360,39 +377,39 @@ impl Simulator {
                 }
                 Ok(())
             }
-            Stmt::Block(stmts) => {
+            RStmt::Block(stmts) => {
                 for s in stmts {
                     self.exec_stmt(s, nb, budget)?;
                 }
                 Ok(())
             }
-            Stmt::SystemCall(_, _) | Stmt::Empty => Ok(()),
+            RStmt::Nop => Ok(()),
         }
     }
 
     // ---- lvalues ----
 
-    fn lvalue_width(&self, lv: &LValue) -> Result<u32, SimError> {
+    fn lvalue_width(&self, lv: &RLValue) -> Result<u32, SimError> {
         match lv {
-            LValue::Ident(n) => {
-                let i = self.idx(n)?;
+            RLValue::Ident(sig) => {
+                let i = self.slot(sig)?;
                 Ok(self.slots[i].width)
             }
-            LValue::Index(n, _) => {
-                let i = self.idx(n)?;
+            RLValue::Index(sig, _) => {
+                let i = self.slot(sig)?;
                 if self.slots[i].words.is_empty() {
                     Ok(1)
                 } else {
                     Ok(self.slots[i].width)
                 }
             }
-            LValue::Range(n, a, b) => {
-                let _ = self.idx(n)?;
+            RLValue::Range(sig, a, b) => {
+                let _ = self.slot(sig)?;
                 let msb = self.const_like(a)? as i64;
                 let lsb = self.const_like(b)? as i64;
                 Ok(((msb - lsb).unsigned_abs() + 1).min(64) as u32)
             }
-            LValue::Concat(parts) => {
+            RLValue::Concat(parts) => {
                 let mut w = 0;
                 for p in parts {
                     w += self.lvalue_width(p)?;
@@ -402,20 +419,21 @@ impl Simulator {
         }
     }
 
-    fn write_lvalue(&mut self, lv: &LValue, v: Value) -> Result<(), SimError> {
+    fn write_lvalue(&mut self, lv: &RLValue, v: Value) -> Result<(), SimError> {
         match lv {
-            LValue::Ident(n) => {
-                let i = self.idx(n)?;
+            RLValue::Ident(sig) => {
+                let i = self.slot(sig)?;
                 if !self.slots[i].words.is_empty() {
+                    let n = &self.res.signals[i].name;
                     return Err(SimError::Unsupported(format!("whole-memory assignment to `{n}`")));
                 }
                 let w = self.slots[i].width;
                 self.slots[i].value = v.resize(w);
                 Ok(())
             }
-            LValue::Index(n, idx_expr) => {
+            RLValue::Index(sig, idx_expr) => {
                 let addr = self.eval(idx_expr)?.as_u64();
-                let i = self.idx(n)?;
+                let i = self.slot(sig)?;
                 if self.slots[i].words.is_empty() {
                     // bit select
                     let w = self.slots[i].width;
@@ -439,11 +457,11 @@ impl Simulator {
                 }
                 Ok(())
             }
-            LValue::Range(n, a, b) => {
+            RLValue::Range(sig, a, b) => {
                 let msb = self.eval(a)?.as_u64() as i64;
                 let lsb = self.eval(b)?.as_u64() as i64;
                 let (hi, lo) = (msb.max(lsb) as u32, msb.min(lsb) as u32);
-                let i = self.idx(n)?;
+                let i = self.slot(sig)?;
                 let w = self.slots[i].width;
                 if lo >= w {
                     return Ok(());
@@ -456,7 +474,7 @@ impl Simulator {
                 self.slots[i].value = Value::new(new, w);
                 Ok(())
             }
-            LValue::Concat(parts) => {
+            RLValue::Concat(parts) => {
                 // MSB-first: the first part takes the high bits.
                 let total = self.lvalue_width(lv)?;
                 let mut remaining = total;
@@ -478,24 +496,26 @@ impl Simulator {
     /// of arithmetic are extended to the context width first, matching
     /// Verilog's self-determined/context-determined width rules closely
     /// enough for the synthesizable subset.
-    fn eval_ctx(&mut self, e: &Expr, ctx_width: u32) -> Result<Value, SimError> {
+    fn eval_ctx(&mut self, e: &RExpr, ctx_width: u32) -> Result<Value, SimError> {
         let v = self.eval_width(e, ctx_width)?;
         Ok(v.resize(ctx_width))
     }
 
     /// Width of an expression for self-determined contexts.
-    fn expr_width(&self, e: &Expr) -> Result<u32, SimError> {
+    fn expr_width(&self, e: &RExpr) -> Result<u32, SimError> {
         Ok(match e {
-            Expr::Ident(n) => self.slots[self.idx(n)?].width,
-            Expr::Literal { width, .. } => {
+            RExpr::Sig(sig) => self.slots[self.slot(sig)?].width,
+            RExpr::Lit { width, .. } => {
                 if *width == 0 {
                     32
                 } else {
                     (*width as u32).min(64)
                 }
             }
-            Expr::StringLit(_) => 8,
-            Expr::Unary(op, a) => match op {
+            // A string literal is 8 bits per character (an empty string
+            // behaves like "\0": one character).
+            RExpr::Str(s) => (8 * s.len().max(1) as u32).min(64),
+            RExpr::Unary(op, a) => match op {
                 UnaryOp::LogicalNot
                 | UnaryOp::RedAnd
                 | UnaryOp::RedOr
@@ -505,7 +525,7 @@ impl Simulator {
                 | UnaryOp::RedXnor => 1,
                 _ => self.expr_width(a)?,
             },
-            Expr::Binary(op, a, b) => {
+            RExpr::Binary(op, a, b) => {
                 use BinaryOp::*;
                 match op {
                     LogicalAnd | LogicalOr | Eq | Ne | CaseEq | CaseNe | Lt | Le | Gt | Ge => 1,
@@ -513,33 +533,33 @@ impl Simulator {
                     _ => self.expr_width(a)?.max(self.expr_width(b)?),
                 }
             }
-            Expr::Ternary(_, a, b) => self.expr_width(a)?.max(self.expr_width(b)?),
-            Expr::Concat(parts) => {
+            RExpr::Ternary(_, a, b) => self.expr_width(a)?.max(self.expr_width(b)?),
+            RExpr::Concat(parts) => {
                 let mut w = 0u32;
                 for p in parts {
                     w += self.expr_width(p)?;
                 }
                 w.min(64)
             }
-            Expr::Repeat(n, inner) => {
+            RExpr::Repeat(n, inner) => {
                 let reps = self.const_like(n)? as u32;
-                (reps * self.expr_width(inner)?).min(64)
+                reps.saturating_mul(self.expr_width(inner)?).min(64)
             }
-            Expr::Index(n, _) => {
-                let i = self.idx(n)?;
+            RExpr::Index(sig, _) => {
+                let i = self.slot(sig)?;
                 if self.slots[i].words.is_empty() {
                     1
                 } else {
                     self.slots[i].width
                 }
             }
-            Expr::RangeSelect(_, a, b) => {
+            RExpr::RangeSelect(_, a, b) => {
                 let msb = self.const_like(a)? as i64;
                 let lsb = self.const_like(b)? as i64;
                 ((msb - lsb).unsigned_abs() + 1).min(64) as u32
             }
-            Expr::IndexedSelect { width, .. } => (self.const_like(width)? as u32).min(64),
-            Expr::Call(f, args) => match f.as_str() {
+            RExpr::IndexedSelect { width, .. } => (self.const_like(width)? as u32).min(64),
+            RExpr::Call(f, args) => match f.as_str() {
                 "$signed" | "$unsigned" => {
                     args.first().map(|a| self.expr_width(a)).transpose()?.unwrap_or(1)
                 }
@@ -551,11 +571,11 @@ impl Simulator {
 
     /// Const-ish evaluation used for widths of selects (indices may reference
     /// parameters, which live in the store).
-    fn const_like(&self, e: &Expr) -> Result<u64, SimError> {
+    fn const_like(&self, e: &RExpr) -> Result<u64, SimError> {
         match e {
-            Expr::Literal { value, .. } => Ok(*value),
-            Expr::Ident(n) => Ok(self.slots[self.idx(n)?].value.as_u64()),
-            Expr::Binary(op, a, b) => {
+            RExpr::Lit { value, .. } => Ok(*value),
+            RExpr::Sig(sig) => Ok(self.slots[self.slot(sig)?].value.as_u64()),
+            RExpr::Binary(op, a, b) => {
                 let a = self.const_like(a)?;
                 let b = self.const_like(b)?;
                 Ok(match op {
@@ -575,31 +595,40 @@ impl Simulator {
     }
 
     /// Evaluates with self-determined width.
-    fn eval(&mut self, e: &Expr) -> Result<Value, SimError> {
+    fn eval(&mut self, e: &RExpr) -> Result<Value, SimError> {
         let w = self.expr_width(e)?;
         self.eval_width(e, w)
     }
 
     /// Evaluates `e`, extending leaf operands of context-determined
     /// operators to `ctx` bits.
-    fn eval_width(&mut self, e: &Expr, ctx: u32) -> Result<Value, SimError> {
+    fn eval_width(&mut self, e: &RExpr, ctx: u32) -> Result<Value, SimError> {
         let ctx = ctx.clamp(1, 64);
         Ok(match e {
-            Expr::Ident(n) => {
-                let i = self.idx(n)?;
+            RExpr::Sig(sig) => {
+                let i = self.slot(sig)?;
                 if !self.slots[i].words.is_empty() {
+                    let n = &self.res.signals[i].name;
                     return Err(SimError::Unsupported(format!("whole-memory read of `{n}`")));
                 }
                 self.slots[i].value
             }
-            Expr::Literal { width, value, .. } => {
+            RExpr::Lit { width, value } => {
                 let w = if *width == 0 { ctx.max(32) } else { (*width as u32).min(64) };
                 Value::new(*value, w)
             }
-            Expr::StringLit(_) => {
-                return Err(SimError::Unsupported("string literal in expression".into()))
+            RExpr::Str(s) => {
+                let w = 8 * s.len() as u32;
+                if w > 64 {
+                    return Err(SimError::Unsupported("string literal wider than 64 bits".into()));
+                }
+                let mut bits = 0u64;
+                for byte in s.bytes() {
+                    bits = (bits << 8) | u64::from(byte);
+                }
+                Value::new(bits, w.max(8))
             }
-            Expr::Unary(op, a) => {
+            RExpr::Unary(op, a) => {
                 use UnaryOp::*;
                 let av = self.eval_width(a, ctx)?;
                 match op {
@@ -615,7 +644,7 @@ impl Simulator {
                     RedXnor => Value::bit(av.as_u64().count_ones() % 2 == 0),
                 }
             }
-            Expr::Binary(op, a, b) => {
+            RExpr::Binary(op, a, b) => {
                 use BinaryOp::*;
                 match op {
                     LogicalAnd => {
@@ -703,7 +732,7 @@ impl Simulator {
                     }
                 }
             }
-            Expr::Ternary(c, a, b) => {
+            RExpr::Ternary(c, a, b) => {
                 let cv = self.eval(c)?;
                 if cv.is_truthy() {
                     self.eval_width(a, ctx)?
@@ -711,7 +740,7 @@ impl Simulator {
                     self.eval_width(b, ctx)?
                 }
             }
-            Expr::Concat(parts) => {
+            RExpr::Concat(parts) => {
                 let mut bits: u64 = 0;
                 let mut total: u32 = 0;
                 for p in parts {
@@ -725,11 +754,11 @@ impl Simulator {
                 }
                 Value::new(bits, total.max(1))
             }
-            Expr::Repeat(n, inner) => {
+            RExpr::Repeat(n, inner) => {
                 let reps = self.const_like(n)?;
                 let iv = self.eval(inner)?;
                 let w = iv.width();
-                let total = (reps as u32) * w;
+                let total = (reps as u32).saturating_mul(w);
                 if total > 64 {
                     return Err(SimError::Unsupported("replication wider than 64".into()));
                 }
@@ -739,9 +768,9 @@ impl Simulator {
                 }
                 Value::new(bits, total.max(1))
             }
-            Expr::Index(n, idx) => {
+            RExpr::Index(sig, idx) => {
                 let addr = self.eval(idx)?.as_u64();
-                let i = self.idx(n)?;
+                let i = self.slot(sig)?;
                 if self.slots[i].words.is_empty() {
                     Value::bit(self.slots[i].value.bit_at(addr.min(u64::from(u32::MAX)) as u32))
                 } else {
@@ -754,24 +783,25 @@ impl Simulator {
                     Value::new(word, w)
                 }
             }
-            Expr::RangeSelect(n, a, b) => {
+            RExpr::RangeSelect(sig, a, b) => {
                 let msb = self.const_like(a)? as i64;
                 let lsb = self.const_like(b)? as i64;
                 let (hi, lo) = (msb.max(lsb) as u32, msb.min(lsb) as u32);
-                let i = self.idx(n)?;
+                let i = self.slot(sig)?;
                 let v = self.slots[i].value.as_u64();
                 let span = (hi - lo + 1).min(64);
                 Value::new(v >> lo.min(63), span)
             }
-            Expr::IndexedSelect { name, base, width, ascending } => {
+            RExpr::IndexedSelect { sig, base, width, ascending } => {
                 let b = self.eval(base)?.as_u64();
                 let w = self.const_like(width)? as u32;
-                let lo = if *ascending { b } else { b.saturating_sub(u64::from(w) - 1) };
-                let i = self.idx(name)?;
+                let lo =
+                    if *ascending { b } else { b.saturating_sub(u64::from(w).wrapping_sub(1)) };
+                let i = self.slot(sig)?;
                 let v = self.slots[i].value.as_u64();
                 Value::new(v >> lo.min(63), w.clamp(1, 64))
             }
-            Expr::Call(f, args) => match f.as_str() {
+            RExpr::Call(f, args) => match f.as_str() {
                 "$signed" | "$unsigned" => {
                     let a = args.first().ok_or_else(|| {
                         SimError::Unsupported(format!("{f} requires one argument"))
@@ -1111,5 +1141,18 @@ mod tests {
             s.set("sel", sel).unwrap();
             assert_eq!(s.get("y").unwrap().as_u64(), byte);
         }
+    }
+
+    #[test]
+    fn string_literal_width_is_8_per_char() {
+        // "AB" is a 16-bit value 0x4142; zero-extended into a 32-bit signal.
+        let mut s = sim(
+            "module str(input e, output [31:0] y, output [7:0] z);\n\
+             assign y = e ? \"AB\" : 32'd0; assign z = \"Z\"; endmodule",
+            "str",
+        );
+        s.set("e", 1).unwrap();
+        assert_eq!(s.get("y").unwrap().as_u64(), 0x4142);
+        assert_eq!(s.get("z").unwrap().as_u64(), u64::from(b'Z'));
     }
 }

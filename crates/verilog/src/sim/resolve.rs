@@ -1,0 +1,416 @@
+//! Name resolution: lowering the flat design's AST to dense slot indices.
+//!
+//! Both simulation backends — the event-driven reference engine
+//! ([`super::engine`]) and the bytecode VM ([`super::vm`]) — evaluate the
+//! *resolved* design produced here instead of the raw [`FlatDesign`] AST.
+//! Resolution happens once per design: every identifier is looked up in the
+//! signal table exactly once, so the per-evaluation string-keyed HashMap
+//! lookups the engine used to perform disappear from the hot loops.
+//!
+//! Resolution is deliberately infallible: a name that does not resolve
+//! becomes [`SigRef::Unknown`], which raises `SimError::UnknownSignal` only
+//! when (and exactly where) the reference engine would have raised it — at
+//! evaluation time, not at build time. That keeps error classification
+//! bit-identical between a resolved design and the historical lazy-lookup
+//! behaviour.
+
+use super::elab::FlatDesign;
+use crate::ast::{
+    CaseArm, Edge, Expr, LValue, Sensitivity, Stmt, {BinaryOp, UnaryOp},
+};
+use std::collections::HashMap;
+
+/// A resolved signal reference: either a dense slot index or a name that
+/// failed to resolve (kept for the deferred `UnknownSignal` error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigRef {
+    /// Index into [`ResolvedDesign::signals`].
+    Slot(u32),
+    /// Unresolved name; evaluating it raises `UnknownSignal`.
+    Unknown(String),
+}
+
+/// A resolved expression (mirrors [`Expr`] with [`SigRef`] leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExpr {
+    /// Signal read.
+    Sig(SigRef),
+    /// Literal; `width == 0` means unsized.
+    Lit {
+        /// Declared width (0 when unsized).
+        width: u16,
+        /// Literal value.
+        value: u64,
+    },
+    /// String literal (8 bits per character).
+    Str(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<RExpr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<RExpr>, Box<RExpr>),
+    /// `cond ? a : b`
+    Ternary(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    /// `{a, b, c}`
+    Concat(Vec<RExpr>),
+    /// `{n{expr}}`
+    Repeat(Box<RExpr>, Box<RExpr>),
+    /// `x[i]`
+    Index(SigRef, Box<RExpr>),
+    /// `x[msb:lsb]`
+    RangeSelect(SigRef, Box<RExpr>, Box<RExpr>),
+    /// `x[base +: width]` / `x[base -: width]`
+    IndexedSelect {
+        /// Selected signal.
+        sig: SigRef,
+        /// Base expression.
+        base: Box<RExpr>,
+        /// Constant width expression.
+        width: Box<RExpr>,
+        /// True for `+:`.
+        ascending: bool,
+    },
+    /// System/function call.
+    Call(String, Vec<RExpr>),
+}
+
+/// A resolved assignable target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RLValue {
+    /// Plain signal.
+    Ident(SigRef),
+    /// Bit/element select.
+    Index(SigRef, RExpr),
+    /// Part select.
+    Range(SigRef, RExpr, RExpr),
+    /// Concatenation of targets (MSB first).
+    Concat(Vec<RLValue>),
+}
+
+/// A resolved procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RStmt {
+    /// `lhs = rhs;`
+    Blocking(RLValue, RExpr),
+    /// `lhs <= rhs;`
+    NonBlocking(RLValue, RExpr),
+    /// `if (cond) …`
+    If {
+        /// Condition.
+        cond: RExpr,
+        /// Then branch.
+        then_branch: Box<RStmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<RStmt>>,
+    },
+    /// `case (subject) … endcase`
+    Case {
+        /// Subject expression.
+        subject: RExpr,
+        /// Arms in source order.
+        arms: Vec<RArm>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Loop initialisation.
+        init: Box<RStmt>,
+        /// Loop condition.
+        cond: RExpr,
+        /// Step statement.
+        step: Box<RStmt>,
+        /// Body.
+        body: Box<RStmt>,
+    },
+    /// `begin … end`
+    Block(Vec<RStmt>),
+    /// System call or empty statement: executes nothing but still counts
+    /// against the statement budget like any other statement.
+    Nop,
+}
+
+/// One resolved case arm; empty `labels` means `default`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RArm {
+    /// Match labels.
+    pub labels: Vec<RExpr>,
+    /// Arm body.
+    pub body: RStmt,
+}
+
+/// Static description of one signal slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RSignal {
+    /// Flat (dotted) name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Word count when this is a memory, else 0.
+    pub depth: u32,
+    /// Lowest memory address.
+    pub mem_base: u64,
+}
+
+/// An edge-sensitive always block with resolved triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct REdgeBlock {
+    /// `(polarity, index into edge_sigs)` triggers.
+    pub triggers: Vec<(Edge, usize)>,
+    /// Body statement.
+    pub body: RStmt,
+}
+
+/// The fully resolved design both backends execute.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResolvedDesign {
+    /// Slot table.
+    pub signals: Vec<RSignal>,
+    /// Name → slot lookup (used only at the `get`/`set` API boundary).
+    pub names: HashMap<String, u32>,
+    /// Continuous assigns in evaluation order.
+    pub assigns: Vec<(RLValue, RExpr)>,
+    /// Bodies of combinational (non-edge) always blocks, in source order.
+    pub comb: Vec<RStmt>,
+    /// Edge-sensitive always blocks, in source order.
+    pub edges: Vec<REdgeBlock>,
+    /// Deduplicated edge-trigger signals: `(name, slot)`; `None` slot means
+    /// the signal never resolves and the trigger can never fire.
+    pub edge_sigs: Vec<(String, Option<u32>)>,
+    /// Initial constant values in application order.
+    pub constants: Vec<(SigRef, u64)>,
+    /// Top-level input names.
+    pub inputs: Vec<String>,
+    /// Top-level output names.
+    pub outputs: Vec<String>,
+}
+
+impl ResolvedDesign {
+    /// Resolves a flat design. Never fails; unknown names become
+    /// [`SigRef::Unknown`] and error lazily like the engine always has.
+    pub fn resolve(d: &FlatDesign) -> ResolvedDesign {
+        let mut names = HashMap::with_capacity(d.signals.len());
+        let signals: Vec<RSignal> = d
+            .signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                names.insert(s.name.clone(), i as u32);
+                RSignal {
+                    name: s.name.clone(),
+                    width: s.width,
+                    depth: s.depth,
+                    mem_base: s.mem_base,
+                }
+            })
+            .collect();
+
+        let r = Resolver { names: &names };
+        let assigns =
+            d.assigns.iter().map(|a| (r.lvalue(&a.lhs), r.expr(&a.rhs))).collect::<Vec<_>>();
+
+        // Edge-trigger signals are deduplicated by name, mirroring the
+        // engine's `edge_prev: HashMap<String, bool>` keying. Triggers are
+        // appended here and deduplicated in a second pass.
+        let mut edge_sigs: Vec<(String, Option<u32>)> = Vec::new();
+        let mut comb = Vec::new();
+        let mut edges = Vec::new();
+        for blk in &d.always {
+            match &blk.sensitivity {
+                Sensitivity::Edges(es) => {
+                    let triggers = es
+                        .iter()
+                        .map(|e| {
+                            let i = edge_sigs.len();
+                            edge_sigs.push((e.signal.clone(), names.get(&e.signal).copied()));
+                            (e.edge, i)
+                        })
+                        .collect();
+                    edges.push(REdgeBlock { triggers, body: r.stmt(&blk.body) });
+                }
+                Sensitivity::Star | Sensitivity::Signals(_) => comb.push(r.stmt(&blk.body)),
+            }
+        }
+        dedup_fixup(&mut edges, &mut edge_sigs);
+
+        let constants =
+            d.constants.iter().map(|(n, v)| (r.sig(n), *v)).collect::<Vec<(SigRef, u64)>>();
+
+        ResolvedDesign {
+            signals,
+            names,
+            assigns,
+            comb,
+            edges,
+            edge_sigs,
+            constants,
+            inputs: d.inputs.clone(),
+            outputs: d.outputs.clone(),
+        }
+    }
+}
+
+/// Re-deduplicates edge signals after the first pass (the inline map above
+/// cannot borrow across pushes, so duplicates may have been appended).
+fn dedup_fixup(edges: &mut [REdgeBlock], edge_sigs: &mut Vec<(String, Option<u32>)>) {
+    let mut first: HashMap<String, usize> = HashMap::new();
+    let mut remap: Vec<usize> = Vec::with_capacity(edge_sigs.len());
+    let mut kept: Vec<(String, Option<u32>)> = Vec::new();
+    for (name, slot) in edge_sigs.iter() {
+        match first.get(name) {
+            Some(&i) => remap.push(i),
+            None => {
+                let i = kept.len();
+                first.insert(name.clone(), i);
+                kept.push((name.clone(), *slot));
+                remap.push(i);
+            }
+        }
+    }
+    for blk in edges.iter_mut() {
+        for (_, i) in blk.triggers.iter_mut() {
+            *i = remap[*i];
+        }
+    }
+    *edge_sigs = kept;
+}
+
+struct Resolver<'a> {
+    names: &'a HashMap<String, u32>,
+}
+
+impl Resolver<'_> {
+    fn sig(&self, name: &str) -> SigRef {
+        match self.names.get(name) {
+            Some(&i) => SigRef::Slot(i),
+            None => SigRef::Unknown(name.to_owned()),
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> RExpr {
+        match e {
+            Expr::Ident(n) => RExpr::Sig(self.sig(n)),
+            Expr::Literal { width, value, .. } => RExpr::Lit { width: *width, value: *value },
+            Expr::StringLit(s) => RExpr::Str(s.clone()),
+            Expr::Unary(op, a) => RExpr::Unary(*op, Box::new(self.expr(a))),
+            Expr::Binary(op, a, b) => {
+                RExpr::Binary(*op, Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+            Expr::Ternary(c, a, b) => RExpr::Ternary(
+                Box::new(self.expr(c)),
+                Box::new(self.expr(a)),
+                Box::new(self.expr(b)),
+            ),
+            Expr::Concat(parts) => RExpr::Concat(parts.iter().map(|p| self.expr(p)).collect()),
+            Expr::Repeat(n, inner) => {
+                RExpr::Repeat(Box::new(self.expr(n)), Box::new(self.expr(inner)))
+            }
+            Expr::Index(n, i) => RExpr::Index(self.sig(n), Box::new(self.expr(i))),
+            Expr::RangeSelect(n, a, b) => {
+                RExpr::RangeSelect(self.sig(n), Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+            Expr::IndexedSelect { name, base, width, ascending } => RExpr::IndexedSelect {
+                sig: self.sig(name),
+                base: Box::new(self.expr(base)),
+                width: Box::new(self.expr(width)),
+                ascending: *ascending,
+            },
+            Expr::Call(f, args) => {
+                RExpr::Call(f.clone(), args.iter().map(|a| self.expr(a)).collect())
+            }
+        }
+    }
+
+    fn lvalue(&self, lv: &LValue) -> RLValue {
+        match lv {
+            LValue::Ident(n) => RLValue::Ident(self.sig(n)),
+            LValue::Index(n, e) => RLValue::Index(self.sig(n), self.expr(e)),
+            LValue::Range(n, a, b) => RLValue::Range(self.sig(n), self.expr(a), self.expr(b)),
+            LValue::Concat(parts) => {
+                RLValue::Concat(parts.iter().map(|p| self.lvalue(p)).collect())
+            }
+        }
+    }
+
+    fn stmt(&self, s: &Stmt) -> RStmt {
+        match s {
+            Stmt::Blocking(lv, e) => RStmt::Blocking(self.lvalue(lv), self.expr(e)),
+            Stmt::NonBlocking(lv, e) => RStmt::NonBlocking(self.lvalue(lv), self.expr(e)),
+            Stmt::If { cond, then_branch, else_branch } => RStmt::If {
+                cond: self.expr(cond),
+                then_branch: Box::new(self.stmt(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(self.stmt(e))),
+            },
+            Stmt::Case { subject, arms, .. } => RStmt::Case {
+                subject: self.expr(subject),
+                arms: arms.iter().map(|a| self.arm(a)).collect(),
+            },
+            Stmt::For { init, cond, step, body } => RStmt::For {
+                init: Box::new(self.stmt(init)),
+                cond: self.expr(cond),
+                step: Box::new(self.stmt(step)),
+                body: Box::new(self.stmt(body)),
+            },
+            Stmt::Block(stmts) => RStmt::Block(stmts.iter().map(|s| self.stmt(s)).collect()),
+            Stmt::SystemCall(_, _) | Stmt::Empty => RStmt::Nop,
+        }
+    }
+
+    fn arm(&self, a: &CaseArm) -> RArm {
+        RArm { labels: a.labels.iter().map(|l| self.expr(l)).collect(), body: self.stmt(&a.body) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::sim::elaborate;
+
+    fn resolve_src(src: &str, top: &str) -> ResolvedDesign {
+        let f = parse(src).unwrap();
+        ResolvedDesign::resolve(&elaborate(&f, top).unwrap())
+    }
+
+    #[test]
+    fn idents_become_slots() {
+        let r = resolve_src("module m(input a, output y); assign y = ~a; endmodule", "m");
+        assert_eq!(r.assigns.len(), 1);
+        let (lhs, rhs) = &r.assigns[0];
+        assert!(matches!(lhs, RLValue::Ident(SigRef::Slot(_))));
+        assert!(matches!(rhs, RExpr::Unary(UnaryOp::BitNot, inner)
+            if matches!(&**inner, RExpr::Sig(SigRef::Slot(_)))));
+    }
+
+    #[test]
+    fn unknown_names_are_deferred_not_dropped() {
+        // `b` is never declared: the assign must keep an Unknown ref so the
+        // engine can raise UnknownSignal at evaluation time.
+        let r = resolve_src("module m(input a, output y); assign y = b; endmodule", "m");
+        let (_, rhs) = &r.assigns[0];
+        assert!(matches!(rhs, RExpr::Sig(SigRef::Unknown(n)) if n == "b"));
+    }
+
+    #[test]
+    fn edge_signals_dedup_by_name() {
+        let r = resolve_src(
+            "module m(input clk, input rst, output reg q, output reg p);\n\
+             always @(posedge clk or posedge rst) q <= 1'b1;\n\
+             always @(negedge clk) p <= 1'b0; endmodule",
+            "m",
+        );
+        assert_eq!(r.edges.len(), 2);
+        assert_eq!(r.edge_sigs.len(), 2, "clk deduped across blocks: {:?}", r.edge_sigs);
+        let clk = r.edge_sigs.iter().position(|(n, _)| n == "clk").unwrap();
+        assert_eq!(r.edges[1].triggers, vec![(Edge::Neg, clk)]);
+    }
+
+    #[test]
+    fn comb_and_edge_blocks_partition_in_order() {
+        let r = resolve_src(
+            "module m(input clk, input a, output reg x, output reg y);\n\
+             always @* x = a;\n\
+             always @(posedge clk) y <= a; endmodule",
+            "m",
+        );
+        assert_eq!(r.comb.len(), 1);
+        assert_eq!(r.edges.len(), 1);
+    }
+}

@@ -276,6 +276,33 @@ fn eval_engines_are_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn sim_backends_are_byte_identical_at_any_thread_count() {
+    // The acceptance pin for the compiled simulation VM: scoring with the
+    // bytecode backend and with the event-driven reference interpreter
+    // must produce *byte-identical* serialized EvalResults at every thread
+    // count. `SimMode` is a throughput knob, never a semantic one.
+    use pyranet::eval::SimMode;
+    let (lm, tk) = tiny_model();
+    let problems: Vec<_> = machine_split().into_iter().take(4).collect();
+    let run = |sim, threads| {
+        let opts = EvalOptions {
+            samples_per_problem: 3,
+            max_new_tokens: 16,
+            threads,
+            sim,
+            ..EvalOptions::default()
+        };
+        serde_json::to_string(&evaluate(&lm, &tk, &problems, &opts)).expect("serialize EvalResult")
+    };
+    let reference = run(SimMode::Reference, 1);
+    for sim in [SimMode::Compiled, SimMode::Reference] {
+        for threads in THREAD_COUNTS {
+            assert_eq!(run(sim, threads), reference, "sim = {sim}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
 fn eval_is_independent_of_problem_order() {
     // Each problem's sampling stream is keyed by (seed, problem id), so
     // shuffling the split must only permute the per-problem results.
