@@ -7,6 +7,12 @@
 //!   KV cache forked (borrowed, not copied) across the n samples, all
 //!   live sequences decoded in lock-step batches through the blocked
 //!   kernels.
+//! * **session_int8** — the same session engine in the `int8` kernel
+//!   family: effective weights absmax-quantized once at session build,
+//!   matmuls accumulated in i32. Its sampled ids legitimately differ
+//!   from f32 (quantization perturbs the logits — parity is gated at the
+//!   pass@k level in `tests/quant_parity.rs`, not per token), so its
+//!   speedup is reported as a tokens/sec ratio over its own token count.
 //!
 //! Both paths run single-threaded on identical per-sample RNG streams and
 //! must produce identical token ids (asserted every repeat) — the
@@ -19,7 +25,7 @@
 
 use pyranet::eval::{machine_split, sample_temperature};
 use pyranet::model::decode::DecodeSession;
-use pyranet::model::{ModelConfig, SampleOptions, Tokenizer, TransformerLm};
+use pyranet::model::{KernelMode, ModelConfig, SampleOptions, Tokenizer, TransformerLm};
 use pyranet_bench::Scale;
 use pyranet_exec::stream_seed_str;
 use rand::SeedableRng;
@@ -29,6 +35,8 @@ use std::time::Instant;
 
 #[derive(Serialize)]
 struct PathReport {
+    /// Kernel family the path decoded with.
+    kernel: String,
     /// Wall seconds (fastest repeat, summed across problems).
     secs: f64,
     /// Decode (completion) tokens produced.
@@ -49,6 +57,11 @@ struct PerProblem {
     naive_secs: f64,
     /// Fastest session wall time.
     session_secs: f64,
+    /// Completion tokens across the n samples on the int8 path (may
+    /// differ from `decode_tokens`: quantization perturbs the logits).
+    int8_tokens: u64,
+    /// Fastest int8 session wall time.
+    int8_secs: f64,
 }
 
 #[derive(Serialize)]
@@ -67,15 +80,25 @@ struct BenchReport {
     naive: PathReport,
     /// Shared-prefill, batched `DecodeSession`.
     session: PathReport,
+    /// The same session engine with int8-quantized weights.
+    session_int8: PathReport,
     /// Session decode throughput over naive (same token count, so this
     /// is also the wall-time ratio).
     speedup_vs_naive: f64,
+    /// Int8 session decode throughput over the f32 session (tokens/sec
+    /// ratio — the two paths produce different token counts).
+    speedup_int8_vs_session: f64,
     /// Per-problem wall times.
     per_problem: Vec<PerProblem>,
 }
 
-fn path(secs: f64, tokens: u64) -> PathReport {
-    PathReport { secs, tokens, tokens_per_sec: if secs > 0.0 { tokens as f64 / secs } else { 0.0 } }
+fn path(kernel: &str, secs: f64, tokens: u64) -> PathReport {
+    PathReport {
+        kernel: kernel.to_owned(),
+        secs,
+        tokens,
+        tokens_per_sec: if secs > 0.0 { tokens as f64 / secs } else { 0.0 },
+    }
 }
 
 fn main() {
@@ -109,8 +132,8 @@ fn main() {
     // per-sample temperature cycle, per-sample RNG streams.
     let seed = 0xEA_11u64;
     let mut per_problem = Vec::new();
-    let (mut naive_secs, mut session_secs) = (0.0f64, 0.0f64);
-    let mut decode_tokens = 0u64;
+    let (mut naive_secs, mut session_secs, mut int8_secs) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut decode_tokens, mut int8_tokens) = (0u64, 0u64);
     for problem in &problems {
         let header_ids = tk.encode(&problem.header());
         let mut prompt = tk.encode_prompt(&problem.prompt());
@@ -152,10 +175,24 @@ fn main() {
             session_out = gens.into_iter().map(|g| g.ids).collect();
         }
 
+        let mut best_int8 = f64::INFINITY;
+        let mut int8_out: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..repeats {
+            let mut rngs = rngs();
+            let start = Instant::now();
+            let mut session = DecodeSession::new_with(&lm, KernelMode::QuantizedInt8);
+            let prefix = session.prefill(&prompt, max_new);
+            let gens = session.decode_batch(&prefix, max_new, &sample_opts, &mut rngs);
+            best_int8 = best_int8.min(start.elapsed().as_secs_f64());
+            int8_out = gens.into_iter().map(|g| g.ids).collect();
+        }
+
         assert_eq!(session_out, naive_out, "engines diverged on {}", problem.id);
         let tokens: u64 = naive_out.iter().map(|b| b.len() as u64).sum();
+        let q_tokens: u64 = int8_out.iter().map(|b| b.len() as u64).sum();
         eprintln!(
-            "{:<24} prompt {:>3} tok, {tokens:>4} decode tok: naive {:.3}s, session {:.3}s ({:.2}x)",
+            "{:<24} prompt {:>3} tok, {tokens:>4} decode tok: naive {:.3}s, session {:.3}s \
+             ({:.2}x), int8 {q_tokens:>4} tok {best_int8:.3}s",
             problem.id,
             prompt.len(),
             best_naive,
@@ -164,22 +201,36 @@ fn main() {
         );
         naive_secs += best_naive;
         session_secs += best_session;
+        int8_secs += best_int8;
         decode_tokens += tokens;
+        int8_tokens += q_tokens;
         per_problem.push(PerProblem {
             id: problem.id.clone(),
             prompt_tokens: prompt.len() as u64,
             decode_tokens: tokens,
             naive_secs: best_naive,
             session_secs: best_session,
+            int8_tokens: q_tokens,
+            int8_secs: best_int8,
         });
     }
 
-    let naive = path(naive_secs, decode_tokens);
-    let session = path(session_secs, decode_tokens);
+    let naive = path("blocked", naive_secs, decode_tokens);
+    let session = path("blocked", session_secs, decode_tokens);
+    let session_int8 = path("int8", int8_secs, int8_tokens);
     let speedup = if session.secs > 0.0 { naive.secs / session.secs } else { 1.0 };
+    let speedup_int8 = if session.tokens_per_sec > 0.0 {
+        session_int8.tokens_per_sec / session.tokens_per_sec
+    } else {
+        1.0
+    };
     eprintln!(
         "total: naive {:.3}s ({:.0} tok/s) vs session {:.3}s ({:.0} tok/s) — {speedup:.2}x",
         naive.secs, naive.tokens_per_sec, session.secs, session.tokens_per_sec
+    );
+    eprintln!(
+        "total: int8 session {:.3}s ({:.0} tok/s) — {speedup_int8:.2}x f32 session tokens/sec",
+        session_int8.secs, session_int8.tokens_per_sec
     );
 
     let report = BenchReport {
@@ -190,7 +241,9 @@ fn main() {
         repeats: repeats as u64,
         naive,
         session,
+        session_int8,
         speedup_vs_naive: speedup,
+        speedup_int8_vs_session: speedup_int8,
         per_problem,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
@@ -205,12 +258,18 @@ fn main() {
     let snap = pyranet::obs::global().snapshot();
     let forks = snap.counter("decode.forks").unwrap_or(0);
     let engine_tokens = snap.counter("decode.tokens").unwrap_or(0);
+    // Both instrumented session paths (f32 and int8) fork n_samples
+    // sequences per repeat per problem.
     assert_eq!(
         forks,
-        report.problems * report.samples_per_problem * report.repeats,
-        "every repeat forks n_samples sequences"
+        report.problems * report.samples_per_problem * report.repeats * 2,
+        "every repeat of both session paths forks n_samples sequences"
     );
-    assert_eq!(engine_tokens, decode_tokens * report.repeats, "engine token count drifted");
+    assert_eq!(
+        engine_tokens,
+        (decode_tokens + int8_tokens) * report.repeats,
+        "engine token count drifted"
+    );
     std::fs::write("BENCH_eval_metrics.json", snap.to_json()).expect("write metrics snapshot");
     eprintln!("wrote BENCH_eval_metrics.json ({} metric(s))", snap.entries.len());
 }

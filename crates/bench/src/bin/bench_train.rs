@@ -1,17 +1,17 @@
 //! Model-hot-path benchmark: measures training and generation throughput
 //! (tokens/sec) and writes `BENCH_train.json`.
 //!
-//! The training path is timed twice — once with the blocked/loop-reordered
-//! tensor kernels (the default) and once with the retained naive reference
-//! kernels — so `speedup_vs_reference` directly quantifies the kernel
-//! rework. The two modes are bit-identical (tests/determinism.rs and the
-//! model crate's property tests enforce it), so the faster one is always
-//! safe to use.
+//! The training path is timed once per f32 kernel family — the naive
+//! `reference` loops, the cache-`blocked` rework, and the vectorized
+//! `simd` lanes — so the per-family speedups directly quantify each
+//! kernel generation. Blocked is bit-identical to reference and simd is
+//! deterministic (tests/determinism.rs and the model crate's property
+//! tests enforce both), so the fastest family is always safe to use.
 //!
 //! Honours `PYRANET_SCALE` (`quick` for the CI smoke run, `full` default).
 
 use pyranet::corpus::CorpusBuilder;
-use pyranet::model::tensor::{set_kernel_mode, KernelMode};
+use pyranet::model::tensor::KernelMode;
 use pyranet::model::transformer::TrainExample;
 use pyranet::model::{Adam, ModelConfig, SampleOptions, TransformerLm};
 use pyranet::pipeline::Pipeline;
@@ -24,6 +24,8 @@ use std::time::Instant;
 
 #[derive(Serialize)]
 struct PathReport {
+    /// Kernel family the path ran with.
+    kernel: String,
     /// Wall seconds (fastest repeat).
     secs: f64,
     /// Tokens pushed through the path.
@@ -46,29 +48,37 @@ struct BenchReport {
     train_blocked: PathReport,
     /// Same workload with the naive reference kernels.
     train_reference: PathReport,
+    /// Same workload with the vectorized simd kernels.
+    train_simd: PathReport,
     /// Blocked-kernel training speedup over the reference kernels.
     speedup_vs_reference: f64,
+    /// Simd-kernel training speedup over the blocked kernels.
+    speedup_simd_vs_blocked: f64,
     /// Greedy generation with the KV cache (blocked kernels).
     generate: PathReport,
 }
 
-fn path(secs: f64, tokens: usize) -> PathReport {
+fn path(kernel: KernelMode, secs: f64, tokens: usize) -> PathReport {
     PathReport {
+        kernel: kernel.to_string(),
         secs,
         tokens: tokens as u64,
         tokens_per_sec: if secs > 0.0 { tokens as f64 / secs } else { 0.0 },
     }
 }
 
-/// One full timed pass over `examples`: fresh model + optimizer, every
-/// batch stepped once. Returns (wall seconds, tokens processed).
+/// One full timed pass over `examples`: fresh model + optimizer with the
+/// requested kernel family, every batch stepped once. Returns
+/// (wall seconds, tokens processed).
 fn timed_train_pass(
     cfg: &ModelConfig,
     vocab: usize,
     examples: &[TrainExample],
     tcfg: &TrainConfig,
+    mode: KernelMode,
 ) -> (f64, usize) {
     let mut lm = TransformerLm::new(cfg.clone(), vocab);
+    lm.set_kernels(mode);
     let mut opt = Adam::new(lm.trainable_count(), tcfg.learning_rate);
     let tokens: usize = examples.iter().map(|e| e.ids.len()).sum();
     let start = Instant::now();
@@ -108,26 +118,31 @@ fn main() {
     );
 
     let measure = |mode: KernelMode| -> PathReport {
-        set_kernel_mode(mode);
         let mut best = f64::INFINITY;
         let mut tokens = 0usize;
         for _ in 0..repeats {
-            let (secs, t) = timed_train_pass(&cfg, tk.vocab_size(), &examples, &tcfg);
+            let (secs, t) = timed_train_pass(&cfg, tk.vocab_size(), &examples, &tcfg, mode);
             tokens = t;
             if secs < best {
                 best = secs;
             }
         }
-        path(best, tokens)
+        path(mode, best, tokens)
     };
     let train_reference = measure(KernelMode::Reference);
     let train_blocked = measure(KernelMode::Blocked);
-    set_kernel_mode(KernelMode::Blocked);
+    let train_simd = measure(KernelMode::Simd);
     let speedup =
         if train_blocked.secs > 0.0 { train_reference.secs / train_blocked.secs } else { 1.0 };
+    let speedup_simd =
+        if train_simd.secs > 0.0 { train_blocked.secs / train_simd.secs } else { 1.0 };
     eprintln!(
         "train: blocked {:.3}s vs reference {:.3}s ({speedup:.2}x)",
         train_blocked.secs, train_reference.secs
+    );
+    eprintln!(
+        "train: simd {:.3}s vs blocked {:.3}s ({speedup_simd:.2}x)",
+        train_simd.secs, train_blocked.secs
     );
 
     // Generation throughput: train briefly so sampling is non-degenerate,
@@ -158,7 +173,7 @@ fn main() {
             best = secs;
         }
     }
-    let generate = path(best, gen_tokens);
+    let generate = path(KernelMode::Blocked, best, gen_tokens);
     eprintln!("generate: {:.3}s, {:.0} tokens/sec", generate.secs, generate.tokens_per_sec);
 
     let report = BenchReport {
@@ -168,7 +183,9 @@ fn main() {
         repeats: repeats as u64,
         train_blocked,
         train_reference,
+        train_simd,
         speedup_vs_reference: speedup,
+        speedup_simd_vs_blocked: speedup_simd,
         generate,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");

@@ -40,7 +40,7 @@ fn main() {
                 alpha: 2.0 * lora as f32,
             }),
             seed: 7,
-            threads: 0,
+            ..TrainConfig::default()
         },
         ..ExperimentOptions::default()
     };

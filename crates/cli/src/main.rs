@@ -15,8 +15,10 @@
 //! pyranet stats <dataset.jsonl | shard-dir | manifest.json>
 //!                                 # layer pyramid of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
+//!               [--kernel reference|blocked|simd|int8]
 //! pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]
 //!              [--threads T] [--seed S] [--engine session|per-sample]
+//!              [--kernel reference|blocked|simd|int8]
 //!              [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]
 //! ```
 //!
@@ -70,9 +72,11 @@ fn print_usage() {
         \x20                     [--out-dir shards/] [--shard-size N] [--sim-check [compiled|reference]]\n  \
          pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
+        \x20            [--kernel reference|blocked|simd|int8]\n  \
          pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
         \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
-        \x20            [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]\n\n\
+        \x20            [--kernel reference|blocked|simd|int8] [--sim compiled|reference]\n  \
+        \x20            [--files N] [--epochs E] [--json OUT]\n\n\
          build-dataset, train, and eval also accept:\n  \
          --metrics OUT.json   write a JSON snapshot of all recorded metrics\n  \
          --verbose            print a human-readable metrics summary"
@@ -348,6 +352,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "--batch-size" => cfg.batch_size = num("--batch-size")?.max(1),
             "--epochs" => cfg.epochs = num("--epochs")?.max(1),
             "--max-examples" => cfg.max_examples_per_phase = Some(num("--max-examples")?),
+            "--kernel" => {
+                cfg.kernel = it.next().ok_or("--kernel needs a kernel family")?.parse()?;
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -418,6 +425,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("bad --engine `{other}` (session|per-sample)")),
                 };
             }
+            "--kernel" => opts.kernel = val("--kernel")?.parse()?,
             "--sim" => opts.sim = val("--sim")?.parse()?,
             "--files" => files = num("--files", val("--files"))?,
             "--epochs" => epochs = num("--epochs", val("--epochs"))?.max(1),
@@ -452,7 +460,13 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         seed: opts.seed,
     };
     let mut lm = TransformerLm::new(model_cfg, tk.vocab_size());
-    let tcfg = TrainConfig { epochs, threads: opts.threads, seed: opts.seed, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs,
+        threads: opts.threads,
+        seed: opts.seed,
+        kernel: opts.kernel,
+        ..Default::default()
+    };
     println!("training on {} samples ({} epoch(s))...", built.dataset.len(), epochs);
     SftTrainer::run(&mut lm, &tk, &built.dataset, &tcfg);
 

@@ -6,7 +6,7 @@ use crate::problems::{Problem, Split};
 use crate::testbench::{FunctionalVerdict, ProblemBench, SimStats};
 use pyranet_exec::{par_map, stream_seed_str, ExecConfig};
 use pyranet_model::decode::{DecodeSession, PromptPlan};
-use pyranet_model::{SampleOptions, Tokenizer, TransformerLm};
+use pyranet_model::{KernelMode, SampleOptions, Tokenizer, TransformerLm};
 use pyranet_verilog::SimMode;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -57,6 +57,12 @@ pub struct EvalOptions {
     /// compiled bytecode VM; the reference engine is pinned bit-identical,
     /// so this is a throughput knob, never a semantic one).
     pub sim: SimMode,
+    /// Kernel family for the session engine (`--kernel` on the CLI).
+    /// `Blocked`/`Reference`/`Simd` sessions are bit-identical to each
+    /// other; `QuantizedInt8` quantizes the effective weights at session
+    /// build and is gated by a pass@k parity test against f32. The legacy
+    /// per-sample engine ignores this and always decodes in f32.
+    pub kernel: KernelMode,
 }
 
 impl Default for EvalOptions {
@@ -70,6 +76,7 @@ impl Default for EvalOptions {
             threads: 0,
             engine: EngineMode::default(),
             sim: SimMode::default(),
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -209,7 +216,7 @@ pub fn evaluate(
                 // One prefill for the whole problem; the KV cache is forked
                 // (borrowed, not copied) across all n samples, which then
                 // decode together in lock-step batches.
-                let mut session = DecodeSession::new(lm);
+                let mut session = DecodeSession::new_with(lm, opts.kernel);
                 let prefix = session.prefill(&prompt, opts.max_new_tokens);
                 let dropped = prefix.dropped_prompt_tokens() as u32;
                 let gens =
@@ -281,6 +288,7 @@ pub fn evaluate(
         })
         .collect();
     let obs = pyranet_obs::global();
+    obs.counter(&format!("eval.kernel.{}", opts.kernel)).inc();
     obs.counter("eval.problems").add(out.len() as u64);
     obs.counter("eval.samples").add(out.iter().map(|p| u64::from(p.n)).sum());
     obs.counter("eval.passed").add(out.iter().map(|p| u64::from(p.passed)).sum());

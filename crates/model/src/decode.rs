@@ -13,22 +13,32 @@
 //! * **Batched decode.** [`DecodeSession::decode_batch`] steps every live
 //!   sequence of a problem together, so the per-token Q/K/V, FFN, and
 //!   logit projections become `[batch, d]` matmuls routed through the
-//!   blocked [`crate::tensor::kernels`] instead of n independent
-//!   vector-matrix products. Sequences retire independently on `<eos>`.
+//!   session's [`KernelMode`] family of [`crate::tensor::kernels`]
+//!   instead of n independent vector-matrix products. Sequences retire
+//!   independently on `<eos>`.
 //! * **Zero per-token allocation.** Effective (LoRA-merged) weights are
 //!   materialised once per session and every intermediate lives in a
 //!   scratch arena that is reused across tokens, samples, and problems.
 //!
 //! # Determinism
 //!
-//! Every kernel on this path accumulates each output element in ascending
-//! shared-dimension order — the same discipline as the training kernels —
-//! so a row of a batched matmul is bit-identical to the corresponding
-//! single-vector product, a forked sequence is bit-identical to one
-//! decoded from a fresh prefill, and a batch of sequences is bit-identical
-//! to the same sequences decoded one at a time. Property tests pin all
-//! three equivalences against the retained
+//! In the f32 families ([`KernelMode::Blocked`], `Reference`, and `Simd` —
+//! whose forward matmul is AXPY-structured and preserves accumulation
+//! order) every kernel on this path accumulates each output element in
+//! ascending shared-dimension order — the same discipline as the training
+//! kernels — so a row of a batched matmul is bit-identical to the
+//! corresponding single-vector product, a forked sequence is bit-identical
+//! to one decoded from a fresh prefill, and a batch of sequences is
+//! bit-identical to the same sequences decoded one at a time. Property
+//! tests pin all three equivalences against the retained
 //! [`TransformerLm::generate_legacy`] loop.
+//!
+//! A [`KernelMode::QuantizedInt8`] session trades that bit-exactness for
+//! throughput: effective weights are absmax-quantized to int8 once at
+//! session build (see [`crate::quant`]) and the hot matmuls accumulate in
+//! `i32` — still *exactly* reproducible run-to-run (integer addition is
+//! associative), just not bit-identical to the f32 session. Accuracy is
+//! gated by an int8-vs-f32 pass@k parity test in the eval harness.
 //!
 //! # Prompt clamping
 //!
@@ -41,8 +51,9 @@
 //! survives) with real decode headroom reserved, and both the drop and
 //! the clamp are surfaced in [`Generation`].
 
+use crate::quant::{self, QuantizedMatrix};
 use crate::sampler::{sample_logits_into, SampleOptions};
-use crate::tensor::{gelu_fwd, kernels, softmax_row_inplace, Matrix};
+use crate::tensor::{gelu_fwd, gelu_fwd_fast, kernels, softmax_row_inplace, KernelMode, Matrix};
 use crate::tokenizer::EOS;
 use crate::transformer::{ln_row_into, vec_mat, DecodeWeights, TransformerLm};
 use rand::Rng;
@@ -195,6 +206,8 @@ struct Scratch {
     scores: Vec<f32>,
     /// Sampler weight buffer (vocab long).
     sample: Vec<f32>,
+    /// Quantized activation row (int8 sessions only; empty otherwise).
+    xq: Vec<i16>,
 }
 
 impl Scratch {
@@ -213,7 +226,54 @@ impl Scratch {
             logits: m(vocab),
             scores: Vec::with_capacity(max_seq),
             sample: Vec::with_capacity(vocab),
+            xq: Vec::new(),
         }
+    }
+}
+
+/// The effective weights of a [`KernelMode::QuantizedInt8`] session,
+/// absmax-quantized to int8 exactly once at session build.
+#[derive(Debug)]
+struct QuantWeights {
+    wq: Vec<QuantizedMatrix>,
+    wk: Vec<QuantizedMatrix>,
+    wv: Vec<QuantizedMatrix>,
+    wo: Vec<QuantizedMatrix>,
+    w1: Vec<QuantizedMatrix>,
+    w2: Vec<QuantizedMatrix>,
+    head: QuantizedMatrix,
+}
+
+impl QuantWeights {
+    fn build(w: &DecodeWeights<'_>) -> QuantWeights {
+        let q = |v: &[std::borrow::Cow<'_, Matrix>]| {
+            v.iter().map(|m| QuantizedMatrix::quantize(m)).collect()
+        };
+        QuantWeights {
+            wq: q(&w.wq),
+            wk: q(&w.wk),
+            wv: q(&w.wv),
+            wo: q(&w.wo),
+            w1: q(&w.w1),
+            w2: q(&w.w2),
+            head: QuantizedMatrix::quantize(w.head),
+        }
+    }
+}
+
+/// Routes one projection through either the int8 path (when the session
+/// quantized its weights) or the selected f32 kernel family.
+fn project_into(
+    mode: KernelMode,
+    qw: Option<&QuantizedMatrix>,
+    a: &Matrix,
+    w: &Matrix,
+    out: &mut Matrix,
+    xq: &mut Vec<i16>,
+) {
+    match qw {
+        Some(qw) => quant::qmatmul_rows_into(a, qw, out, xq),
+        None => kernels::matmul_into(mode, a, w, out),
     }
 }
 
@@ -223,11 +283,47 @@ fn set_rows(m: &mut Matrix, rows: usize) {
     m.data.resize(rows * m.cols, 0.0);
 }
 
+/// Head-size f32 dot product as four explicit partial lanes (`H` must be
+/// a multiple of 4 — dispatched head sizes are). The lane split reorders
+/// the f32 accumulation, so this is reserved for the int8 session, whose
+/// contract is reproducibility, not bit-parity with the f32 families.
+#[inline]
+fn fdot_fixed<const H: usize>(a: &[f32], b: &[f32]) -> f32 {
+    let a: &[f32; H] = a[..H].try_into().expect("dispatcher checked the width");
+    let b: &[f32; H] = b[..H].try_into().expect("dispatcher checked the width");
+    let mut lanes = [0.0f32; 4];
+    for c in 0..H / 4 {
+        for (l, acc) in lanes.iter_mut().enumerate() {
+            *acc += a[c * 4 + l] * b[c * 4 + l];
+        }
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Lane-vectorized dot for the head sizes that occur in practice, with an
+/// ascending-order scalar fallback for the rest.
+#[inline]
+fn fdot_fast(a: &[f32], b: &[f32]) -> f32 {
+    match a.len() {
+        8 => fdot_fixed::<8>(a, b),
+        16 => fdot_fixed::<16>(a, b),
+        32 => fdot_fixed::<32>(a, b),
+        64 => fdot_fixed::<64>(a, b),
+        _ => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+    }
+}
+
 /// Causal attention for one query row over a (borrowed prefix ‖ owned
 /// suffix) KV cache. Scores and the value accumulation both run in
 /// ascending cache order — prefix first, then suffix — which is exactly
-/// the order the legacy single-cache loop used, so results are
+/// the order the legacy single-cache loop used, so f32-family results are
 /// bit-identical to attending over the concatenated cache.
+///
+/// `fast` (int8 sessions only) swaps the score dots for lane-split
+/// [`fdot_fast`] and the score softmax for the polynomial
+/// [`kernels::softmax_row_inplace_lanes`] — deterministic, but not
+/// bit-identical to the f32 attention, which is already the int8
+/// session's accuracy contract (gated by the pass@k parity test).
 #[allow(clippy::too_many_arguments)]
 fn attend_row(
     q_row: &[f32],
@@ -241,6 +337,7 @@ fn attend_row(
     hs: usize,
     scale: f32,
     scores: &mut Vec<f32>,
+    fast: bool,
 ) {
     let prefix_steps = prefix_k.len() / d;
     let own_steps = own_k.len() / d;
@@ -250,15 +347,21 @@ fn attend_row(
         scores.clear();
         for s in 0..prefix_steps {
             let kh = &prefix_k[s * d + h * hs..s * d + (h + 1) * hs];
-            let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+            let dot =
+                if fast { fdot_fast(qh, kh) } else { qh.iter().zip(kh).map(|(a, b)| a * b).sum() };
             scores.push(dot * scale);
         }
         for s in 0..own_steps {
             let kh = &own_k[s * d + h * hs..s * d + (h + 1) * hs];
-            let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+            let dot =
+                if fast { fdot_fast(qh, kh) } else { qh.iter().zip(kh).map(|(a, b)| a * b).sum() };
             scores.push(dot * scale);
         }
-        softmax_row_inplace(scores);
+        if fast {
+            kernels::softmax_row_inplace_lanes(scores);
+        } else {
+            softmax_row_inplace(scores);
+        }
         for (s, w) in scores[..prefix_steps].iter().enumerate() {
             let vh = &prefix_v[s * d + h * hs..s * d + (h + 1) * hs];
             for (j, vx) in vh.iter().enumerate() {
@@ -291,6 +394,10 @@ struct Seq {
 #[derive(Debug)]
 pub struct DecodeSession<'m> {
     w: DecodeWeights<'m>,
+    /// Int8 copies of the effective weights; `Some` iff `kernels` is
+    /// [`KernelMode::QuantizedInt8`].
+    quant: Option<QuantWeights>,
+    kernels: KernelMode,
     d: usize,
     hs: usize,
     nh: usize,
@@ -302,13 +409,25 @@ pub struct DecodeSession<'m> {
 }
 
 impl<'m> DecodeSession<'m> {
-    /// Builds a session: effective (LoRA-merged) weights are materialised
-    /// exactly once, borrowed straight from the model unless an adapter
-    /// forces a merge copy.
+    /// Builds a session with the model's own kernel family
+    /// ([`TransformerLm::kernels`]): effective (LoRA-merged) weights are
+    /// materialised exactly once, borrowed straight from the model unless
+    /// an adapter forces a merge copy.
     pub fn new(lm: &'m TransformerLm) -> DecodeSession<'m> {
+        DecodeSession::new_with(lm, lm.kernels())
+    }
+
+    /// Builds a session with an explicit kernel family. A
+    /// [`KernelMode::QuantizedInt8`] session additionally quantizes the
+    /// effective weights to int8 here, once, so the per-token cost is pure
+    /// i32 arithmetic over 4×-smaller weights.
+    pub fn new_with(lm: &'m TransformerLm, mode: KernelMode) -> DecodeSession<'m> {
         let cfg = &lm.cfg;
         let w = lm.decode_weights();
+        let quant = (mode == KernelMode::QuantizedInt8).then(|| QuantWeights::build(&w));
         DecodeSession {
+            quant,
+            kernels: mode,
             d: cfg.d_model,
             hs: cfg.head_size(),
             nh: cfg.n_heads,
@@ -319,6 +438,11 @@ impl<'m> DecodeSession<'m> {
             scratch: Scratch::new(cfg.d_model, cfg.d_ff, lm.vocab_size(), cfg.max_seq),
             w,
         }
+    }
+
+    /// The kernel family this session decodes with.
+    pub fn kernels(&self) -> KernelMode {
+        self.kernels
     }
 
     /// Runs the (clamped) prompt through the model once, as a single
@@ -362,9 +486,32 @@ impl<'m> DecodeSession<'m> {
             set_rows(&mut sc.q, n);
             set_rows(&mut sc.k, n);
             set_rows(&mut sc.v, n);
-            kernels::matmul_into(&sc.xn, &self.w.wq[li], &mut sc.q);
-            kernels::matmul_into(&sc.xn, &self.w.wk[li], &mut sc.k);
-            kernels::matmul_into(&sc.xn, &self.w.wv[li], &mut sc.v);
+            let qw = self.quant.as_ref();
+            let mode = self.kernels;
+            project_into(
+                mode,
+                qw.map(|q| &q.wq[li]),
+                &sc.xn,
+                &self.w.wq[li],
+                &mut sc.q,
+                &mut sc.xq,
+            );
+            project_into(
+                mode,
+                qw.map(|q| &q.wk[li]),
+                &sc.xn,
+                &self.w.wk[li],
+                &mut sc.k,
+                &mut sc.xq,
+            );
+            project_into(
+                mode,
+                qw.map(|q| &q.wv[li]),
+                &sc.xn,
+                &self.w.wv[li],
+                &mut sc.v,
+                &mut sc.xq,
+            );
             kcache[li].copy_from_slice(&sc.k.data);
             vcache[li].copy_from_slice(&sc.v.data);
             set_rows(&mut sc.merged, n);
@@ -382,10 +529,18 @@ impl<'m> DecodeSession<'m> {
                     hs,
                     scale,
                     &mut sc.scores,
+                    qw.is_some(),
                 );
             }
             set_rows(&mut sc.proj, n);
-            kernels::matmul_into(&sc.merged, &self.w.wo[li], &mut sc.proj);
+            project_into(
+                mode,
+                qw.map(|q| &q.wo[li]),
+                &sc.merged,
+                &self.w.wo[li],
+                &mut sc.proj,
+                &mut sc.xq,
+            );
             for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
                 *xv += pv;
             }
@@ -394,12 +549,34 @@ impl<'m> DecodeSession<'m> {
                 ln_row_into(&sc.x.data[t * d..(t + 1) * d], &mut sc.xn.data[t * d..(t + 1) * d]);
             }
             set_rows(&mut sc.h1, n);
-            kernels::matmul_into(&sc.xn, &self.w.w1[li], &mut sc.h1);
-            for vx in sc.h1.data.iter_mut() {
-                *vx = gelu_fwd(*vx);
+            project_into(
+                mode,
+                qw.map(|q| &q.w1[li]),
+                &sc.xn,
+                &self.w.w1[li],
+                &mut sc.h1,
+                &mut sc.xq,
+            );
+            // Int8 sessions take the polynomial gelu too — same
+            // reproducible-not-bit-identical contract as their matmuls.
+            if qw.is_some() {
+                for vx in sc.h1.data.iter_mut() {
+                    *vx = gelu_fwd_fast(*vx);
+                }
+            } else {
+                for vx in sc.h1.data.iter_mut() {
+                    *vx = gelu_fwd(*vx);
+                }
             }
             set_rows(&mut sc.h2, n);
-            kernels::matmul_into(&sc.h1, &self.w.w2[li], &mut sc.h2);
+            project_into(
+                mode,
+                qw.map(|q| &q.w2[li]),
+                &sc.h1,
+                &self.w.w2[li],
+                &mut sc.h2,
+                &mut sc.xq,
+            );
             for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
                 *xv += pv;
             }
@@ -407,7 +584,19 @@ impl<'m> DecodeSession<'m> {
         // Logits for the final row only.
         let mut last_ln = vec![0.0f32; d];
         ln_row_into(&sc.x.data[(n - 1) * d..n * d], &mut last_ln);
-        let logits = vec_mat(&last_ln, self.w.head);
+        let logits = match &self.quant {
+            Some(qw) => {
+                let mut out = vec![0.0f32; self.vocab];
+                let x_scale = quant::quantize_row_into(&last_ln, &mut sc.xq);
+                if x_scale != 0.0 {
+                    quant::qmatvec_into(&sc.xq, x_scale, &qw.head, &mut out);
+                }
+                out
+            }
+            // `vec_mat` accumulates in ascending order, matching every f32
+            // family's forward matmul bit-for-bit.
+            None => vec_mat(&last_ln, self.w.head),
+        };
         let secs = span.stop().as_secs_f64();
         if secs > 0.0 {
             obs.gauge("decode.prefill.tokens_per_sec").set(n as f64 / secs);
@@ -511,9 +700,32 @@ impl<'m> DecodeSession<'m> {
                 set_rows(&mut sc.q, rows);
                 set_rows(&mut sc.k, rows);
                 set_rows(&mut sc.v, rows);
-                kernels::matmul_into(&sc.xn, &self.w.wq[li], &mut sc.q);
-                kernels::matmul_into(&sc.xn, &self.w.wk[li], &mut sc.k);
-                kernels::matmul_into(&sc.xn, &self.w.wv[li], &mut sc.v);
+                let qw = self.quant.as_ref();
+                let mode = self.kernels;
+                project_into(
+                    mode,
+                    qw.map(|q| &q.wq[li]),
+                    &sc.xn,
+                    &self.w.wq[li],
+                    &mut sc.q,
+                    &mut sc.xq,
+                );
+                project_into(
+                    mode,
+                    qw.map(|q| &q.wk[li]),
+                    &sc.xn,
+                    &self.w.wk[li],
+                    &mut sc.k,
+                    &mut sc.xq,
+                );
+                project_into(
+                    mode,
+                    qw.map(|q| &q.wv[li]),
+                    &sc.xn,
+                    &self.w.wv[li],
+                    &mut sc.v,
+                    &mut sc.xq,
+                );
                 for (r, &i) in live.iter().enumerate() {
                     seqs[i].k[li].extend_from_slice(&sc.k.data[r * d..(r + 1) * d]);
                     seqs[i].v[li].extend_from_slice(&sc.v.data[r * d..(r + 1) * d]);
@@ -532,10 +744,18 @@ impl<'m> DecodeSession<'m> {
                         hs,
                         scale,
                         &mut sc.scores,
+                        qw.is_some(),
                     );
                 }
                 set_rows(&mut sc.proj, rows);
-                kernels::matmul_into(&sc.merged, &self.w.wo[li], &mut sc.proj);
+                project_into(
+                    mode,
+                    qw.map(|q| &q.wo[li]),
+                    &sc.merged,
+                    &self.w.wo[li],
+                    &mut sc.proj,
+                    &mut sc.xq,
+                );
                 for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
                     *xv += pv;
                 }
@@ -547,12 +767,32 @@ impl<'m> DecodeSession<'m> {
                     );
                 }
                 set_rows(&mut sc.h1, rows);
-                kernels::matmul_into(&sc.xn, &self.w.w1[li], &mut sc.h1);
-                for vx in sc.h1.data.iter_mut() {
-                    *vx = gelu_fwd(*vx);
+                project_into(
+                    mode,
+                    qw.map(|q| &q.w1[li]),
+                    &sc.xn,
+                    &self.w.w1[li],
+                    &mut sc.h1,
+                    &mut sc.xq,
+                );
+                if qw.is_some() {
+                    for vx in sc.h1.data.iter_mut() {
+                        *vx = gelu_fwd_fast(*vx);
+                    }
+                } else {
+                    for vx in sc.h1.data.iter_mut() {
+                        *vx = gelu_fwd(*vx);
+                    }
                 }
                 set_rows(&mut sc.h2, rows);
-                kernels::matmul_into(&sc.h1, &self.w.w2[li], &mut sc.h2);
+                project_into(
+                    mode,
+                    qw.map(|q| &q.w2[li]),
+                    &sc.h1,
+                    &self.w.w2[li],
+                    &mut sc.h2,
+                    &mut sc.xq,
+                );
                 for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
                     *xv += pv;
                 }
@@ -562,7 +802,14 @@ impl<'m> DecodeSession<'m> {
                 ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
             }
             set_rows(&mut sc.logits, rows);
-            kernels::matmul_into(&sc.xn, self.w.head, &mut sc.logits);
+            project_into(
+                self.kernels,
+                self.quant.as_ref().map(|q| &q.head),
+                &sc.xn,
+                self.w.head,
+                &mut sc.logits,
+                &mut sc.xq,
+            );
             let vocab = self.vocab;
             for (r, &i) in live.iter().enumerate() {
                 seqs[i].logits.copy_from_slice(&sc.logits.data[r * vocab..(r + 1) * vocab]);

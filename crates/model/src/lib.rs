@@ -19,7 +19,10 @@
 //! * [`sampler`] — temperature/top-k sampling for pass@k generation.
 //! * [`decode`] — the prefix-cached, batched inference engine: shared
 //!   prompt prefill with zero-copy KV forks, lock-step batched decoding
-//!   through the blocked kernels, and allocation-free steady state.
+//!   through the selected kernel family, and allocation-free steady state.
+//! * [`quant`] — per-row absmax int8 weight quantization for the decode
+//!   path ([`KernelMode::QuantizedInt8`]), i32-accumulated and
+//!   pass@k-parity gated against f32.
 //! * [`config`] — the three base-model configurations standing in for the
 //!   Table II architectures.
 //!
@@ -33,6 +36,7 @@ pub mod adam;
 pub mod config;
 pub mod decode;
 pub mod lora;
+pub mod quant;
 pub mod sampler;
 pub mod tensor;
 pub mod tokenizer;
@@ -42,5 +46,6 @@ pub use adam::Adam;
 pub use config::ModelConfig;
 pub use decode::{DecodeSession, Generation, PrefixState, PromptPlan, TokenSampler};
 pub use sampler::SampleOptions;
+pub use tensor::{kernel_mode, set_kernel_mode, KernelMode};
 pub use tokenizer::Tokenizer;
 pub use transformer::TransformerLm;

@@ -10,7 +10,7 @@ use crate::config::ModelConfig;
 use crate::decode::{DecodeSession, Generation};
 use crate::lora::{Adapter, LoraConfig, LoraState};
 use crate::sampler::{sample_logits, SampleOptions};
-use crate::tensor::{Graph, Matrix, TensorId};
+use crate::tensor::{Graph, KernelMode, Matrix, TensorId};
 use pyranet_exec::ExecConfig;
 use rand::Rng;
 use rand::SeedableRng;
@@ -41,7 +41,7 @@ struct LayerIdx {
 }
 
 /// The language model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TransformerLm {
     /// Architecture + training hyperparameters.
     pub cfg: ModelConfig,
@@ -52,6 +52,24 @@ pub struct TransformerLm {
     head: usize,
     layers: Vec<LayerIdx>,
     lora: Option<LoraState>,
+    /// Kernel family used by training graphs and (by default) decode
+    /// sessions. A performance knob, **not** part of the model's identity:
+    /// deliberately excluded from `PartialEq` so "same weights through
+    /// different kernels" compares equal.
+    kernels: KernelMode,
+}
+
+impl PartialEq for TransformerLm {
+    fn eq(&self, other: &TransformerLm) -> bool {
+        self.cfg == other.cfg
+            && self.vocab == other.vocab
+            && self.params == other.params
+            && self.tok_emb == other.tok_emb
+            && self.pos_emb == other.pos_emb
+            && self.head == other.head
+            && self.layers == other.layers
+            && self.lora == other.lora
+    }
 }
 
 impl TransformerLm {
@@ -84,12 +102,34 @@ impl TransformerLm {
             });
         }
         let head = alloc(d, vocab, &mut rng);
-        TransformerLm { cfg, vocab, params, tok_emb, pos_emb, head, layers, lora: None }
+        TransformerLm {
+            cfg,
+            vocab,
+            params,
+            tok_emb,
+            pos_emb,
+            head,
+            layers,
+            lora: None,
+            kernels: crate::tensor::kernel_mode(),
+        }
     }
 
     /// Vocabulary size.
     pub fn vocab_size(&self) -> usize {
         self.vocab
+    }
+
+    /// The kernel family this model's graphs and sessions dispatch to.
+    pub fn kernels(&self) -> KernelMode {
+        self.kernels
+    }
+
+    /// Selects the kernel family for subsequent training graphs and
+    /// decode sessions (see [`KernelMode`] for the exactness contract of
+    /// each family).
+    pub fn set_kernels(&mut self, mode: KernelMode) {
+        self.kernels = mode;
     }
 
     /// Total parameter scalars (base weights).
@@ -121,7 +161,7 @@ impl TransformerLm {
         if let Some(state) = self.lora.take() {
             let scale = state.cfg.scale();
             for ad in &state.adapters {
-                let delta = ad.delta(scale);
+                let delta = ad.delta(scale, self.kernels);
                 for (w, dx) in self.params[ad.target].data.iter_mut().zip(&delta.data) {
                     *w += dx;
                 }
@@ -147,7 +187,7 @@ impl TransformerLm {
             Some(state) => match state.adapter_for(idx) {
                 Some(ad) => {
                     let mut w = base.clone();
-                    let delta = ad.delta(state.cfg.scale());
+                    let delta = ad.delta(state.cfg.scale(), self.kernels);
                     for (x, d) in w.data.iter_mut().zip(&delta.data) {
                         *x += d;
                     }
@@ -288,7 +328,7 @@ impl TransformerLm {
     /// Forward + backward for one example; pure over `&self`, so a batch of
     /// these can run concurrently.
     fn example_grads(&self, ex: &TrainExample) -> Option<(f32, Vec<(TrainKey, Matrix)>)> {
-        let mut g = Graph::new();
+        let mut g = Graph::with_kernels(self.kernels);
         let (loss, trainables) = self.example_loss(&mut g, ex)?;
         let loss_val = g.value(loss).data[0];
         g.backward(loss);
@@ -391,7 +431,7 @@ impl TransformerLm {
     /// Mean negative log-likelihood of the code region of one example
     /// (evaluation; no parameter updates).
     pub fn nll(&self, ex: &TrainExample) -> Option<f32> {
-        let mut g = Graph::new();
+        let mut g = Graph::with_kernels(self.kernels);
         let (loss, _) = self.example_loss(&mut g, ex)?;
         Some(g.value(loss).data[0])
     }
@@ -833,25 +873,56 @@ mod tests {
 
     #[test]
     fn blocked_and_reference_kernels_train_identically() {
-        use crate::tensor::{kernel_mode, set_kernel_mode, KernelMode};
         let tk = toy_tokenizer();
         let examples = toy_examples(&tk);
         let train = |mode: KernelMode| {
-            let prev = kernel_mode();
-            set_kernel_mode(mode);
             let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+            lm.set_kernels(mode);
             let mut opt = Adam::new(lm.trainable_count(), 3e-3);
             let mut losses = Vec::new();
             for _ in 0..4 {
                 losses.push(lm.train_step(&examples, &mut opt).unwrap().to_bits());
             }
-            set_kernel_mode(prev);
             (losses, lm)
         };
         let (blocked_losses, blocked_lm) = train(KernelMode::Blocked);
         let (reference_losses, reference_lm) = train(KernelMode::Reference);
         assert_eq!(blocked_losses, reference_losses, "losses must agree bit-for-bit");
         assert_eq!(blocked_lm, reference_lm, "trained weights must agree bit-for-bit");
+    }
+
+    #[test]
+    fn simd_kernels_train_deterministically_and_reduce_loss() {
+        // Simd training is deliberately *not* bit-identical to Blocked
+        // (lane-split nt + statistics sweeps — the documented trade), but
+        // it must still converge, stay close, and be exactly reproducible
+        // at any thread count.
+        let tk = toy_tokenizer();
+        let examples = toy_examples(&tk);
+        let train = |threads: usize| {
+            let mut lm = TransformerLm::new(tiny_cfg(), tk.vocab_size());
+            lm.set_kernels(KernelMode::Simd);
+            let mut opt = Adam::new(lm.trainable_count(), 3e-3);
+            let exec = ExecConfig::new().threads(threads);
+            let mut losses = Vec::new();
+            for _ in 0..30 {
+                losses.push(lm.train_step_with(&examples, &mut opt, &exec).unwrap());
+            }
+            (losses, lm)
+        };
+        let (losses, lm) = train(1);
+        assert!(
+            losses[29] < losses[0] * 0.7,
+            "simd loss must fall: {} -> {}",
+            losses[0],
+            losses[29]
+        );
+        for threads in [2, 8] {
+            let (other_losses, other_lm) = train(threads);
+            let bits = |ls: &[f32]| ls.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&losses), bits(&other_losses), "threads={threads}");
+            assert_eq!(lm, other_lm, "weights diverged at threads={threads}");
+        }
     }
 
     #[test]

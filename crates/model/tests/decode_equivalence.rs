@@ -16,7 +16,7 @@
 use proptest::prelude::*;
 use pyranet_model::decode::DecodeSession;
 use pyranet_model::lora::LoraConfig;
-use pyranet_model::{ModelConfig, SampleOptions, TransformerLm};
+use pyranet_model::{KernelMode, ModelConfig, SampleOptions, TransformerLm};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -118,6 +118,62 @@ proptest! {
             let legacy = lm.generate_legacy(&prompt, max_new, &opts[i], &mut rng);
             prop_assert_eq!(&expect.ids, &legacy, "sequence {} vs legacy", i);
         }
+    }
+
+    /// A `Simd` session is bit-identical to the legacy f32 loop: the
+    /// decode path only uses the AXPY-structured forward matmul (which
+    /// preserves accumulation order in every f32 family) plus scalar
+    /// attention/layer-norm sweeps, so vectorized lanes change no bit.
+    #[test]
+    fn simd_session_matches_legacy_loop(
+        model_seed in 0u64..300,
+        prompt_seed in 0u64..300,
+        prompt_len in 0usize..40,
+        max_new in 1usize..20,
+        rng_seed in 0u64..1_000,
+    ) {
+        let lm = model(model_seed, 1 + (model_seed as usize % 2), 48);
+        let prompt = prompt_from(prompt_seed, prompt_len);
+        let opts = SampleOptions { temperature: 0.6, top_k: 0 };
+        let legacy = {
+            let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+            lm.generate_legacy(&prompt, max_new, &opts, &mut rng)
+        };
+        let simd = {
+            let mut session = DecodeSession::new_with(&lm, KernelMode::Simd);
+            let prefix = session.prefill(&prompt, max_new);
+            let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+            session.decode_one(&prefix, max_new, &opts, &mut rng)
+        };
+        prop_assert_eq!(&simd.ids, &legacy);
+    }
+
+    /// An int8 session is *not* bit-identical to f32 (quantization
+    /// perturbs the logits; parity is gated at the pass@k level), but it
+    /// is exactly reproducible — i32 accumulation has no ordering
+    /// freedom — and it honours the same budget/EOS contract.
+    #[test]
+    fn int8_session_is_deterministic_and_respects_budget(
+        model_seed in 0u64..300,
+        prompt_seed in 0u64..300,
+        prompt_len in 0usize..40,
+        max_new in 1usize..20,
+        rng_seed in 0u64..1_000,
+    ) {
+        let lm = model(model_seed, 1 + (model_seed as usize % 2), 48);
+        let prompt = prompt_from(prompt_seed, prompt_len);
+        let opts = SampleOptions { temperature: 0.6, top_k: 0 };
+        let run = |seed: u64| {
+            let mut session = DecodeSession::new_with(&lm, KernelMode::QuantizedInt8);
+            let prefix = session.prefill(&prompt, max_new);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            session.decode_one(&prefix, max_new, &opts, &mut rng)
+        };
+        let a = run(rng_seed);
+        let b = run(rng_seed);
+        prop_assert_eq!(&a, &b, "int8 decode must be exactly reproducible");
+        prop_assert!(a.ids.len() <= max_new.min(48 - prompt.len().min(48)));
+        prop_assert!(a.ids.iter().all(|&id| id < VOCAB), "ids within vocab");
     }
 
     /// LoRA-attached models route through the pre-merged `Cow` weights;

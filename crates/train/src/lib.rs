@@ -33,6 +33,7 @@ pub use report::{PhaseReport, TrainReport};
 pub use sft::SftTrainer;
 
 use pyranet_model::lora::LoraConfig;
+use pyranet_model::KernelMode;
 
 /// Shared fine-tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +57,13 @@ pub struct TrainConfig {
     /// from `PYRANET_THREADS` or the machine). Training outputs are
     /// byte-identical at any value — see `train_step_with`.
     pub threads: usize,
+    /// Kernel family for every forward/backward pass of the run
+    /// (`--kernel` on the CLI). `Blocked` and `Reference` train
+    /// bit-identically; `Simd` is deterministic but trades bit-parity on
+    /// the attention-backward dot products for vectorization;
+    /// `QuantizedInt8` trains like `Simd` (weights are only quantized on
+    /// the decode path, never during training).
+    pub kernel: KernelMode,
 }
 
 impl Default for TrainConfig {
@@ -68,6 +76,7 @@ impl Default for TrainConfig {
             lora: None,
             seed: 7,
             threads: 0,
+            kernel: KernelMode::default(),
         }
     }
 }

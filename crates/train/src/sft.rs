@@ -100,6 +100,8 @@ pub(crate) fn run_phase_with_order(
         return;
     }
     let span = obs.span("train.phase");
+    lm.set_kernels(cfg.kernel);
+    obs.counter(&format!("train.kernel.{}", cfg.kernel)).inc();
     if shuffle {
         shuffle_examples(examples, phase_shuffle_seed(cfg.seed, name));
     }

@@ -276,6 +276,35 @@ fn eval_engines_are_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn simd_kernel_eval_is_byte_identical_to_blocked() {
+    // The acceptance pin for the vectorized kernel family: a `simd`
+    // session decodes through the order-preserving forward matmul plus
+    // scalar attention/layer-norm sweeps, so pass@k results must be
+    // *byte-identical* to the blocked (and reference) families at every
+    // thread count. The lane-split trades live only on the training
+    // backward path, never on decode.
+    use pyranet::model::KernelMode;
+    let (lm, tk) = tiny_model();
+    let problems: Vec<_> = machine_split().into_iter().take(4).collect();
+    let run = |kernel, threads| {
+        let opts = EvalOptions {
+            samples_per_problem: 3,
+            max_new_tokens: 16,
+            threads,
+            kernel,
+            ..EvalOptions::default()
+        };
+        serde_json::to_string(&evaluate(&lm, &tk, &problems, &opts)).expect("serialize EvalResult")
+    };
+    let reference = run(KernelMode::Blocked, 1);
+    for kernel in [KernelMode::Simd, KernelMode::Reference, KernelMode::Blocked] {
+        for threads in THREAD_COUNTS {
+            assert_eq!(run(kernel, threads), reference, "kernel = {kernel}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
 fn sim_backends_are_byte_identical_at_any_thread_count() {
     // The acceptance pin for the compiled simulation VM: scoring with the
     // bytecode backend and with the event-driven reference interpreter

@@ -1,0 +1,137 @@
+//! The int8 acceptance gate: quantized decoding must preserve eval
+//! *quality*, not eval bits.
+//!
+//! A `QuantizedInt8` session legitimately samples different token ids
+//! than f32 — per-row absmax quantization perturbs every logit — so the
+//! parity contract is pinned at the metric level: on the standard n = 10
+//! pass@k workload over a fine-tuned model, int8 pass@k and syntax rate
+//! must stay within a small band of the f32 session's. CI runs this gate
+//! in release mode; a quantization regression (bad scales, broken i32
+//! accumulation, transposed-storage indexing bugs) shows up here as a
+//! collapsed pass@k or syntax rate long before it would be visible in
+//! wall-time benches.
+
+use pyranet::eval::{evaluate, machine_split, EvalOptions, EvalResult};
+use pyranet::experiment::Recipe;
+use pyranet::model::{KernelMode, ModelConfig, TransformerLm};
+use pyranet::train::TrainConfig;
+use pyranet::{BuildOptions, Experiment, ExperimentOptions, PyraNetBuilder};
+
+/// Max allowed |int8 − f32| gap, in percentage points, for each pass@k
+/// and for the syntax rate. One sample flipping on one problem moves
+/// pass@10 by 100/n_problems points, so the band tolerates one problem's
+/// worth of drift but fails on any systematic collapse.
+const TOLERANCE_POINTS: f64 = 25.0;
+
+/// Pretrain + fine-tune the CI-sized model exactly like the end-to-end
+/// suite does — the micro budget that reliably lifts syntax rate above
+/// the word-salad floor, so the parity band compares real signal.
+fn trained_model() -> (TransformerLm, pyranet::model::Tokenizer) {
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: 300,
+        seed: 77,
+        ..BuildOptions::default()
+    })
+    .build();
+    let experiment = Experiment::new(built.dataset);
+    let opts = ExperimentOptions {
+        train: TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_examples_per_phase: Some(60),
+            ..TrainConfig::default()
+        },
+        eval: EvalOptions::default(),
+    };
+    let cfg = ModelConfig {
+        name: "quant-parity".into(),
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 64,
+        max_seq: 256,
+        learning_rate: 3e-3,
+        seed: 0x7B00,
+    };
+    let base = experiment.pretrain_base(&cfg, &opts);
+    let tuned = experiment.run(&base, Recipe::PyraNetDataset, &opts);
+    let tk = experiment.tokenizer;
+    (tuned.model, tk)
+}
+
+fn eval_with(
+    lm: &TransformerLm,
+    tk: &pyranet::model::Tokenizer,
+    kernel: KernelMode,
+    threads: usize,
+) -> EvalResult {
+    let problems: Vec<_> = machine_split().into_iter().take(4).collect();
+    let opts = EvalOptions {
+        samples_per_problem: 10,
+        max_new_tokens: 90,
+        threads,
+        kernel,
+        ..EvalOptions::default()
+    };
+    evaluate(lm, tk, &problems, &opts)
+}
+
+#[test]
+fn int8_pass_at_k_stays_within_parity_band_of_f32() {
+    let (lm, tk) = trained_model();
+    let f32_result = eval_with(&lm, &tk, KernelMode::Blocked, 0);
+    let int8_result = eval_with(&lm, &tk, KernelMode::QuantizedInt8, 0);
+    eprintln!(
+        "f32:  pass@1 {:.1} pass@5 {:.1} pass@10 {:.1} syntax {:.1}",
+        f32_result.pass_at(1),
+        f32_result.pass_at(5),
+        f32_result.pass_at(10),
+        f32_result.syntax_rate()
+    );
+    eprintln!(
+        "int8: pass@1 {:.1} pass@5 {:.1} pass@10 {:.1} syntax {:.1}",
+        int8_result.pass_at(1),
+        int8_result.pass_at(5),
+        int8_result.pass_at(10),
+        int8_result.syntax_rate()
+    );
+    for k in [1u32, 5, 10] {
+        let gap = (int8_result.pass_at(k) - f32_result.pass_at(k)).abs();
+        assert!(
+            gap <= TOLERANCE_POINTS,
+            "pass@{k} parity broken: int8 {:.1}% vs f32 {:.1}% (gap {gap:.1} > {TOLERANCE_POINTS})",
+            int8_result.pass_at(k),
+            f32_result.pass_at(k),
+        );
+    }
+    let syntax_gap = (int8_result.syntax_rate() - f32_result.syntax_rate()).abs();
+    assert!(
+        syntax_gap <= TOLERANCE_POINTS,
+        "syntax-rate parity broken: int8 {:.1}% vs f32 {:.1}%",
+        int8_result.syntax_rate(),
+        f32_result.syntax_rate(),
+    );
+    // The gate must bite on real signal: the f32 baseline of the briefly
+    // fine-tuned model has to produce *some* syntactically plausible
+    // output, otherwise both sides are comparing garbage to garbage.
+    assert!(
+        f32_result.syntax_rate() > 0.0 || f32_result.pass_at(10) > 0.0,
+        "f32 baseline produced no signal; the parity band is vacuous"
+    );
+}
+
+#[test]
+fn int8_eval_is_byte_identical_across_thread_counts() {
+    // Not bit-parity with f32 — parity with *itself*: i32 accumulation
+    // has no ordering freedom, so the quantized eval is exactly
+    // reproducible at any thread count.
+    let (lm, tk) = trained_model();
+    let reference =
+        serde_json::to_string(&eval_with(&lm, &tk, KernelMode::QuantizedInt8, 1)).unwrap();
+    for threads in [2usize, 8] {
+        let result =
+            serde_json::to_string(&eval_with(&lm, &tk, KernelMode::QuantizedInt8, threads))
+                .unwrap();
+        assert_eq!(result, reference, "threads = {threads}");
+    }
+}
