@@ -20,11 +20,16 @@
 //!              [--threads T] [--seed S] [--engine session|per-sample]
 //!              [--kernel reference|blocked|simd|int8]
 //!              [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]
+//! pyranet serve --requests FILE.jsonl [--out FILE.jsonl] [--max-batch N]
+//!               [--queue-depth N] [--prefix-cache N] [--seed S] [--threads T]
+//!               [--kernel reference|blocked|simd|int8] [--files N] [--epochs E]
+//!               [--shuffle-arrival S]
 //! ```
 //!
-//! `build-dataset`, `train`, and `eval` also accept `--metrics OUT.json`
-//! (flush-checked JSON snapshot of the process-global metrics registry)
-//! and `--verbose` (human-readable metrics summary on stdout).
+//! `build-dataset`, `train`, `eval`, and `serve` also accept
+//! `--metrics OUT.json` (flush-checked JSON snapshot of the
+//! process-global metrics registry) and `--verbose` (human-readable
+//! metrics summary on stdout).
 
 use pyranet::model::{ModelConfig, TransformerLm};
 use pyranet::pipeline::rank::{rank_sample, render_response};
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -76,8 +82,12 @@ fn print_usage() {
          pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
         \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
         \x20            [--kernel reference|blocked|simd|int8] [--sim compiled|reference]\n  \
-        \x20            [--files N] [--epochs E] [--json OUT]\n\n\
-         build-dataset, train, and eval also accept:\n  \
+        \x20            [--files N] [--epochs E] [--json OUT]\n  \
+         pyranet serve --requests FILE.jsonl [--out FILE.jsonl] [--max-batch N]\n  \
+        \x20            [--queue-depth N] [--prefix-cache N] [--seed S] [--threads T]\n  \
+        \x20            [--kernel reference|blocked|simd|int8] [--files N] [--epochs E]\n  \
+        \x20            [--shuffle-arrival S]\n\n\
+         build-dataset, train, eval, and serve also accept:\n  \
          --metrics OUT.json   write a JSON snapshot of all recorded metrics\n  \
          --verbose            print a human-readable metrics summary"
     );
@@ -502,6 +512,132 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         w.write_all(b"\n").map_err(|e| format!("write failed: {e}"))?;
         w.flush().map_err(|e| format!("write failed: {e}"))?;
         println!("wrote {} result(s) to {path}", results.len());
+    }
+    metrics.finish()
+}
+
+/// `pyranet serve --requests FILE.jsonl`: offline replay of a request
+/// file through the continuous-batching engine. Trains the same small
+/// reference model as `eval`, then drives every request to completion
+/// and writes responses sorted by id — so two runs with different
+/// `--shuffle-arrival` seeds, `--max-batch` widths, or `--threads`
+/// counts produce byte-identical output files.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use pyranet::serve::{read_requests_jsonl, replay, responses_to_jsonl, ServeConfig};
+
+    let mut requests_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut files = 300usize;
+    let mut epochs = 1usize;
+    let mut shuffle_arrival: Option<u64> = None;
+    let mut metrics = MetricsArgs::default();
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or(format!("{flag} needs a value")).cloned();
+        let num = |flag: &str, v: Result<String, String>| -> Result<usize, String> {
+            v?.parse().map_err(|e| format!("bad {flag}: {e}"))
+        };
+        match a.as_str() {
+            "--metrics" => metrics.out = Some(val("--metrics")?),
+            "--verbose" => metrics.verbose = true,
+            "--requests" => requests_path = Some(val("--requests")?),
+            "--out" => out = Some(val("--out")?),
+            "--max-batch" => cfg.max_batch = num("--max-batch", val("--max-batch"))?.max(1),
+            "--queue-depth" => cfg.queue_depth = num("--queue-depth", val("--queue-depth"))?.max(1),
+            "--prefix-cache" => {
+                cfg.prefix_cache_entries = num("--prefix-cache", val("--prefix-cache"))?;
+            }
+            "--seed" => cfg.seed = num("--seed", val("--seed"))? as u64,
+            "--kernel" => cfg.kernel = val("--kernel")?.parse()?,
+            "--threads" => cfg.threads = num("--threads", val("--threads"))?,
+            "--files" => files = num("--files", val("--files"))?,
+            "--epochs" => epochs = num("--epochs", val("--epochs"))?.max(1),
+            "--shuffle-arrival" => {
+                shuffle_arrival = Some(num("--shuffle-arrival", val("--shuffle-arrival"))? as u64);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let requests_path =
+        requests_path.ok_or("usage: pyranet serve --requests FILE.jsonl [--out FILE.jsonl]")?;
+    let mut requests = read_requests_jsonl(&read_file(&requests_path)?)?;
+    if requests.is_empty() {
+        return Err(format!("{requests_path}: no requests"));
+    }
+    // Optional arrival-order scramble: determinism means the output file
+    // must not change, whatever seed lands here.
+    if let Some(seed) = shuffle_arrival {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        requests.shuffle(&mut rng);
+    }
+
+    // Build + briefly fine-tune the small reference model (same recipe
+    // as `eval`, so completions are comparable across subcommands).
+    let built = PyraNetBuilder::new(BuildOptions {
+        scraped_files: files,
+        seed: cfg.seed,
+        threads: cfg.threads,
+        ..BuildOptions::default()
+    })
+    .build();
+    let tk = build_tokenizer(built.dataset.iter());
+    let model_cfg = ModelConfig {
+        name: "pyranet-cli".into(),
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 64,
+        max_seq: 160,
+        learning_rate: TrainConfig::default().learning_rate,
+        seed: cfg.seed,
+    };
+    let mut lm = TransformerLm::new(model_cfg, tk.vocab_size());
+    let tcfg = TrainConfig {
+        epochs,
+        threads: cfg.threads,
+        seed: cfg.seed,
+        kernel: cfg.kernel,
+        ..Default::default()
+    };
+    println!("training on {} samples ({} epoch(s))...", built.dataset.len(), epochs);
+    SftTrainer::run(&mut lm, &tk, &built.dataset, &tcfg);
+
+    println!(
+        "serving {} request(s): max_batch {} queue_depth {} prefix_cache {}",
+        requests.len(),
+        cfg.max_batch,
+        cfg.queue_depth,
+        cfg.prefix_cache_entries
+    );
+    let outcome = replay(&lm, &tk, cfg, &requests);
+    let mut responses = outcome.responses;
+    responses.sort_by(|a, b| a.id.cmp(&b.id));
+    println!(
+        "served {} response(s): {} token(s), {} step(s), {} resubmission(s); \
+         prefix cache {} hit(s) / {} miss(es) / {} eviction(s)",
+        responses.len(),
+        outcome.decode_tokens,
+        outcome.steps,
+        outcome.resubmissions,
+        outcome.cache.hits,
+        outcome.cache.misses,
+        outcome.cache.evictions
+    );
+    let body = responses_to_jsonl(&responses);
+    match &out {
+        Some(path) => {
+            use std::io::Write;
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            w.write_all(body.as_bytes()).map_err(|e| format!("write failed: {e}"))?;
+            w.flush().map_err(|e| format!("write failed: {e}"))?;
+            println!("wrote {} response(s) to {path}", responses.len());
+        }
+        None => print!("{body}"),
     }
     metrics.finish()
 }

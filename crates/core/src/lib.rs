@@ -43,6 +43,7 @@ pub use pyranet_eval as eval;
 pub use pyranet_model as model;
 pub use pyranet_obs as obs;
 pub use pyranet_pipeline as pipeline;
+pub use pyranet_serve as serve;
 pub use pyranet_train as train;
 pub use pyranet_verilog as verilog;
 

@@ -149,6 +149,14 @@ fn fnv1a64(source: &[u8], problem_id: &str) -> u64 {
     h
 }
 
+/// Saturating `usize → u32` for token counts surfaced in
+/// [`ProblemResult`]: a pathological prompt that drops more than
+/// `u32::MAX` tokens reports the ceiling instead of silently wrapping
+/// (the old `as u32` cast truncated — 2^32 dropped tokens reported as 0).
+pub(crate) fn saturating_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Near-greedy floor of the per-problem temperature cycle.
 const TEMPERATURE_FLOOR: f64 = 0.05;
 
@@ -218,7 +226,7 @@ pub fn evaluate(
                 // decode together in lock-step batches.
                 let mut session = DecodeSession::new_with(lm, opts.kernel);
                 let prefix = session.prefill(&prompt, opts.max_new_tokens);
-                let dropped = prefix.dropped_prompt_tokens() as u32;
+                let dropped = saturating_u32(prefix.dropped_prompt_tokens());
                 let gens =
                     session.decode_batch(&prefix, opts.max_new_tokens, &sample_opts, &mut rngs);
                 (gens.into_iter().map(|g| g.ids).collect(), dropped)
@@ -230,7 +238,7 @@ pub fn evaluate(
                     .zip(rngs.iter_mut())
                     .map(|(so, rng)| lm.generate_legacy(&prompt, opts.max_new_tokens, so, rng))
                     .collect();
-                (bodies, plan.dropped_prompt_tokens as u32)
+                (bodies, saturating_u32(plan.dropped_prompt_tokens))
             }
         };
         let mut passed = 0u32;
@@ -326,6 +334,17 @@ mod tests {
                 .collect(),
             ks: vec![1, 5, 10],
         }
+    }
+
+    #[test]
+    fn dropped_token_counts_saturate_instead_of_wrapping() {
+        assert_eq!(saturating_u32(0), 0);
+        assert_eq!(saturating_u32(41), 41);
+        assert_eq!(saturating_u32(u32::MAX as usize), u32::MAX);
+        // The old `as u32` cast wrapped these to 0 and 5 respectively.
+        assert_eq!(saturating_u32(u32::MAX as usize + 1), u32::MAX);
+        assert_eq!(saturating_u32(u32::MAX as usize + 6), u32::MAX);
+        assert_eq!(saturating_u32(usize::MAX), u32::MAX);
     }
 
     #[test]

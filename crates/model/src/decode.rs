@@ -85,10 +85,15 @@ impl PromptPlan {
     pub fn new(prompt_len: usize, max_new: usize, max_seq: usize) -> PromptPlan {
         let kept = if prompt_len >= max_seq && max_new > 0 {
             let headroom = max_new.min((max_seq / 4).max(1));
-            max_seq - headroom
+            max_seq.saturating_sub(headroom)
         } else {
             prompt_len.min(max_seq)
         };
+        // Clamp unconditionally: every branch above intends `kept <=
+        // max_seq`, but the arithmetic must never be trusted to uphold
+        // that on degenerate windows — `max_seq - kept` below underflows
+        // `usize` (a debug-build panic, garbage in release) if it slips.
+        let kept = kept.min(max_seq).min(prompt_len);
         let budget = max_new.min(max_seq - kept);
         PromptPlan {
             kept_prompt_tokens: kept,
@@ -377,15 +382,52 @@ fn attend_row(
     }
 }
 
-/// One decoding sequence: its own KV suffix, output ids, and last logits.
+/// One live decoding sequence in a (possibly heterogeneous) batch: its
+/// own per-layer KV suffix over a shared prefix, the logits to sample the
+/// next token from, and its absolute position in the context window.
+///
+/// [`DecodeSession::decode_batch`] drives homogeneous batches of these
+/// (n forks of one prefix, created and retired together); the
+/// `pyranet-serve` continuous-batching daemon composes arbitrary
+/// mixtures — sequences forked from *different* prefixes, at different
+/// positions, joining and leaving the lock-step batch as requests arrive
+/// and retire. Because every row of a batched forward is computed
+/// independently (and each f32 output element accumulates in ascending
+/// shared-dimension order), a sequence's tokens are bit-identical no
+/// matter which other sequences happen to share its batches.
 #[derive(Debug)]
-struct Seq {
+pub struct SeqState {
+    /// Own KV suffix, one growing buffer per layer.
     k: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
-    out: Vec<usize>,
+    /// Logits after the last absorbed token (the prefix logits until the
+    /// first [`DecodeSession::step_seqs`]).
     logits: Vec<f32>,
+    /// Token awaiting its forward pass (the most recently sampled id).
     last: usize,
-    alive: bool,
+    /// Absolute position that pending token occupies: prefix length plus
+    /// suffix tokens already absorbed.
+    pos: usize,
+}
+
+impl SeqState {
+    /// Logits to sample the next token from.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+
+    /// Stages `id` as the pending token; the next
+    /// [`DecodeSession::step_seqs`] that includes this sequence absorbs
+    /// it into the KV suffix and refreshes [`SeqState::logits`].
+    pub fn push_token(&mut self, id: usize) {
+        self.last = id;
+    }
+
+    /// Absolute position the pending token will occupy (prefix + suffix
+    /// tokens absorbed so far).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
 }
 
 /// A reusable inference session over one model: pre-merged weights plus
@@ -443,6 +485,32 @@ impl<'m> DecodeSession<'m> {
     /// The kernel family this session decodes with.
     pub fn kernels(&self) -> KernelMode {
         self.kernels
+    }
+
+    /// The model's context-window length (prompt + completion tokens).
+    pub fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+
+    /// Vocabulary size (the width of every logits row).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Forks a fresh sequence off `prefix`: empty KV suffix, the prefix
+    /// logits to sample the first token from, positioned right after the
+    /// prefix. The prefix itself is not captured — pass it back to every
+    /// [`DecodeSession::step_seqs`] call (callers that share one prefix
+    /// across many sequences, or cache prefixes across requests, own
+    /// that association).
+    pub fn open_seq(&self, prefix: &PrefixState) -> SeqState {
+        SeqState {
+            k: (0..self.n_layers).map(|_| Vec::new()).collect(),
+            v: (0..self.n_layers).map(|_| Vec::new()).collect(),
+            logits: prefix.logits.clone(),
+            last: 0,
+            pos: prefix.len,
+        }
     }
 
     /// Runs the (clamped) prompt through the model once, as a single
@@ -597,10 +665,7 @@ impl<'m> DecodeSession<'m> {
             // family's forward matmul bit-for-bit.
             None => vec_mat(&last_ln, self.w.head),
         };
-        let secs = span.stop().as_secs_f64();
-        if secs > 0.0 {
-            obs.gauge("decode.prefill.tokens_per_sec").set(n as f64 / secs);
-        }
+        obs.rate_gauge("decode.prefill.tokens_per_sec", n as f64, span.stop().as_secs_f64());
         PrefixState {
             kcache,
             vcache,
@@ -643,194 +708,203 @@ impl<'m> DecodeSession<'m> {
         let span = obs.span("decode.batch");
         let n_seq = opts.len();
         obs.counter("decode.forks").add(n_seq as u64);
-        let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
-        let new_budget = max_new.min(self.max_seq - prefix.len);
+        let new_budget = max_new.min(self.max_seq.saturating_sub(prefix.len));
         let clamped = max_new - new_budget;
-        let mut seqs: Vec<Seq> = (0..n_seq)
-            .map(|_| Seq {
-                k: (0..self.n_layers).map(|_| Vec::with_capacity(new_budget * d)).collect(),
-                v: (0..self.n_layers).map(|_| Vec::with_capacity(new_budget * d)).collect(),
-                out: Vec::new(),
-                logits: prefix.logits.clone(),
-                last: 0,
-                alive: true,
-            })
-            .collect();
-        let mut live: Vec<usize> = Vec::with_capacity(n_seq);
+        let mut seqs: Vec<SeqState> = (0..n_seq).map(|_| self.open_seq(prefix)).collect();
+        let mut outs: Vec<Vec<usize>> = (0..n_seq).map(|_| Vec::new()).collect();
+        let mut alive = vec![true; n_seq];
         for step in 0..new_budget {
             // Sample every live sequence (ascending index; each sequence
             // has its own sampler, so the order is cosmetic).
-            live.clear();
-            for (i, seq) in seqs.iter_mut().enumerate() {
-                if !seq.alive {
+            let mut any_live = false;
+            for i in 0..n_seq {
+                if !alive[i] {
                     continue;
                 }
-                let next = samplers[i].next_token(&seq.logits, &opts[i], &mut self.scratch.sample);
+                let next =
+                    samplers[i].next_token(seqs[i].logits(), &opts[i], &mut self.scratch.sample);
                 if next == EOS {
-                    seq.alive = false;
+                    alive[i] = false;
                     continue;
                 }
-                seq.out.push(next);
-                seq.last = next;
-                live.push(i);
+                outs[i].push(next);
+                seqs[i].push_token(next);
+                any_live = true;
             }
             // The budget's final tokens feed nothing — skip their forward
             // (the legacy loop computed and discarded it).
-            if live.is_empty() || step + 1 == new_budget {
+            if !any_live || step + 1 == new_budget {
                 break;
             }
-            let rows = live.len();
-            let t = prefix.len + step;
-            let sc = &mut self.scratch;
-            set_rows(&mut sc.x, rows);
-            for (r, &i) in live.iter().enumerate() {
-                let id = seqs[i].last;
-                for c in 0..d {
-                    sc.x.data[r * d + c] = self.w.tok.data[id * d + c] + self.w.pos.data[t * d + c];
-                }
-            }
-            for li in 0..self.n_layers {
-                set_rows(&mut sc.xn, rows);
-                for r in 0..rows {
-                    ln_row_into(
-                        &sc.x.data[r * d..(r + 1) * d],
-                        &mut sc.xn.data[r * d..(r + 1) * d],
-                    );
-                }
-                set_rows(&mut sc.q, rows);
-                set_rows(&mut sc.k, rows);
-                set_rows(&mut sc.v, rows);
-                let qw = self.quant.as_ref();
-                let mode = self.kernels;
-                project_into(
-                    mode,
-                    qw.map(|q| &q.wq[li]),
-                    &sc.xn,
-                    &self.w.wq[li],
-                    &mut sc.q,
-                    &mut sc.xq,
-                );
-                project_into(
-                    mode,
-                    qw.map(|q| &q.wk[li]),
-                    &sc.xn,
-                    &self.w.wk[li],
-                    &mut sc.k,
-                    &mut sc.xq,
-                );
-                project_into(
-                    mode,
-                    qw.map(|q| &q.wv[li]),
-                    &sc.xn,
-                    &self.w.wv[li],
-                    &mut sc.v,
-                    &mut sc.xq,
-                );
-                for (r, &i) in live.iter().enumerate() {
-                    seqs[i].k[li].extend_from_slice(&sc.k.data[r * d..(r + 1) * d]);
-                    seqs[i].v[li].extend_from_slice(&sc.v.data[r * d..(r + 1) * d]);
-                }
-                set_rows(&mut sc.merged, rows);
-                for (r, &i) in live.iter().enumerate() {
-                    attend_row(
-                        &sc.q.data[r * d..(r + 1) * d],
-                        &mut sc.merged.data[r * d..(r + 1) * d],
-                        &prefix.kcache[li],
-                        &prefix.vcache[li],
-                        &seqs[i].k[li],
-                        &seqs[i].v[li],
-                        d,
-                        nh,
-                        hs,
-                        scale,
-                        &mut sc.scores,
-                        qw.is_some(),
-                    );
-                }
-                set_rows(&mut sc.proj, rows);
-                project_into(
-                    mode,
-                    qw.map(|q| &q.wo[li]),
-                    &sc.merged,
-                    &self.w.wo[li],
-                    &mut sc.proj,
-                    &mut sc.xq,
-                );
-                for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
-                    *xv += pv;
-                }
-                set_rows(&mut sc.xn, rows);
-                for r in 0..rows {
-                    ln_row_into(
-                        &sc.x.data[r * d..(r + 1) * d],
-                        &mut sc.xn.data[r * d..(r + 1) * d],
-                    );
-                }
-                set_rows(&mut sc.h1, rows);
-                project_into(
-                    mode,
-                    qw.map(|q| &q.w1[li]),
-                    &sc.xn,
-                    &self.w.w1[li],
-                    &mut sc.h1,
-                    &mut sc.xq,
-                );
-                if qw.is_some() {
-                    for vx in sc.h1.data.iter_mut() {
-                        *vx = gelu_fwd_fast(*vx);
-                    }
-                } else {
-                    for vx in sc.h1.data.iter_mut() {
-                        *vx = gelu_fwd(*vx);
-                    }
-                }
-                set_rows(&mut sc.h2, rows);
-                project_into(
-                    mode,
-                    qw.map(|q| &q.w2[li]),
-                    &sc.h1,
-                    &self.w.w2[li],
-                    &mut sc.h2,
-                    &mut sc.xq,
-                );
-                for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
-                    *xv += pv;
-                }
-            }
-            set_rows(&mut sc.xn, rows);
-            for r in 0..rows {
-                ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
-            }
-            set_rows(&mut sc.logits, rows);
-            project_into(
-                self.kernels,
-                self.quant.as_ref().map(|q| &q.head),
-                &sc.xn,
-                self.w.head,
-                &mut sc.logits,
-                &mut sc.xq,
-            );
-            let vocab = self.vocab;
-            for (r, &i) in live.iter().enumerate() {
-                seqs[i].logits.copy_from_slice(&sc.logits.data[r * vocab..(r + 1) * vocab]);
-            }
+            let mut rows: Vec<(&mut SeqState, &PrefixState)> =
+                seqs.iter_mut().zip(&alive).filter(|(_, &a)| a).map(|(s, _)| (s, prefix)).collect();
+            self.step_seqs(&mut rows);
         }
-        let tokens: u64 = seqs.iter().map(|s| s.out.len() as u64).sum();
-        let eos_retired = seqs.iter().filter(|s| !s.alive).count();
+        let tokens: u64 = outs.iter().map(|o| o.len() as u64).sum();
+        let eos_retired = alive.iter().filter(|a| !**a).count();
         obs.counter("decode.tokens").add(tokens);
         obs.counter("decode.retired_eos").add(eos_retired as u64);
         obs.counter("decode.retired_budget").add((n_seq - eos_retired) as u64);
-        let secs = span.stop().as_secs_f64();
-        if secs > 0.0 {
-            obs.gauge("decode.tokens_per_sec").set(tokens as f64 / secs);
-        }
-        seqs.into_iter()
-            .map(|s| Generation {
-                ids: s.out,
+        obs.rate_gauge("decode.tokens_per_sec", tokens as f64, span.stop().as_secs_f64());
+        outs.into_iter()
+            .map(|ids| Generation {
+                ids,
                 dropped_prompt_tokens: prefix.dropped_prompt_tokens,
                 clamped_new_tokens: clamped,
             })
             .collect()
+    }
+
+    /// One lock-step decode step over an arbitrary batch of sequences:
+    /// each row absorbs its sequence's pending token (at that sequence's
+    /// own position, attending over that sequence's own prefix ‖ suffix)
+    /// and refreshes the sequence's logits. This is the continuous-batch
+    /// primitive — rows may come from different prompts, different
+    /// requests, and different decode depths, and per-row results are
+    /// bit-identical to stepping each sequence alone.
+    ///
+    /// The caller must only include rows whose pending position is inside
+    /// the context window (`seq.pos() < session.max_seq()`); sequences at
+    /// their token budget should simply be left out of the batch — their
+    /// final forward would feed nothing.
+    pub fn step_seqs(&mut self, rows: &mut [(&mut SeqState, &PrefixState)]) {
+        let n = rows.len();
+        if n == 0 {
+            return;
+        }
+        let (d, nh, hs, scale) = (self.d, self.nh, self.hs, self.scale);
+        let sc = &mut self.scratch;
+        set_rows(&mut sc.x, n);
+        for (r, (seq, _)) in rows.iter().enumerate() {
+            let id = seq.last;
+            let t = seq.pos;
+            debug_assert!(t < self.max_seq, "pending token outside the context window");
+            for c in 0..d {
+                sc.x.data[r * d + c] = self.w.tok.data[id * d + c] + self.w.pos.data[t * d + c];
+            }
+        }
+        for li in 0..self.n_layers {
+            set_rows(&mut sc.xn, n);
+            for r in 0..n {
+                ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
+            }
+            set_rows(&mut sc.q, n);
+            set_rows(&mut sc.k, n);
+            set_rows(&mut sc.v, n);
+            let qw = self.quant.as_ref();
+            let mode = self.kernels;
+            project_into(
+                mode,
+                qw.map(|q| &q.wq[li]),
+                &sc.xn,
+                &self.w.wq[li],
+                &mut sc.q,
+                &mut sc.xq,
+            );
+            project_into(
+                mode,
+                qw.map(|q| &q.wk[li]),
+                &sc.xn,
+                &self.w.wk[li],
+                &mut sc.k,
+                &mut sc.xq,
+            );
+            project_into(
+                mode,
+                qw.map(|q| &q.wv[li]),
+                &sc.xn,
+                &self.w.wv[li],
+                &mut sc.v,
+                &mut sc.xq,
+            );
+            for (r, (seq, _)) in rows.iter_mut().enumerate() {
+                seq.k[li].extend_from_slice(&sc.k.data[r * d..(r + 1) * d]);
+                seq.v[li].extend_from_slice(&sc.v.data[r * d..(r + 1) * d]);
+            }
+            set_rows(&mut sc.merged, n);
+            for (r, (seq, prefix)) in rows.iter().enumerate() {
+                attend_row(
+                    &sc.q.data[r * d..(r + 1) * d],
+                    &mut sc.merged.data[r * d..(r + 1) * d],
+                    &prefix.kcache[li],
+                    &prefix.vcache[li],
+                    &seq.k[li],
+                    &seq.v[li],
+                    d,
+                    nh,
+                    hs,
+                    scale,
+                    &mut sc.scores,
+                    qw.is_some(),
+                );
+            }
+            set_rows(&mut sc.proj, n);
+            project_into(
+                mode,
+                qw.map(|q| &q.wo[li]),
+                &sc.merged,
+                &self.w.wo[li],
+                &mut sc.proj,
+                &mut sc.xq,
+            );
+            for (xv, pv) in sc.x.data.iter_mut().zip(&sc.proj.data) {
+                *xv += pv;
+            }
+            set_rows(&mut sc.xn, n);
+            for r in 0..n {
+                ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
+            }
+            set_rows(&mut sc.h1, n);
+            project_into(
+                mode,
+                qw.map(|q| &q.w1[li]),
+                &sc.xn,
+                &self.w.w1[li],
+                &mut sc.h1,
+                &mut sc.xq,
+            );
+            // Int8 sessions take the polynomial gelu too — same
+            // reproducible-not-bit-identical contract as their matmuls.
+            if qw.is_some() {
+                for vx in sc.h1.data.iter_mut() {
+                    *vx = gelu_fwd_fast(*vx);
+                }
+            } else {
+                for vx in sc.h1.data.iter_mut() {
+                    *vx = gelu_fwd(*vx);
+                }
+            }
+            set_rows(&mut sc.h2, n);
+            project_into(
+                mode,
+                qw.map(|q| &q.w2[li]),
+                &sc.h1,
+                &self.w.w2[li],
+                &mut sc.h2,
+                &mut sc.xq,
+            );
+            for (xv, pv) in sc.x.data.iter_mut().zip(&sc.h2.data) {
+                *xv += pv;
+            }
+        }
+        set_rows(&mut sc.xn, n);
+        for r in 0..n {
+            ln_row_into(&sc.x.data[r * d..(r + 1) * d], &mut sc.xn.data[r * d..(r + 1) * d]);
+        }
+        set_rows(&mut sc.logits, n);
+        project_into(
+            self.kernels,
+            self.quant.as_ref().map(|q| &q.head),
+            &sc.xn,
+            self.w.head,
+            &mut sc.logits,
+            &mut sc.xq,
+        );
+        let vocab = self.vocab;
+        for (r, (seq, _)) in rows.iter_mut().enumerate() {
+            seq.logits.copy_from_slice(&sc.logits.data[r * vocab..(r + 1) * vocab]);
+            seq.pos += 1;
+        }
     }
 }
 
@@ -891,5 +965,34 @@ mod tests {
         assert_eq!(p.kept_prompt_tokens, 0);
         assert_eq!(p.dropped_prompt_tokens, 0);
         assert_eq!(p.new_token_budget, 8);
+    }
+
+    #[test]
+    fn plan_never_underflows_on_overlong_prompts_or_empty_windows() {
+        // Regression: an over-long prompt with `max_new == 0` takes the
+        // untrimmed branch; `kept` must still be clamped to the window or
+        // `max_seq - kept` underflows `usize` (debug-build panic).
+        for prompt_len in [65usize, 100, 1 << 20, usize::MAX] {
+            let p = PromptPlan::new(prompt_len, 0, 64);
+            assert_eq!(p.kept_prompt_tokens, 64);
+            assert_eq!(p.dropped_prompt_tokens, prompt_len - 64);
+            assert_eq!(p.new_token_budget, 0);
+            assert_eq!(p.clamped_new_tokens, 0);
+        }
+        // A zero-length window can neither keep prompt tokens nor decode.
+        for (prompt_len, max_new) in [(0usize, 0usize), (0, 5), (9, 0), (9, 5)] {
+            let p = PromptPlan::new(prompt_len, max_new, 0);
+            assert_eq!(p.kept_prompt_tokens, 0);
+            assert_eq!(p.dropped_prompt_tokens, prompt_len);
+            assert_eq!(p.new_token_budget, 0);
+            assert_eq!(p.clamped_new_tokens, max_new);
+        }
+        // The invariant the window plan sells, at assorted corners.
+        for (pl, mn, ms) in [(64, 0, 64), (64, 1, 64), (63, 0, 64), (65, 1, 64), (1, 1, 1)] {
+            let p = PromptPlan::new(pl, mn, ms);
+            assert!(p.kept_prompt_tokens + p.new_token_budget <= ms, "{pl} {mn} {ms}: {p:?}");
+            assert_eq!(p.kept_prompt_tokens + p.dropped_prompt_tokens, pl);
+            assert_eq!(p.new_token_budget + p.clamped_new_tokens, mn);
+        }
     }
 }

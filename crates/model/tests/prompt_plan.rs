@@ -1,0 +1,83 @@
+//! Property sweep of the context-window planner.
+//!
+//! `PromptPlan::new` is the single clamp between "a request arrived" and
+//! "the decode engine indexes the position-embedding table": every token
+//! it plans must land inside the window, and no input — over-long
+//! prompts, zero budgets, zero-length windows — may panic. A long-lived
+//! `pyranet serve` daemon plans arbitrary client requests, so the corners
+//! the eval harness never hits are exactly the ones that matter here.
+
+use proptest::prelude::*;
+use pyranet_model::decode::PromptPlan;
+
+/// The planner's full invariant set for one input triple.
+fn check(prompt_len: usize, max_new: usize, max_seq: usize) {
+    let p = PromptPlan::new(prompt_len, max_new, max_seq);
+    // Window discipline: what is kept plus what may be decoded fits.
+    assert!(
+        p.kept_prompt_tokens + p.new_token_budget <= max_seq,
+        "({prompt_len}, {max_new}, {max_seq}) overflows the window: {p:?}"
+    );
+    // Conservation: every prompt token is either kept or dropped, every
+    // requested slot either granted or reported clamped.
+    assert_eq!(p.kept_prompt_tokens + p.dropped_prompt_tokens, prompt_len, "{p:?}");
+    assert_eq!(p.new_token_budget + p.clamped_new_tokens, max_new, "{p:?}");
+    // A prompt that fits is never trimmed.
+    if prompt_len < max_seq {
+        assert_eq!(p.dropped_prompt_tokens, 0, "{p:?}");
+    }
+    // A non-empty window with a real request always decodes something.
+    if max_seq > 0 && max_new > 0 {
+        assert!(p.new_token_budget > 0, "({prompt_len}, {max_new}, {max_seq}): {p:?}");
+    }
+    assert_eq!(p.truncated(), p.dropped_prompt_tokens > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Dense sweep around realistic window sizes, including the
+    /// `max_new == 0`, `prompt_len == max_seq`, and `prompt_len > max_seq`
+    /// corners the harness never exercises.
+    #[test]
+    fn plan_invariants_hold_everywhere(
+        prompt_len in 0usize..=4096,
+        max_new in 0usize..=4096,
+        max_seq in 0usize..=4096,
+    ) {
+        check(prompt_len, max_new, max_seq);
+    }
+
+    /// The same invariants with the inputs pinned to each other's
+    /// boundaries, where the underflow regression lived.
+    #[test]
+    fn plan_invariants_hold_at_window_boundaries(
+        max_seq in 0usize..=512,
+        delta in 0usize..=8,
+        max_new in 0usize..=8,
+    ) {
+        // prompt exactly at, just below, and just above the window.
+        check(max_seq, max_new, max_seq);
+        check(max_seq.saturating_sub(delta), max_new, max_seq);
+        check(max_seq + delta, max_new, max_seq);
+        // The regression input shape: overflow with a zero budget.
+        check(max_seq + delta, 0, max_seq);
+    }
+}
+
+#[test]
+fn plan_handles_extreme_inputs_without_panicking() {
+    for (pl, mn, ms) in [
+        (usize::MAX, 0, 64),
+        (usize::MAX, usize::MAX, 64),
+        (usize::MAX, usize::MAX, 0),
+        (0, usize::MAX, 0),
+        (0, 0, 0),
+        (1 << 40, 1 << 40, 1 << 10),
+    ] {
+        let p = PromptPlan::new(pl, mn, ms);
+        assert!(p.kept_prompt_tokens + p.new_token_budget <= ms, "({pl}, {mn}, {ms}): {p:?}");
+        assert_eq!(p.kept_prompt_tokens + p.dropped_prompt_tokens, pl);
+        assert_eq!(p.new_token_budget + p.clamped_new_tokens, mn);
+    }
+}

@@ -63,6 +63,16 @@ use std::time::{Duration, Instant};
 pub const DURATION_BUCKETS: [f64; 12] =
     [1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
 
+/// Default histogram bounds for small integer-valued distributions
+/// (queue depths, batch occupancies).
+pub const DEPTH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Minimum elapsed time a rate gauge accepts. Below this the measurement
+/// is clock noise: dividing by it would set the gauge to `inf` (or an
+/// absurd finite value), which the JSON export then serializes as `null`.
+/// [`MetricsRegistry::rate_gauge`] skips the write instead.
+pub const MIN_RATE_ELAPSED_SECS: f64 = 1e-9;
+
 /// A monotonically increasing counter. Cloning shares the underlying
 /// cell, so a handle resolved once can be bumped lock-free in hot loops.
 #[derive(Debug, Clone, Default)]
@@ -278,6 +288,22 @@ impl MetricsRegistry {
         match self.get_or_insert(name, || Metric::Histogram(Histogram::with_bounds(bounds))) {
             Metric::Histogram(h) => h,
             other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Sets the gauge `name` to the rate `count / secs`, guarding the
+    /// division: an elapsed time under [`MIN_RATE_ELAPSED_SECS`] (a
+    /// zero-duration span on a fast run, a timer that did not tick) or a
+    /// non-finite quotient leaves the gauge untouched — and, on first
+    /// use, unregistered — instead of publishing `inf`/`NaN` (which the
+    /// JSON export would serialize as `null`).
+    pub fn rate_gauge(&self, name: &str, count: f64, secs: f64) {
+        if secs < MIN_RATE_ELAPSED_SECS {
+            return;
+        }
+        let rate = count / secs;
+        if rate.is_finite() {
+            self.gauge(name).set(rate);
         }
     }
 
@@ -553,6 +579,31 @@ mod tests {
         assert_eq!(snap.gauge("c.rate"), Some(1.5));
         assert_eq!(snap.counter("c.rate"), None, "kind-checked accessor");
         assert_eq!(reg.snapshot(), snap, "same state, same snapshot");
+    }
+
+    #[test]
+    fn rate_gauge_guards_degenerate_elapsed_times() {
+        let reg = MetricsRegistry::new();
+        // A zero-duration measurement must not publish `inf` — the gauge
+        // is never even registered, so the snapshot JSON stays free of
+        // `null` values for it.
+        reg.rate_gauge("decode.tokens_per_sec", 1000.0, 0.0);
+        reg.rate_gauge("decode.tokens_per_sec", 1000.0, 1e-12);
+        assert_eq!(reg.snapshot().gauge("decode.tokens_per_sec"), None);
+        let json = reg.snapshot().to_json();
+        assert!(!json.contains("null"), "no gauge should serialize as null: {json}");
+
+        // A real measurement goes through untouched.
+        reg.rate_gauge("decode.tokens_per_sec", 1000.0, 0.5);
+        assert_eq!(reg.snapshot().gauge("decode.tokens_per_sec"), Some(2000.0));
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"value\": 2000"), "{json}");
+        assert!(!json.contains("null"), "{json}");
+
+        // A later degenerate measurement must not clobber a good one.
+        reg.rate_gauge("decode.tokens_per_sec", 4.0, 0.0);
+        reg.rate_gauge("decode.tokens_per_sec", f64::INFINITY, 1.0);
+        assert_eq!(reg.snapshot().gauge("decode.tokens_per_sec"), Some(2000.0));
     }
 
     #[test]

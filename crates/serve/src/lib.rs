@@ -1,0 +1,228 @@
+//! pyranet-serve: a long-lived generation daemon over the decode engine.
+//!
+//! The PyraNet loop this reproduces is "many clients, one model":
+//! requests arrive continuously, and throughput comes from keeping the
+//! lock-step decode batch full — a retiring sequence's slot is refilled
+//! from the admission queue on the very next step (continuous batching)
+//! instead of waiting for the whole batch to drain. Three pieces:
+//!
+//! - [`ServeEngine`]: bounded admission queue → lock-step batch with
+//!   join/leave slots ([`DecodeSession::step_seqs`]), per-request
+//!   ChaCha8 RNG keyed by `(seed, request id)` so completions are
+//!   byte-identical across arrival orders, batch widths, and thread
+//!   counts.
+//! - [`PrefixCache`]: prefilled KV snapshots shared (`Arc`, zero-copy)
+//!   across requests with identical kept prompts, LRU-bounded, with
+//!   token-equality verification against hash collisions.
+//! - Backpressure: a full queue rejects the submit and hands the
+//!   request back — explicit retry, never unbounded buffering.
+//!
+//! [`replay`] drives a whole request file offline (no network), which
+//! is what `pyranet serve --requests FILE.jsonl` and `bench_serve` use.
+//!
+//! [`DecodeSession::step_seqs`]: pyranet_model::DecodeSession::step_seqs
+
+mod cache;
+mod engine;
+mod request;
+
+pub use cache::{token_hash, CacheOutcome, CacheStats, PrefixCache};
+pub use engine::{ServeConfig, ServeEngine, TokenizedRequest};
+pub use request::{read_requests_jsonl, responses_to_jsonl, ServeRequest, ServeResponse};
+
+use pyranet_model::{Tokenizer, TransformerLm};
+
+/// Everything one offline replay produced, plus the counters a bench or
+/// smoke test wants to assert on.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// One response per request, in completion order (sort by `id` for
+    /// byte-stable output).
+    pub responses: Vec<ServeResponse>,
+    /// Total decode tokens emitted.
+    pub decode_tokens: u64,
+    /// Submits that hit a full queue and were retried (backpressure
+    /// events — expected whenever the request file outruns the queue).
+    pub resubmissions: u64,
+    /// Engine pump iterations (lock-step forward steps).
+    pub steps: u64,
+    /// Prefix-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Replays a request list through a fresh [`ServeEngine`] to
+/// completion: tokenize everything up front (parallel, order-stable),
+/// then feed the queue as fast as backpressure allows while pumping.
+/// Deterministic for a given `(cfg.seed, requests)` regardless of
+/// `cfg.max_batch`, `cfg.threads`, or the order of `requests`.
+pub fn replay(
+    lm: &TransformerLm,
+    tk: &Tokenizer,
+    cfg: ServeConfig,
+    requests: &[ServeRequest],
+) -> ReplayOutcome {
+    let obs = pyranet_obs::global();
+    let span = obs.span("serve.replay");
+    let mut engine = ServeEngine::new(lm, tk, cfg);
+    let mut backlog: std::collections::VecDeque<TokenizedRequest> =
+        engine.tokenize_all(requests).into();
+    let mut resubmissions = 0u64;
+    let mut steps = 0u64;
+    loop {
+        while let Some(req) = backlog.pop_front() {
+            if let Err(rejected) = engine.submit_tokenized(req) {
+                // Queue full: put it back and let the batch make room.
+                backlog.push_front(rejected);
+                resubmissions += 1;
+                break;
+            }
+        }
+        let busy = engine.pump();
+        steps += 1;
+        if !busy && backlog.is_empty() {
+            break;
+        }
+    }
+    let decode_tokens = engine.tokens_emitted();
+    obs.rate_gauge("serve.tokens_per_sec", decode_tokens as f64, span.stop().as_secs_f64());
+    ReplayOutcome {
+        responses: engine.take_responses(),
+        decode_tokens,
+        resubmissions,
+        steps,
+        cache: engine.cache_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyranet_model::ModelConfig;
+
+    fn tiny() -> (TransformerLm, Tokenizer) {
+        let tk = Tokenizer::build(
+            [
+                "module m ( input a , input b , output y ) ; assign y = a & b ; endmodule",
+                "module c ( input clk , output reg q ) ; always @ ( posedge clk ) q <= ~ q ; endmodule",
+            ]
+            .iter()
+            .copied(),
+            1,
+        );
+        let cfg = ModelConfig {
+            name: "serve-tiny".into(),
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 48,
+            learning_rate: 1e-3,
+            seed: 11,
+        };
+        let lm = TransformerLm::new(cfg, tk.vocab_size());
+        (lm, tk)
+    }
+
+    fn requests() -> Vec<ServeRequest> {
+        (0..10)
+            .map(|i| ServeRequest {
+                id: format!("req-{i}"),
+                prompt: if i % 2 == 0 { "2:1 mux".into() } else { format!("adder {i}") },
+                max_new_tokens: 6 + i % 5,
+                temperature: 0.8,
+            })
+            .collect()
+    }
+
+    fn by_id(mut rs: Vec<ServeResponse>) -> Vec<ServeResponse> {
+        rs.sort_by(|a, b| a.id.cmp(&b.id));
+        rs
+    }
+
+    #[test]
+    fn completions_are_invariant_under_batch_width_arrival_order_and_threads() {
+        let (lm, tk) = tiny();
+        let reqs = requests();
+        let reference = by_id(
+            replay(&lm, &tk, ServeConfig { max_batch: 1, threads: 1, ..Default::default() }, &reqs)
+                .responses,
+        );
+        assert_eq!(reference.len(), reqs.len());
+
+        let mut reversed = reqs.clone();
+        reversed.reverse();
+        for (max_batch, threads, order) in
+            [(4, 1, &reqs), (8, 2, &reqs), (4, 8, &reversed), (8, 1, &reversed)]
+        {
+            let cfg = ServeConfig { max_batch, threads, ..Default::default() };
+            let got = by_id(replay(&lm, &tk, cfg, order).responses);
+            assert_eq!(got, reference, "max_batch={max_batch} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_and_replay_retries() {
+        let (lm, tk) = tiny();
+        let reqs = requests();
+        let cfg = ServeConfig { max_batch: 2, queue_depth: 1, ..Default::default() };
+        let out = replay(&lm, &tk, cfg, &reqs);
+        assert_eq!(out.responses.len(), reqs.len(), "every rejected submit was retried");
+        assert!(out.resubmissions > 0, "a depth-1 queue must push back on 10 requests");
+
+        // And a raw engine hands the rejected request back unchanged.
+        let cfg = ServeConfig { queue_depth: 1, ..Default::default() };
+        let mut engine = ServeEngine::new(&lm, &tk, cfg);
+        let toks = engine.tokenize_all(&reqs);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for t in toks {
+            match engine.submit_tokenized(t) {
+                Ok(()) => accepted += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        assert_eq!((accepted, rejected), (1, 9));
+    }
+
+    #[test]
+    fn prefix_cache_is_shared_and_transparent() {
+        let (lm, tk) = tiny();
+        let reqs = requests();
+        let cached = replay(&lm, &tk, ServeConfig::default(), &reqs);
+        // Five requests share the "2:1 mux" prompt: one miss, four hits.
+        assert!(cached.cache.hits >= 4, "{:?}", cached.cache);
+        let uncached =
+            replay(&lm, &tk, ServeConfig { prefix_cache_entries: 0, ..Default::default() }, &reqs);
+        assert_eq!(uncached.cache.hits, 0);
+        assert_eq!(by_id(cached.responses), by_id(uncached.responses));
+    }
+
+    #[test]
+    fn budget_zero_and_overlong_requests_finish_cleanly() {
+        let (lm, tk) = tiny();
+        let long_prompt = "mux ".repeat(100);
+        let reqs = vec![
+            ServeRequest {
+                id: "zero".into(),
+                prompt: "mux".into(),
+                max_new_tokens: 0,
+                temperature: 0.5,
+            },
+            ServeRequest {
+                id: "long".into(),
+                prompt: long_prompt,
+                max_new_tokens: 8,
+                temperature: 0.5,
+            },
+        ];
+        let out = replay(&lm, &tk, ServeConfig::default(), &reqs);
+        let rs = by_id(out.responses);
+        assert_eq!(rs.len(), 2);
+        let long = &rs[0];
+        assert_eq!(long.id, "long");
+        assert!(long.dropped_prompt_tokens > 0, "{long:?}");
+        let zero = &rs[1];
+        assert_eq!((zero.completion.as_str(), zero.decode_tokens), ("", 0));
+        assert_eq!(zero.finish_reason, "length");
+    }
+}

@@ -1,0 +1,117 @@
+//! Wire types for the serve daemon: one JSON object per line in, one per
+//! line out.
+//!
+//! The vendored serde derive has no `#[serde(default)]`, so every field
+//! is required on the wire — a request that omits `temperature` is a
+//! malformed request, reported with its line number, not silently
+//! defaulted.
+
+use serde::{Deserialize, Serialize};
+
+/// One generation request, as read from a `--requests` JSONL file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier; also the RNG stream key, so two requests
+    /// with the same id and prompt produce the same completion.
+    pub id: String,
+    /// Problem description fed through [`Tokenizer::encode_prompt`].
+    pub prompt: String,
+    /// Requested completion budget (clamped to the context window).
+    pub max_new_tokens: usize,
+    /// Sampling temperature (0 = greedy argmax).
+    pub temperature: f32,
+}
+
+/// One finished generation, written as a JSONL row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// The request's id, echoed back.
+    pub id: String,
+    /// Decoded completion text (stops at `<eos>`).
+    pub completion: String,
+    /// Tokens actually decoded for this request.
+    pub decode_tokens: u64,
+    /// Prompt tokens dropped from the head to fit the context window.
+    pub dropped_prompt_tokens: u64,
+    /// Requested new-token slots lost to the context window.
+    pub clamped_new_tokens: u64,
+    /// `"eos"` if the model stopped itself, `"length"` if the budget ran
+    /// out (including budget-zero requests finished at admission).
+    pub finish_reason: String,
+}
+
+/// Parses a JSONL request file. Blank lines are skipped; a malformed
+/// line aborts the whole parse with its 1-based line number, because a
+/// replay driver that silently drops requests would make two runs
+/// incomparable.
+pub fn read_requests_jsonl(text: &str) -> Result<Vec<ServeRequest>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: ServeRequest =
+            serde_json::from_str(line).map_err(|e| format!("request line {}: {e}", i + 1))?;
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Serializes responses as JSONL, one object per line, in the order
+/// given (callers sort by id first when byte-stable output matters).
+pub fn responses_to_jsonl(responses: &[ServeResponse]) -> String {
+    let mut out = String::new();
+    for r in responses {
+        out.push_str(&serde_json::to_string(r).expect("response serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips_and_reports_bad_lines() {
+        let reqs = vec![
+            ServeRequest {
+                id: "a".into(),
+                prompt: "2:1 mux".into(),
+                max_new_tokens: 8,
+                temperature: 0.7,
+            },
+            ServeRequest {
+                id: "b".into(),
+                prompt: "adder".into(),
+                max_new_tokens: 0,
+                temperature: 0.0,
+            },
+        ];
+        let text =
+            reqs.iter().map(|r| serde_json::to_string(r).unwrap() + "\n").collect::<String>();
+        let parsed = read_requests_jsonl(&format!("\n{text}\n")).unwrap();
+        assert_eq!(parsed, reqs);
+
+        let err = read_requests_jsonl("{\"id\": \"a\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = read_requests_jsonl(&format!("{text}not json\n")).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn responses_serialize_one_per_line() {
+        let rs = vec![ServeResponse {
+            id: "x".into(),
+            completion: "module m;".into(),
+            decode_tokens: 3,
+            dropped_prompt_tokens: 0,
+            clamped_new_tokens: 1,
+            finish_reason: "eos".into(),
+        }];
+        let text = responses_to_jsonl(&rs);
+        assert_eq!(text.lines().count(), 1);
+        let back: ServeResponse = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(back, rs[0]);
+    }
+}

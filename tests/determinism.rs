@@ -348,3 +348,52 @@ fn eval_is_independent_of_problem_order() {
     backward_sorted.sort_by(|a, b| a.id.cmp(&b.id));
     assert_eq!(forward_sorted, backward_sorted);
 }
+
+#[test]
+fn serve_completions_are_identical_across_arrival_orders_batches_and_threads() {
+    // The serve engine's contract: each request's sampler is keyed by
+    // (seed, request id) and the lock-step forward is row-independent,
+    // so a completion is a pure function of the request — whatever
+    // arrival order the queue saw, however wide the continuous batch
+    // ran, and however many threads tokenized the stream.
+    use pyranet::serve::{replay, ServeConfig, ServeRequest, ServeResponse};
+
+    let (lm, tk) = tiny_model();
+    let requests: Vec<ServeRequest> = (0..12)
+        .map(|i| ServeRequest {
+            id: format!("req-{i}"),
+            prompt: if i % 3 == 0 { "binary counter".into() } else { format!("mux {i}") },
+            max_new_tokens: 4 + (i * 7) % 12,
+            temperature: 0.3 + 0.2 * (i % 3) as f32,
+        })
+        .collect();
+    let by_id = |mut rs: Vec<ServeResponse>| {
+        rs.sort_by(|a, b| a.id.cmp(&b.id));
+        rs
+    };
+    let cfg = |max_batch, threads| ServeConfig { max_batch, threads, ..ServeConfig::default() };
+
+    let reference = by_id(replay(&lm, &tk, cfg(1, 1), &requests).responses);
+    assert_eq!(reference.len(), requests.len());
+
+    // Three shuffled arrival orders: reversed, interleaved (evens then
+    // odds), and rotated — all deterministic permutations.
+    let mut reversed = requests.clone();
+    reversed.reverse();
+    let interleaved: Vec<ServeRequest> = (0..requests.len())
+        .step_by(2)
+        .chain((1..requests.len()).step_by(2))
+        .map(|i| requests[i].clone())
+        .collect();
+    let mut rotated = requests.clone();
+    rotated.rotate_left(5);
+
+    for order in [&requests, &reversed, &interleaved, &rotated] {
+        for max_batch in [1usize, 2, 8] {
+            for threads in THREAD_COUNTS {
+                let got = by_id(replay(&lm, &tk, cfg(max_batch, threads), order).responses);
+                assert_eq!(got, reference, "max_batch = {max_batch}, threads = {threads}");
+            }
+        }
+    }
+}
