@@ -12,8 +12,9 @@
 //! pyranet build-dataset [--files N] [--seed S] [--threads T] [--out F.jsonl]
 //!                       [--out-dir DIR] [--shard-size N]
 //!                       [--sim-check [compiled|reference]]
+//!                       [--cache-dir DIR]
 //! pyranet stats <dataset.jsonl | shard-dir | manifest.json>
-//!                                 # layer pyramid of a built dataset
+//!                                 # layer pyramid + funnel of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
 //!               [--kernel reference|blocked|simd|int8]
 //! pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]
@@ -76,6 +77,7 @@ fn print_usage() {
         \x20            [--backend compiled|reference]\n  \
          pyranet build-dataset [--files N] [--seed S] [--threads T] [--out dataset.jsonl]\n  \
         \x20                     [--out-dir shards/] [--shard-size N] [--sim-check [compiled|reference]]\n  \
+        \x20                     [--cache-dir DIR]\n  \
          pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
         \x20            [--kernel reference|blocked|simd|int8]\n  \
@@ -241,6 +243,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut out_dir: Option<String> = None;
     let mut shard_size: Option<usize> = None;
     let mut sim_check: Option<SimMode> = None;
+    let mut cache_dir: Option<String> = None;
     let mut metrics = MetricsArgs::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -279,6 +282,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             }
             "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
             "--out-dir" => out_dir = Some(it.next().ok_or("--out-dir needs a path")?.clone()),
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+            }
             "--shard-size" => {
                 shard_size = Some(
                     it.next()
@@ -293,27 +299,52 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     if shard_size.is_some() && out_dir.is_none() {
         return Err("--shard-size only applies to sharded output; add --out-dir".into());
     }
+    if let Some(dir) = &cache_dir {
+        // Pre-open to surface an unusable cache root as a clear CLI error;
+        // the pipeline itself degrades silently to an uncached run.
+        pyranet_cache::ArtifactStore::open(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+    }
     let built = PyraNetBuilder::new(BuildOptions {
         scraped_files: files,
         seed,
         threads,
         sim_check,
+        cache_dir: cache_dir.as_ref().map(std::path::PathBuf::from),
         ..BuildOptions::default()
     })
     .build();
     println!("{}", built.funnel.render());
+    if cache_dir.is_some() {
+        // One-line cache summary from the process-global registry: this
+        // process only ran one build, so the totals are this run's.
+        let snap = pyranet::obs::global().snapshot();
+        let count = |name: &str| snap.counter(name).unwrap_or(0);
+        println!(
+            "cache: {} hit(s), {} miss(es), {} write(s), {} invalidated",
+            count("cache.hits"),
+            count("cache.misses"),
+            count("cache.writes"),
+            count("cache.invalidated")
+        );
+    }
     if let Some(dir) = &out_dir {
         // Sharded export: per-layer shards by default, fixed-size when
         // --shard-size is given. Serialization fans out across --threads;
-        // every shard and the manifest are flush-checked.
+        // every shard and the manifest are flush-checked. The manifest
+        // carries the run's funnel and stage provenance.
         let spec = match shard_size {
             Some(n) => ShardSpec::MaxSamples(n),
             None => ShardSpec::PerLayer,
         };
         let exec = pyranet_exec::ExecConfig::new().threads(threads);
+        let meta = pyranet::pipeline::ExportMeta {
+            funnel: Some(built.funnel),
+            provenance: built.provenance.clone(),
+        };
         let manifest = built
             .dataset
-            .to_shards(std::path::Path::new(dir), spec, &exec)
+            .to_shards_with_meta(std::path::Path::new(dir), spec, &exec, meta)
             .map_err(|e| format!("sharded write failed: {e}"))?;
         println!(
             "wrote {} samples to {dir} ({} shard(s) + manifest.json)",
@@ -665,5 +696,31 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             "#".repeat((n * 40).div_ceil(max))
         );
     }
+    // Sharded exports carry the producing run's curation funnel in the
+    // manifest — print it (every rejection stage, including the opt-in
+    // sim check) so the full §III-A.5 funnel is visible without --metrics.
+    if let Some(manifest) = load_manifest_if_sharded(std::path::Path::new(path)) {
+        if let Some(funnel) = &manifest.funnel {
+            println!("funnel:");
+            for line in funnel.render().lines() {
+                println!("  {line}");
+            }
+        }
+    }
     Ok(())
+}
+
+/// The shard manifest for `stats` inputs that are sharded exports (a
+/// directory or a path to its `manifest.json`); `None` for flat JSONL
+/// files or unreadable manifests.
+fn load_manifest_if_sharded(path: &std::path::Path) -> Option<pyranet::pipeline::ShardManifest> {
+    use pyranet::pipeline::persist::MANIFEST_FILE;
+    let dir = if path.is_dir() {
+        path
+    } else if path.file_name().map(|n| n == MANIFEST_FILE).unwrap_or(false) {
+        path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."))
+    } else {
+        return None;
+    };
+    pyranet::pipeline::ShardManifest::load(dir).ok()
 }

@@ -76,6 +76,11 @@ pub struct BuildOptions {
     /// (`None` = disabled, the default). The backend choice is a
     /// performance knob — both modes reject the same samples.
     pub sim_check: Option<pyranet_verilog::SimMode>,
+    /// Opt-in incremental curation cache root (`None` = run every stage
+    /// from scratch). See `pyranet_pipeline::Pipeline::cache_dir`: warm
+    /// rebuilds reuse per-sample stage verdicts and produce byte-identical
+    /// output.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for BuildOptions {
@@ -87,6 +92,7 @@ impl Default for BuildOptions {
             jaccard_threshold: 0.85,
             threads: 0,
             sim_check: None,
+            cache_dir: None,
         }
     }
 }
@@ -106,6 +112,9 @@ pub struct Built {
     pub funnel: Funnel,
     /// Fig. 2 generation funnel.
     pub gen_funnel: pyranet_corpus::llmgen::GenFunnel,
+    /// Stage provenance of the curation configuration (embeddable into
+    /// shard manifests via `ExportMeta`).
+    pub provenance: Vec<pyranet_pipeline::StageProvenance>,
 }
 
 impl PyraNetBuilder {
@@ -128,8 +137,16 @@ impl PyraNetBuilder {
         if let Some(mode) = self.options.sim_check {
             pipeline = pipeline.sim_check(mode);
         }
+        if let Some(dir) = &self.options.cache_dir {
+            pipeline = pipeline.cache_dir(dir.clone());
+        }
         let outcome = pipeline.run(pool.samples);
-        Built { dataset: outcome.dataset, funnel: outcome.funnel, gen_funnel }
+        Built {
+            dataset: outcome.dataset,
+            funnel: outcome.funnel,
+            gen_funnel,
+            provenance: outcome.provenance,
+        }
     }
 }
 

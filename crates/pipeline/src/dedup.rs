@@ -19,9 +19,9 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Number of MinHash permutations.
-const NUM_HASHES: usize = 64;
+pub(crate) const NUM_HASHES: usize = 64;
 /// LSH bands (NUM_HASHES / BANDS rows per band).
-const BANDS: usize = 16;
+pub(crate) const BANDS: usize = 16;
 
 /// Tokenizes a source into the shingle set used for Jaccard similarity.
 ///
@@ -129,6 +129,20 @@ pub fn dedup_with(pool: Vec<RawSample>, threshold: f64, exec: &ExecConfig) -> Ve
         (set, sig)
     });
     let (sets, sigs): (Vec<HashSet<u64>>, Vec<[u64; NUM_HASHES]>) = per_sample.into_iter().unzip();
+    let dead = lsh_sweep(&sets, &sigs, threshold);
+    pool.into_iter().zip(dead).filter(|(_, d)| !*d).map(|(s, _)| s).collect()
+}
+
+/// The cross-sample LSH join: bands the signatures, verifies candidate
+/// pairs with exact Jaccard, and returns which samples die. Shared by the
+/// direct path above and the incremental path (which feeds it cached
+/// signatures) — a sample's duplicate verdict depends on every *other*
+/// sample, so this sweep re-runs on every build regardless of caching.
+pub(crate) fn lsh_sweep(
+    sets: &[HashSet<u64>],
+    sigs: &[[u64; NUM_HASHES]],
+    threshold: f64,
+) -> Vec<bool> {
     // Collect every banding candidate pair, then verify them in ascending
     // (i, j) order — the exact sweep order of the naive algorithm. Bucket
     // iteration order (a per-process `HashMap` artifact) therefore cannot
@@ -150,7 +164,7 @@ pub fn dedup_with(pool: Vec<RawSample>, threshold: f64, exec: &ExecConfig) -> Ve
             }
         }
     }
-    let mut dead = vec![false; pool.len()];
+    let mut dead = vec![false; sets.len()];
     for (i, j) in candidates {
         if dead[i] || dead[j] {
             continue;
@@ -159,7 +173,7 @@ pub fn dedup_with(pool: Vec<RawSample>, threshold: f64, exec: &ExecConfig) -> Ve
             dead[j] = true;
         }
     }
-    pool.into_iter().zip(dead).filter(|(_, d)| !*d).map(|(s, _)| s).collect()
+    dead
 }
 
 /// Reference O(n²) implementation used to validate the LSH path in tests

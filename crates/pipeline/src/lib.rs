@@ -41,21 +41,27 @@ pub mod dataset;
 pub mod dedup;
 pub mod erroneous;
 pub mod filter;
+pub mod incremental;
 pub mod layers;
 pub mod persist;
 pub mod rank;
 pub mod stats;
 
 pub use dataset::{CuratedSample, PyraNetDataset};
+pub use incremental::StageFingerprints;
 pub use layers::Layer;
-pub use persist::{ShardManifest, ShardSpec, ShardStream};
-pub use rank::{rank_sample, Rank};
+pub use persist::{ExportMeta, ShardManifest, ShardSpec, ShardStream};
+pub use pyranet_cache::StageProvenance;
+pub use rank::{rank_sample, Rank, RANK_JUDGE_VERSION};
 pub use stats::Funnel;
 
+use incremental::CurationArtifact;
+use pyranet_cache::{content_hash, ArtifactStore, CacheManifest, Lookup, StageKey};
 use pyranet_corpus::RawSample;
 use pyranet_exec::{par_map, ExecConfig};
 use pyranet_verilog::metrics::ComplexityTier;
 use pyranet_verilog::{check_file, parse, SimDesign, SimMode, SourceFile, SyntaxVerdict};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration for a pipeline run.
@@ -73,12 +79,19 @@ pub struct Pipeline {
     /// (the default) skips the stage and reproduces the historical curated
     /// output byte-for-byte.
     pub sim_check: Option<SimMode>,
+    /// Opt-in incremental cache root ([`Pipeline::cache_dir`]). When set,
+    /// per-sample stage verdicts are read from / written to a
+    /// content-addressed store under this directory, so a rebuild pays
+    /// recompute only for samples whose content (or whose stage's config)
+    /// changed. `None` (the default) runs every stage from scratch. The
+    /// curated output is byte-identical either way.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Pipeline {
     /// Pipeline with the default 0.85 Jaccard threshold and auto threads.
     pub fn new() -> Pipeline {
-        Pipeline { jaccard_threshold: 0.85, threads: 0, sim_check: None }
+        Pipeline { jaccard_threshold: 0.85, threads: 0, sim_check: None, cache_dir: None }
     }
 
     /// Sets the dedup threshold.
@@ -96,6 +109,15 @@ impl Pipeline {
     /// Enables the opt-in simulation check under `mode`.
     pub fn sim_check(mut self, mode: SimMode) -> Pipeline {
         self.sim_check = Some(mode);
+        self
+    }
+
+    /// Enables the incremental artifact cache rooted at `dir` (created on
+    /// first use). An unopenable store degrades to an uncached run
+    /// (counted in `cache.open_errors`) — caching is a performance knob,
+    /// never a correctness gate.
+    pub fn cache_dir(mut self, dir: PathBuf) -> Pipeline {
+        self.cache_dir = Some(dir);
         self
     }
 
@@ -120,52 +142,104 @@ impl Pipeline {
         let exec = self.exec_config();
         let mut funnel = Funnel { collected: pool.len(), ..Funnel::default() };
         let mut timings = StageTimings::default();
+        let fingerprints = StageFingerprints::derive(self.jaccard_threshold, self.sim_check);
+
+        // Open the incremental store if requested. Failure degrades to an
+        // uncached run — caching can only change speed, never output.
+        let store: Option<ArtifactStore> = self.cache_dir.as_deref().and_then(|dir| {
+            ArtifactStore::open(dir).map_err(|_| obs.counter("cache.open_errors").inc()).ok()
+        });
+        let store = store.as_ref();
 
         // Stage 1: empty/broken.
         let span = obs.span("pipeline.stage.broken");
-        let (alive, rejected) = filter::filter_broken(pool);
+        let (alive, rejected) = match store {
+            Some(store) => incremental::filter_stage_cached(
+                store,
+                incremental::STAGE_BROKEN,
+                fingerprints.broken,
+                pool,
+                &exec,
+                filter::is_broken,
+            ),
+            None => filter::filter_broken(pool),
+        };
         funnel.rejected_broken = rejected;
         timings.broken = span.stop();
 
         // Stage 2: module declaration.
         let span = obs.span("pipeline.stage.no_module");
-        let (alive, rejected) = filter::filter_no_module(alive);
+        let (alive, rejected) = match store {
+            Some(store) => incremental::filter_stage_cached(
+                store,
+                incremental::STAGE_NO_MODULE,
+                fingerprints.no_module,
+                alive,
+                &exec,
+                |src| !filter::has_module_decl(src),
+            ),
+            None => filter::filter_no_module(alive),
+        };
         funnel.rejected_no_module = rejected;
         timings.no_module = span.stop();
 
-        // Stage 3: dedup (MinHash signatures computed in parallel).
+        // Stage 3: dedup (MinHash signatures computed in parallel, cached
+        // per sample; the cross-sample LSH join always re-runs — see
+        // `incremental` for why it cannot be cached per sample).
         let span = obs.span("pipeline.stage.dedup");
         let before = alive.len();
-        let alive = dedup::dedup_with(alive, self.jaccard_threshold, &exec);
+        let alive = match store {
+            Some(store) => incremental::dedup_cached(
+                store,
+                fingerprints.dedup_sig,
+                alive,
+                self.jaccard_threshold,
+                &exec,
+            ),
+            None => dedup::dedup_with(alive, self.jaccard_threshold, &exec),
+        };
         funnel.rejected_duplicates = before - alive.len();
         timings.dedup = span.stop();
 
         // Stage 4: syntax check + rank + complexity, one parse per
         // survivor, fanned out across the executor. Each sample's curation
         // is a pure function of the sample, so par_map's determinism
-        // contract makes the outcome thread-count-independent.
+        // contract makes the outcome thread-count-independent — with or
+        // without the cache, whose lookups are content-keyed.
         let span = obs.span("pipeline.stage.syntax_rank");
         timings.syntax_in = alive.len();
         let sim_check = self.sim_check;
+        let syntax_fp = fingerprints.syntax_rank;
         let curated = par_map(&exec, alive, move |s| {
-            let file = match parse(&s.source) {
-                Ok(f) => f,
-                Err(_) => return Curation::Syntax,
-            };
-            match check_file(&file) {
-                SyntaxVerdict::SyntaxError { .. } => Curation::Syntax,
-                verdict => {
-                    let sample = curate_survivor(s, &verdict, &file);
-                    // Opt-in: self-contained survivors must also build and
-                    // settle in the simulator. Dependency-issue samples are
-                    // exempt (their missing modules cannot elaborate) —
-                    // they keep their Layer-6 demotion instead.
-                    if let Some(mode) = sim_check {
-                        if !sample.dependency_issue && !simulates(&file, mode) {
-                            return Curation::Sim;
-                        }
-                    }
-                    Curation::Keep(Box::new(sample))
+            let Some(store) = store else { return curate_one(s, sim_check) };
+            let key =
+                StageKey::new(incremental::STAGE_SYNTAX_RANK, content_hash(&s.source), syntax_fp);
+            match store.get::<CurationArtifact>(&key) {
+                Lookup::Hit(CurationArtifact::Syntax) => Curation::Syntax,
+                Lookup::Hit(CurationArtifact::Sim) => Curation::Sim,
+                Lookup::Hit(CurationArtifact::Keep { rank, tier, layer, dependency_issue }) => {
+                    Curation::Keep(Box::new(incremental::curated_from_artifact(
+                        s,
+                        rank,
+                        tier,
+                        layer,
+                        dependency_issue,
+                    )))
+                }
+                Lookup::Miss | Lookup::Invalid => {
+                    let outcome = curate_one(s, sim_check);
+                    let artifact = match &outcome {
+                        Curation::Syntax => CurationArtifact::Syntax,
+                        Curation::Sim => CurationArtifact::Sim,
+                        Curation::Keep(sample) => CurationArtifact::Keep {
+                            rank: sample.rank,
+                            tier: sample.tier,
+                            layer: sample.layer,
+                            dependency_issue: sample.dependency_issue,
+                        },
+                    };
+                    store.put(&key, &artifact).ok();
+                    outcome
                 }
             }
         });
@@ -202,8 +276,15 @@ impl Pipeline {
         ] {
             obs.counter(&format!("pipeline.funnel.{name}")).add(count as u64);
         }
+        // Record stage provenance. With a live store, also persist it at
+        // the cache root so tools can see what configuration the store
+        // holds (advisory — keys self-invalidate regardless).
+        let provenance = fingerprints.provenance();
+        if let Some(store) = store {
+            CacheManifest::new(provenance.clone()).save(store.root()).ok();
+        }
         drop(run_span);
-        (PipelineOutcome { dataset, funnel }, timings)
+        (PipelineOutcome { dataset, funnel, provenance }, timings)
     }
 }
 
@@ -219,6 +300,32 @@ enum Curation {
     Keep(Box<CuratedSample>),
     Syntax,
     Sim,
+}
+
+/// Curates one dedup survivor from scratch: parse, syntax check, rank,
+/// complexity, and the opt-in sim check. A pure function of the sample's
+/// content and the sim mode — which is what makes the verdict cacheable.
+fn curate_one(s: RawSample, sim_check: Option<SimMode>) -> Curation {
+    let file = match parse(&s.source) {
+        Ok(f) => f,
+        Err(_) => return Curation::Syntax,
+    };
+    match check_file(&file) {
+        SyntaxVerdict::SyntaxError { .. } => Curation::Syntax,
+        verdict => {
+            let sample = curate_survivor(s, &verdict, &file);
+            // Opt-in: self-contained survivors must also build and
+            // settle in the simulator. Dependency-issue samples are
+            // exempt (their missing modules cannot elaborate) —
+            // they keep their Layer-6 demotion instead.
+            if let Some(mode) = sim_check {
+                if !sample.dependency_issue && !simulates(&file, mode) {
+                    return Curation::Sim;
+                }
+            }
+            Curation::Keep(Box::new(sample))
+        }
+    }
 }
 
 /// True when the file's first module elaborates, builds and settles under
@@ -263,6 +370,10 @@ pub struct PipelineOutcome {
     pub dataset: PyraNetDataset,
     /// Per-stage rejection statistics (the §III-A.5 funnel).
     pub funnel: Funnel,
+    /// Stage provenance for this run's configuration (stage name, artifact
+    /// version, config fingerprint) — embeddable into the shard manifest
+    /// via [`ExportMeta`].
+    pub provenance: Vec<StageProvenance>,
 }
 
 /// Wall-clock time spent in each pipeline stage (for the bench harness).

@@ -26,6 +26,8 @@
 
 use crate::dataset::{parse_jsonl_line, CuratedSample, PyraNetDataset};
 use crate::layers::Layer;
+use crate::stats::Funnel;
+use pyranet_cache::StageProvenance;
 use pyranet_exec::{par_map, ExecConfig};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
@@ -34,8 +36,11 @@ use std::path::{Path, PathBuf};
 /// File name of the shard index inside an export directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
 
-/// Manifest schema version written by this build.
-pub const FORMAT_VERSION: u32 = 1;
+/// Manifest schema version written by this build. Version 2 added the
+/// optional curation funnel and the stage-provenance records (both always
+/// present as fields; `funnel` is `null` and `provenance` empty when the
+/// exporter has nothing to record).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// How a dataset is split into shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,8 +76,24 @@ pub struct ShardManifest {
     pub total_samples: u64,
     /// Per-layer sample counts, apex first (the Fig. 1-a pyramid).
     pub layer_counts: [u64; 6],
+    /// The curation funnel of the run that produced this export, when the
+    /// exporter had it (`null` for datasets assembled outside a pipeline
+    /// run).
+    pub funnel: Option<Funnel>,
+    /// Stage provenance of the producing pipeline configuration (stage
+    /// name, artifact version, config fingerprint); empty when unknown.
+    pub provenance: Vec<StageProvenance>,
     /// Shards in import order.
     pub shards: Vec<ShardEntry>,
+}
+
+/// Run metadata an exporter can embed into the shard manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExportMeta {
+    /// The producing run's curation funnel.
+    pub funnel: Option<Funnel>,
+    /// The producing run's stage provenance.
+    pub provenance: Vec<StageProvenance>,
 }
 
 impl ShardManifest {
@@ -133,6 +154,22 @@ impl PyraNetDataset {
         spec: ShardSpec,
         exec: &ExecConfig,
     ) -> io::Result<ShardManifest> {
+        self.to_shards_with_meta(dir, spec, exec, ExportMeta::default())
+    }
+
+    /// [`PyraNetDataset::to_shards`] with run metadata (funnel, stage
+    /// provenance) embedded into the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PyraNetDataset::to_shards`].
+    pub fn to_shards_with_meta(
+        &self,
+        dir: &Path,
+        spec: ShardSpec,
+        exec: &ExecConfig,
+        meta: ExportMeta,
+    ) -> io::Result<ShardManifest> {
         let groups = self.plan_shards(spec)?;
         std::fs::create_dir_all(dir)?;
 
@@ -177,6 +214,8 @@ impl PyraNetDataset {
             format_version: FORMAT_VERSION,
             total_samples: self.len() as u64,
             layer_counts,
+            funnel: meta.funnel,
+            provenance: meta.provenance,
             shards,
         };
         let text = serde_json::to_string_pretty(&manifest)

@@ -38,6 +38,13 @@ impl std::fmt::Display for Rank {
 /// How many rank points one unit of lint penalty costs.
 const PENALTY_SCALE: f64 = 2.5;
 
+/// Version of the deterministic ranking judge. Participates in the
+/// incremental cache's `syntax_rank` config fingerprint: bump it whenever
+/// [`rank_sample`]'s scoring (lint rules, penalty weights, clamping)
+/// changes behaviour, so cached rank verdicts from the old judge are
+/// retired instead of silently reused.
+pub const RANK_JUDGE_VERSION: u32 = 1;
+
 /// Ranks a parsed module with its source text.
 ///
 /// Compilable code never ranks 0 (the paper reserves 0 for syntactically

@@ -46,13 +46,12 @@ impl Funnel {
     }
 
     /// Renders the funnel as aligned text rows (used by the `funnel` bench
-    /// binary).
+    /// binary and the CLI's `build-dataset`/`stats` output). Every
+    /// rejection stage is always listed — including `sim check`, which is
+    /// simply 0 when the opt-in stage is disabled — so consumers diffing
+    /// two renders compare the same rows.
     pub fn render(&self) -> String {
-        let sim_row = if self.rejected_sim > 0 {
-            format!("- sim check          {:>10}\n", self.rejected_sim)
-        } else {
-            String::new()
-        };
+        let sim_row = format!("- sim check          {:>10}\n", self.rejected_sim);
         format!(
             "collected            {:>10}\n\
              - empty/broken       {:>10}\n\
@@ -115,8 +114,9 @@ mod tests {
         assert!(r.contains("2400000"));
         assert!(r.contains("692238"));
         assert!(r.contains("28.8% survival"));
-        assert!(!r.contains("sim check"), "disabled stage stays out of the render");
+        assert!(r.contains("sim check"), "sim row always renders (0 when disabled)");
         let with_sim = Funnel { rejected_sim: 5, curated: 692_233, ..f };
         assert!(with_sim.render().contains("sim check"));
+        assert!(with_sim.render().lines().any(|l| l.contains("sim check") && l.contains('5')));
     }
 }
