@@ -23,7 +23,11 @@
 //!
 //! Honours `PYRANET_SCALE` (`quick` for the CI smoke run, `full` default).
 
-use pyranet::eval::{machine_split, sample_temperature};
+use pyranet::eval::testbench::golden_source;
+use pyranet::eval::{
+    machine_split, sample_temperature, CheckStrategy, ProblemBench, SimMode, SimStats,
+    DEFAULT_MAX_EQ_INPUTS,
+};
 use pyranet::model::decode::DecodeSession;
 use pyranet::model::{KernelMode, ModelConfig, SampleOptions, Tokenizer, TransformerLm};
 use pyranet_bench::Scale;
@@ -65,6 +69,23 @@ struct PerProblem {
 }
 
 #[derive(Serialize)]
+struct EquivalenceReport {
+    /// Problems swept (golden vs golden, so every verdict is Pass).
+    problems: u64,
+    /// Checks that ran the exhaustive input sweep.
+    exhaustive: u64,
+    /// Checks that fell back to stimulus vectors (sequential or over the
+    /// input-bit cap).
+    fallback: u64,
+    /// Total input vectors driven across both backends.
+    vectors: u64,
+    /// Wall seconds (fastest repeat).
+    secs: f64,
+    /// Vector throughput.
+    vectors_per_sec: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     /// `std::thread::available_parallelism()` on the benchmarking host.
     host_parallelism: u64,
@@ -88,6 +109,10 @@ struct BenchReport {
     /// Int8 session decode throughput over the f32 session (tokens/sec
     /// ratio — the two paths produce different token counts).
     speedup_int8_vs_session: f64,
+    /// Equivalence-mode functional scoring (`eval --check equivalence`):
+    /// golden designs checked against themselves with the exhaustive
+    /// input sweep, bounded by the default input-bit cap.
+    equivalence: EquivalenceReport,
     /// Per-problem wall times.
     per_problem: Vec<PerProblem>,
 }
@@ -233,6 +258,53 @@ fn main() {
         session_int8.secs, session_int8.tokens_per_sec
     );
 
+    // Equivalence-mode scoring row: drive every golden design against
+    // itself with the exhaustive-sweep strategy. Pure simulator work — no
+    // decode happens here, so the decode.* counters audited below are
+    // untouched by this section.
+    let mut eq_secs = f64::INFINITY;
+    let mut eq_stats = SimStats::default();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let mut stats = SimStats::default();
+        for problem in &problems {
+            let golden = golden_source(&problem.family);
+            let mut bench = ProblemBench::new_with_check(
+                &problem.family,
+                SimMode::Compiled,
+                CheckStrategy::Equivalence { max_input_bits: DEFAULT_MAX_EQ_INPUTS },
+            );
+            let v = bench.check(&golden);
+            assert!(v.is_pass(), "golden design fails self-equivalence on {}", problem.id);
+            stats.merge(&bench.stats);
+        }
+        eq_secs = eq_secs.min(start.elapsed().as_secs_f64());
+        eq_stats = stats;
+    }
+    let equivalence = EquivalenceReport {
+        problems: problems.len() as u64,
+        exhaustive: eq_stats.exhaustive_checks,
+        fallback: eq_stats.fallback_checks,
+        vectors: eq_stats.vectors,
+        secs: eq_secs,
+        vectors_per_sec: if eq_secs > 0.0 { eq_stats.vectors as f64 / eq_secs } else { 0.0 },
+    };
+    assert_eq!(
+        equivalence.exhaustive + equivalence.fallback,
+        equivalence.problems,
+        "every problem resolves to exactly one strategy"
+    );
+    eprintln!(
+        "equivalence: {} problem(s), {} exhaustive / {} fallback, {} vectors in {:.3}s \
+         ({:.0} vec/s)",
+        equivalence.problems,
+        equivalence.exhaustive,
+        equivalence.fallback,
+        equivalence.vectors,
+        equivalence.secs,
+        equivalence.vectors_per_sec
+    );
+
     let report = BenchReport {
         host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
         problems: problems.len() as u64,
@@ -244,6 +316,7 @@ fn main() {
         session_int8,
         speedup_vs_naive: speedup,
         speedup_int8_vs_session: speedup_int8,
+        equivalence,
         per_problem,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");

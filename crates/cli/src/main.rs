@@ -17,10 +17,12 @@
 //!                                 # layer pyramid + funnel of a built dataset
 //! pyranet train [--files N] [--batch-size B] [--epochs E] [--threads T]
 //!               [--kernel reference|blocked|simd|int8]
+//!               [--recipe sft|repair] [--repair-out FILE.jsonl]
 //! pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]
 //!              [--threads T] [--seed S] [--engine session|per-sample]
 //!              [--kernel reference|blocked|simd|int8]
-//!              [--sim compiled|reference] [--files N] [--epochs E] [--json OUT]
+//!              [--sim compiled|reference] [--check stimulus|equivalence]
+//!              [--max-eq-inputs N] [--files N] [--epochs E] [--json OUT]
 //! pyranet serve --requests FILE.jsonl [--out FILE.jsonl] [--max-batch N]
 //!               [--queue-depth N] [--prefix-cache N] [--seed S] [--threads T]
 //!               [--kernel reference|blocked|simd|int8] [--files N] [--epochs E]
@@ -35,7 +37,9 @@
 use pyranet::model::{ModelConfig, TransformerLm};
 use pyranet::pipeline::rank::{rank_sample, render_response};
 use pyranet::pipeline::ShardSpec;
-use pyranet::train::{build_tokenizer, SftTrainer};
+use pyranet::train::{
+    build_tokenizer, export_repair_jsonl, repair_pairs, RepairTrainer, SftTrainer,
+};
 use pyranet::verilog::lint::lint_module;
 use pyranet::verilog::metrics::{measure, ComplexityTier};
 use pyranet::verilog::{check_source, parse_module, SimDesign, SimMode, SyntaxVerdict};
@@ -80,10 +84,12 @@ fn print_usage() {
         \x20                     [--cache-dir DIR]\n  \
          pyranet stats <dataset.jsonl | shard-dir | manifest.json>\n  \
          pyranet train [--files N] [--seed S] [--threads T] [--batch-size B] [--epochs E] [--max-examples M]\n  \
-        \x20            [--kernel reference|blocked|simd|int8]\n  \
+        \x20            [--kernel reference|blocked|simd|int8] [--recipe sft|repair]\n  \
+        \x20            [--repair-out FILE.jsonl]\n  \
          pyranet eval [--split machine|human|both] [--samples N] [--max-new-tokens N]\n  \
         \x20            [--threads T] [--seed S] [--engine session|per-sample]\n  \
         \x20            [--kernel reference|blocked|simd|int8] [--sim compiled|reference]\n  \
+        \x20            [--check stimulus|equivalence] [--max-eq-inputs N]\n  \
         \x20            [--files N] [--epochs E] [--json OUT]\n  \
          pyranet serve --requests FILE.jsonl [--out FILE.jsonl] [--max-batch N]\n  \
         \x20            [--queue-depth N] [--prefix-cache N] [--seed S] [--threads T]\n  \
@@ -374,6 +380,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut seed = BuildOptions::default().seed;
     let mut cfg = TrainConfig::default();
     let mut metrics = MetricsArgs::default();
+    let mut recipe = "sft".to_owned();
+    let mut repair_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |flag: &str| -> Result<usize, String> {
@@ -396,10 +404,22 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "--kernel" => {
                 cfg.kernel = it.next().ok_or("--kernel needs a kernel family")?.parse()?;
             }
+            "--recipe" => {
+                recipe = it.next().ok_or("--recipe needs sft|repair")?.clone();
+                if recipe != "sft" && recipe != "repair" {
+                    return Err(format!("bad --recipe `{recipe}` (sft|repair)"));
+                }
+            }
+            "--repair-out" => {
+                repair_out = Some(it.next().ok_or("--repair-out needs a path")?.clone());
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     cfg.seed = seed;
+    if repair_out.is_some() && recipe != "repair" {
+        return Err("--repair-out only applies to --recipe repair".into());
+    }
     let built =
         PyraNetBuilder::new(BuildOptions { scraped_files: files, seed, ..BuildOptions::default() })
             .build();
@@ -416,13 +436,23 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     };
     let mut lm = TransformerLm::new(model_cfg, tk.vocab_size());
     println!(
-        "training on {} samples (batch size {}, {} epoch(s), threads {})",
+        "training on {} samples (recipe {recipe}, batch size {}, {} epoch(s), threads {})",
         built.dataset.len(),
         cfg.batch_size,
         cfg.epochs,
         if cfg.threads == 0 { "auto".to_owned() } else { cfg.threads.to_string() }
     );
-    let report = SftTrainer::run(&mut lm, &tk, &built.dataset, &cfg);
+    let report = if recipe == "repair" {
+        if let Some(path) = &repair_out {
+            let pairs = repair_pairs(&built.dataset, cfg.seed);
+            export_repair_jsonl(&pairs, std::path::Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} repair pair(s) to {path}", pairs.len());
+        }
+        RepairTrainer::run(&mut lm, &tk, &built.dataset, &cfg)
+    } else {
+        SftTrainer::run(&mut lm, &tk, &built.dataset, &cfg)
+    };
     for p in &report.phases {
         println!(
             "  phase {:<12} {:>5} examples  {:>5} steps  loss {:.4} -> {:.4}",
@@ -468,6 +498,10 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
             }
             "--kernel" => opts.kernel = val("--kernel")?.parse()?,
             "--sim" => opts.sim = val("--sim")?.parse()?,
+            "--check" => opts.check = val("--check")?.parse()?,
+            "--max-eq-inputs" => {
+                opts.max_eq_inputs = num("--max-eq-inputs", val("--max-eq-inputs"))? as u32;
+            }
             "--files" => files = num("--files", val("--files"))?,
             "--epochs" => epochs = num("--epochs", val("--epochs"))?.max(1),
             "--json" => json = Some(val("--json")?),

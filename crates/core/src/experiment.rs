@@ -7,7 +7,9 @@ use pyranet_pipeline::PyraNetDataset;
 use pyranet_train::ablation::{CurriculumOnly, WeightingOnly};
 use pyranet_train::baselines::{MgVerilog, OriGen, RtlCoder};
 use pyranet_train::pretrain::{budget_for, pretrain_cached};
-use pyranet_train::{ExampleCache, PyraNetTrainer, SftTrainer, TrainConfig, TrainReport};
+use pyranet_train::{
+    ExampleCache, PyraNetTrainer, RepairTrainer, SftTrainer, TrainConfig, TrainReport,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -32,6 +34,8 @@ pub enum Recipe {
     WeightingOnly,
     /// Ablation: curriculum ordering without loss weighting.
     CurriculumOnly,
+    /// Repair SFT: defect-injected module in, clean original out.
+    Repair,
 }
 
 impl Recipe {
@@ -47,6 +51,7 @@ impl Recipe {
             Recipe::Erroneous => "erroneous dataset",
             Recipe::WeightingOnly => "weighting-only",
             Recipe::CurriculumOnly => "curriculum-only",
+            Recipe::Repair => "repair",
         }
     }
 }
@@ -180,6 +185,9 @@ impl Experiment {
             }
             Recipe::CurriculumOnly => {
                 CurriculumOnly::run_cached(&mut model, tk, &self.dataset, &opts.train, cache)
+            }
+            Recipe::Repair => {
+                RepairTrainer::run_cached(&mut model, tk, &self.dataset, &opts.train, cache)
             }
         };
         RecipeRun { name: format!("{} {}", base.cfg.name, recipe.label()), model, report }

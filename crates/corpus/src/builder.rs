@@ -55,6 +55,7 @@ pub struct CorpusBuilder {
     scraped: usize,
     mix: PoolMix,
     with_llm_generation: bool,
+    spec_samples: usize,
     threads: usize,
 }
 
@@ -86,6 +87,7 @@ enum Plan {
 const STREAM_PLAN: u64 = 0x504C_414E; // "PLAN"
 const STREAM_GEN: u64 = 0x4745_4E45; // "GENE"
 const STREAM_LLM: u64 = 0x4C4C_4D47; // "LLMG"
+const STREAM_SPEC: u64 = 0x5350_4543; // "SPEC"
 
 impl CorpusBuilder {
     /// Creates a builder with the paper-shaped default mix.
@@ -95,6 +97,7 @@ impl CorpusBuilder {
             scraped: 2400,
             mix: PoolMix::default(),
             with_llm_generation: true,
+            spec_samples: 0,
             threads: 0,
         }
     }
@@ -114,6 +117,16 @@ impl CorpusBuilder {
     /// Enables/disables the Fig. 2 pseudo-LLM generation stage.
     pub fn llm_generation(mut self, on: bool) -> CorpusBuilder {
         self.with_llm_generation = on;
+        self
+    }
+
+    /// Mixes in `n` correct-by-construction spec pairs (truth-table / FSM
+    /// transition-table descriptions rendered from the golden design by
+    /// the simulator; see [`crate::spec`]). Off by default — the spec
+    /// stream is purely additive, so the scraped and LLM-generated pool
+    /// bytes are unchanged at any value of `n`.
+    pub fn spec_samples(mut self, n: usize) -> CorpusBuilder {
+        self.spec_samples = n;
         self
     }
 
@@ -266,6 +279,31 @@ impl CorpusBuilder {
             gen_funnel = funnel;
             samples.extend(responses.into_iter().map(|r| r.sample));
         }
+
+        // Optional additive stream: correct-by-construction spec pairs,
+        // each verified against the simulator at generation time. Ids
+        // continue after everything above; sample `i` draws from its own
+        // stream so the fan-out is thread-count invariant like Phase B.
+        if self.spec_samples > 0 {
+            let spec_master = stream_seed(self.seed, STREAM_SPEC);
+            let spec_catalog = DesignFamily::spec_catalog();
+            let base_id = samples.iter().map(|s| s.id + 1).max().unwrap_or(0);
+            let spec_catalog_ref = &spec_catalog;
+            let specs: Vec<RawSample> = par_map(&exec, (0..self.spec_samples).collect(), |i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(spec_master, i as u64));
+                let family = &spec_catalog_ref[rng.random_range(0..spec_catalog_ref.len())];
+                let style = StyleOptions::sampled(rng.random::<f64>() * 0.4, &mut rng);
+                let d = generate(family, &style, &mut rng);
+                RawSample::new(
+                    base_id + i as u64,
+                    d.source,
+                    d.description,
+                    Origin::SpecRendered,
+                    TruthLabel::Clean,
+                )
+            });
+            samples.extend(specs);
+        }
         CorpusPool { samples, gen_funnel }
     }
 }
@@ -337,6 +375,37 @@ mod tests {
         let n = ids.len();
         ids.dedup();
         assert_eq!(n, ids.len());
+    }
+
+    #[test]
+    fn spec_samples_are_additive_and_thread_invariant() {
+        let base = CorpusBuilder::new(11).scraped_files(50).llm_generation(false).build();
+        let with =
+            CorpusBuilder::new(11).scraped_files(50).llm_generation(false).spec_samples(8).build();
+        assert_eq!(
+            &with.samples[..base.samples.len()],
+            &base.samples[..],
+            "the spec stream must not perturb the existing pool bytes"
+        );
+        assert_eq!(with.count_origin(Origin::SpecRendered), 8);
+        for s in with.samples.iter().filter(|s| s.origin == Origin::SpecRendered) {
+            assert!(s.description.contains('|'), "sample {} has no table", s.id);
+            assert!(pyranet_verilog::check_source(&s.source).is_compilable());
+            assert_eq!(s.truth, TruthLabel::Clean);
+        }
+        let t1 = CorpusBuilder::new(11)
+            .scraped_files(50)
+            .llm_generation(false)
+            .spec_samples(8)
+            .threads(1)
+            .build();
+        let t8 = CorpusBuilder::new(11)
+            .scraped_files(50)
+            .llm_generation(false)
+            .spec_samples(8)
+            .threads(8)
+            .build();
+        assert_eq!(t1.samples, t8.samples, "spec stream must be thread-count invariant");
     }
 
     #[test]

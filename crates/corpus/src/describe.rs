@@ -142,6 +142,19 @@ fn body_text(family: &DesignFamily, ports: &[(String, String)]) -> String {
             "a {width}-bit saturating counter that counts up or down and clamps at its limits"
         ),
         Majority => "a three input majority voter".to_owned(),
+        // Spec-pair families never reach this renderer — `generate`
+        // dispatches them to `crate::spec`, which derives the description
+        // from the simulated design. The arms exist for exhaustiveness and
+        // for anyone describing the family out of band.
+        TruthTable { base } => {
+            format!("{}, specified by its complete truth table", body_text(base, ports))
+        }
+        FsmTable { pattern } => {
+            let bits: String = pattern.iter().map(|b| if *b { '1' } else { '0' }).collect();
+            format!(
+                "a sequence detector for the bits {bits}, specified by its transition table"
+            )
+        }
     }
 }
 

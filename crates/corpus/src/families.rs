@@ -168,6 +168,23 @@ pub enum DesignFamily {
     },
     /// Three-input majority voter.
     Majority,
+    /// Correct-by-construction truth-table spec pair: the golden code of
+    /// `base` (a small combinational family) paired with a description that
+    /// is its full truth table, rendered *from* the elaborated design by
+    /// the simulator and re-verified against it at generation time.
+    TruthTable {
+        /// Underlying combinational family (small total input width).
+        base: Box<DesignFamily>,
+    },
+    /// Correct-by-construction FSM transition-table spec: a sequence
+    /// detector paired with a description tabulating, for every input bit
+    /// string of the pattern's length, the hit outputs the golden design
+    /// produces from reset — again rendered by, and re-verified against,
+    /// the simulator.
+    FsmTable {
+        /// Pattern of the underlying sequence detector.
+        pattern: Vec<bool>,
+    },
 }
 
 impl DesignFamily {
@@ -205,6 +222,8 @@ impl DesignFamily {
             | BcdCounter
             | Fifo { .. }
             | SaturatingCounter { .. } => Category::Sequential,
+            TruthTable { .. } => Category::Combinational,
+            FsmTable { .. } => Category::Sequential,
         }
     }
 
@@ -251,6 +270,10 @@ impl DesignFamily {
             Fifo { addr_width, data_width } => format!("fifo_{addr_width}x{data_width}"),
             SaturatingCounter { width } => format!("sat_counter_{width}"),
             Majority => "majority3".into(),
+            // Spec pairs keep the base module's name: the *code* side of
+            // the pair is the base golden design, verbatim.
+            TruthTable { base } => base.module_name(),
+            FsmTable { pattern } => SequenceDetector { pattern: pattern.clone() }.module_name(),
         }
     }
 
@@ -284,6 +307,8 @@ impl DesignFamily {
             }
             SevenSeg => "decoder",
             Majority => "parity",
+            TruthTable { base } => base.base_keyword(),
+            FsmTable { .. } => "fsm",
         }
     }
 
@@ -357,6 +382,40 @@ impl DesignFamily {
         out.retain(|f| seen.insert(f.module_name()));
         out
     }
+
+    /// Spec-pair families: each renders a non-textual spec (truth table or
+    /// FSM transition table) *from* its golden design via the simulator.
+    ///
+    /// Deliberately **not** part of [`DesignFamily::catalog`]: the builder's
+    /// plan phase draws family indices from the catalog, so growing it would
+    /// shift every existing sample and break the byte-pinned shard digests.
+    /// Spec pairs are mixed in additively via `CorpusBuilder::spec_samples`.
+    pub fn spec_catalog() -> Vec<DesignFamily> {
+        use DesignFamily::*;
+        // Bases are capped at 5 total input bits (32 truth-table rows) so
+        // the rendered spec stays a readable description.
+        let mut out: Vec<DesignFamily> = [
+            HalfAdder,
+            FullAdder,
+            Majority,
+            Multiplier { width: 2 },
+            Comparator { width: 2 },
+            Decoder { width: 2 },
+            Parity { width: 4, even: true },
+            Parity { width: 5, even: false },
+            BinToGray { width: 4 },
+            Mux { sel_width: 1, width: 2 },
+        ]
+        .into_iter()
+        .map(|f| TruthTable { base: Box::new(f) })
+        .collect();
+        for pat in
+            [[true, false, true].as_slice(), &[false, true, true], &[true, true, false, true]]
+        {
+            out.push(FsmTable { pattern: pat.to_vec() });
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +445,31 @@ mod tests {
     #[test]
     fn module_names_are_snake_case() {
         for f in DesignFamily::catalog() {
+            let n = f.module_name();
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_catalog_is_disjoint_from_the_default_catalog() {
+        // The default catalog feeds the builder's byte-pinned plan phase;
+        // spec families must never leak into it.
+        let cat = DesignFamily::catalog();
+        assert!(!cat
+            .iter()
+            .any(|f| matches!(f, DesignFamily::TruthTable { .. } | DesignFamily::FsmTable { .. })));
+        let specs = DesignFamily::spec_catalog();
+        assert!(specs.len() >= 12, "spec catalog has {} entries", specs.len());
+        assert!(specs
+            .iter()
+            .all(|f| matches!(f, DesignFamily::TruthTable { .. } | DesignFamily::FsmTable { .. })));
+        // Both spec kinds are represented, and names stay snake_case.
+        assert!(specs.iter().any(|f| f.category() == Category::Combinational));
+        assert!(specs.iter().any(|f| f.category() == Category::Sequential));
+        for f in &specs {
             let n = f.module_name();
             assert!(
                 n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),

@@ -58,6 +58,13 @@ pub(crate) struct Rendered {
 /// the whole catalog.
 pub fn generate<R: Rng>(family: &DesignFamily, style: &StyleOptions, rng: &mut R) -> Design {
     use DesignFamily::*;
+    // Spec-pair families render their description *from* the golden design
+    // via the simulator (and re-verify it); they have their own path.
+    match family {
+        TruthTable { base } => return crate::spec::generate_truth_table(base, style, rng),
+        FsmTable { pattern } => return crate::spec::generate_fsm_table(pattern, style, rng),
+        _ => {}
+    }
     let rendered = match family {
         HalfAdder => arith::half_adder(style),
         FullAdder => arith::full_adder(style),
@@ -91,6 +98,7 @@ pub fn generate<R: Rng>(family: &DesignFamily, style: &StyleOptions, rng: &mut R
         Fifo { addr_width, data_width } => misc::fifo(*addr_width, *data_width, style),
         SaturatingCounter { width } => misc::saturating_counter(*width, style),
         Majority => misc::majority(style),
+        TruthTable { .. } | FsmTable { .. } => unreachable!("handled above"),
     };
     let module = parse_module(&rendered.source).unwrap_or_else(|e| {
         panic!("generator for {family:?} produced unparseable code: {e}\n{}", rendered.source)

@@ -40,6 +40,7 @@ pub mod gen;
 pub mod keywords;
 pub mod llmgen;
 pub mod sample;
+pub mod spec;
 pub mod style;
 
 pub use builder::{CorpusBuilder, CorpusPool};

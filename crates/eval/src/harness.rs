@@ -3,7 +3,9 @@
 
 use crate::passk::pass_at_k;
 use crate::problems::{Problem, Split};
-use crate::testbench::{FunctionalVerdict, ProblemBench, SimStats};
+use crate::testbench::{
+    CheckStrategy, FunctionalVerdict, ProblemBench, SimStats, DEFAULT_MAX_EQ_INPUTS,
+};
 use pyranet_exec::{par_map, stream_seed_str, ExecConfig};
 use pyranet_model::decode::{DecodeSession, PromptPlan};
 use pyranet_model::{KernelMode, SampleOptions, Tokenizer, TransformerLm};
@@ -30,6 +32,40 @@ pub enum EngineMode {
     /// decodes alone. Kept as the reference path for equivalence pins and
     /// the `bench_eval` baseline.
     PerSample,
+}
+
+/// Functional-check strategy for the harness (`--check` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CheckMode {
+    /// Fixed pseudo-random stimulus vectors (the historical check).
+    #[default]
+    Stimulus,
+    /// Exhaustive equivalence sweep for small combinational problems,
+    /// bounded by [`EvalOptions::max_eq_inputs`]; problems over the cap and
+    /// sequential problems fall back to stimulus vectors. Strictly stronger
+    /// than stimulus scoring, still RNG-free and deterministic.
+    Equivalence,
+}
+
+impl std::fmt::Display for CheckMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CheckMode::Stimulus => "stimulus",
+            CheckMode::Equivalence => "equivalence",
+        })
+    }
+}
+
+impl std::str::FromStr for CheckMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CheckMode, String> {
+        match s {
+            "stimulus" => Ok(CheckMode::Stimulus),
+            "equivalence" => Ok(CheckMode::Equivalence),
+            other => Err(format!("unknown check mode `{other}` (expected stimulus|equivalence)")),
+        }
+    }
 }
 
 /// Evaluation options.
@@ -63,6 +99,13 @@ pub struct EvalOptions {
     /// build and is gated by a pass@k parity test against f32. The legacy
     /// per-sample engine ignores this and always decodes in f32.
     pub kernel: KernelMode,
+    /// Functional-check strategy (`--check` on the CLI).
+    pub check: CheckMode,
+    /// Input-bit cap for the exhaustive equivalence sweep
+    /// (`--max-eq-inputs`): combinational problems whose total input width
+    /// fits are swept over all `2^bits` assignments; the rest use stimulus
+    /// vectors. Ignored under [`CheckMode::Stimulus`].
+    pub max_eq_inputs: u32,
 }
 
 impl Default for EvalOptions {
@@ -77,6 +120,8 @@ impl Default for EvalOptions {
             engine: EngineMode::default(),
             sim: SimMode::default(),
             kernel: KernelMode::default(),
+            check: CheckMode::default(),
+            max_eq_inputs: DEFAULT_MAX_EQ_INPUTS,
         }
     }
 }
@@ -245,7 +290,13 @@ pub fn evaluate(
         let mut valid = 0u32;
         // The golden model is prepared (and, in compiled mode, lowered to
         // bytecode) once per problem and reused across all n samples.
-        let mut bench = ProblemBench::new(&problem.family, opts.sim);
+        let strategy = match opts.check {
+            CheckMode::Stimulus => CheckStrategy::Stimulus,
+            CheckMode::Equivalence => {
+                CheckStrategy::Equivalence { max_input_bits: opts.max_eq_inputs }
+            }
+        };
+        let mut bench = ProblemBench::new_with_check(&problem.family, opts.sim, strategy);
         // Identical completions are common at low temperature; their
         // verdicts are deduplicated by content hash so each distinct
         // candidate is simulated exactly once.
@@ -306,6 +357,11 @@ pub fn evaluate(
     obs.counter("sim.cache_hits").add(cache_hits);
     obs.counter("sim.vectors").add(sim_stats.vectors);
     obs.counter("sim.steps").add(sim_stats.steps);
+    if opts.check == CheckMode::Equivalence {
+        obs.counter("eval.equivalence.exhaustive").add(sim_stats.exhaustive_checks);
+        obs.counter("eval.equivalence.fallback").add(sim_stats.fallback_checks);
+        obs.counter("eval.equivalence.vectors").add(sim_stats.vectors);
+    }
     obs.histogram("sim.compile.seconds", &pyranet_obs::DURATION_BUCKETS)
         .observe(sim_stats.compile_time.as_secs_f64());
     obs.histogram("sim.run.seconds", &pyranet_obs::DURATION_BUCKETS)

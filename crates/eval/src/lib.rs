@@ -26,10 +26,11 @@ pub mod passk;
 pub mod problems;
 pub mod testbench;
 
-pub use harness::{evaluate, sample_temperature, EngineMode, EvalOptions, EvalResult};
+pub use harness::{evaluate, sample_temperature, CheckMode, EngineMode, EvalOptions, EvalResult};
 pub use passk::pass_at_k;
 pub use problems::{human_split, machine_split, Problem, Split};
 pub use pyranet_verilog::SimMode;
 pub use testbench::{
-    check_functional, check_functional_with, FunctionalVerdict, ProblemBench, SimStats,
+    check_functional, check_functional_with, CheckStrategy, FunctionalVerdict, ProblemBench,
+    SimStats, DEFAULT_MAX_EQ_INPUTS,
 };

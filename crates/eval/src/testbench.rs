@@ -19,6 +19,7 @@ use pyranet_corpus::families::{Category, DesignFamily};
 use pyranet_corpus::gen::generate;
 use pyranet_corpus::style::StyleOptions;
 use pyranet_verilog::ast::PortDir;
+use pyranet_verilog::sim::exhaustive_assignments;
 use pyranet_verilog::{parse, SimDesign, SimInstance, SimMode};
 use rand::Rng;
 use rand::SeedableRng;
@@ -52,6 +53,27 @@ impl FunctionalVerdict {
     }
 }
 
+/// How a candidate's outputs are compared against the golden model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// Drive both designs with 48 fixed pseudo-random stimulus vectors (the
+    /// historical check).
+    Stimulus,
+    /// Exhaustive equivalence check: for combinational designs whose total
+    /// input width fits in the bit cap, sweep *every* input assignment in
+    /// ascending order — a pass means the candidate matches the golden
+    /// truth table everywhere. Designs over the cap, and all sequential
+    /// designs, fall back to the stimulus vectors.
+    Equivalence {
+        /// Maximum total input bits swept exhaustively (2^bits vectors).
+        max_input_bits: u32,
+    },
+}
+
+/// Default input-bit cap for [`CheckStrategy::Equivalence`] (2^12 = 4096
+/// assignments at most — milliseconds on the bytecode VM).
+pub const DEFAULT_MAX_EQ_INPUTS: u32 = 12;
+
 /// Simulation-work counters accumulated by a [`ProblemBench`], reported
 /// into the `sim.*` metrics by the eval harness.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +88,12 @@ pub struct SimStats {
     pub compile_time: Duration,
     /// Wall time spent driving vectors.
     pub run_time: Duration,
+    /// Candidate checks scored by an exhaustive input sweep
+    /// ([`CheckStrategy::Equivalence`] within the bit cap).
+    pub exhaustive_checks: u64,
+    /// Equivalence-mode checks that fell back to stimulus vectors
+    /// (sequential design or inputs over the cap).
+    pub fallback_checks: u64,
 }
 
 impl SimStats {
@@ -76,6 +104,8 @@ impl SimStats {
         self.steps += other.steps;
         self.compile_time += other.compile_time;
         self.run_time += other.run_time;
+        self.exhaustive_checks += other.exhaustive_checks;
+        self.fallback_checks += other.fallback_checks;
     }
 }
 
@@ -161,6 +191,7 @@ struct Prepared {
 /// own front-end cost plus a cheap golden re-instantiation.
 pub struct ProblemBench {
     mode: SimMode,
+    check: CheckStrategy,
     sequential: bool,
     prep: Result<Prepared, FunctionalVerdict>,
     /// Simulation-work counters across all checks so far.
@@ -168,8 +199,19 @@ pub struct ProblemBench {
 }
 
 impl ProblemBench {
-    /// Prepares the golden model of `family` under `mode`.
+    /// Prepares the golden model of `family` under `mode`, scoring with
+    /// stimulus vectors.
     pub fn new(family: &DesignFamily, mode: SimMode) -> ProblemBench {
+        ProblemBench::new_with_check(family, mode, CheckStrategy::Stimulus)
+    }
+
+    /// Prepares the golden model of `family` under `mode` with an explicit
+    /// check strategy.
+    pub fn new_with_check(
+        family: &DesignFamily,
+        mode: SimMode,
+        check: CheckStrategy,
+    ) -> ProblemBench {
         let mut stats = SimStats::default();
         let sequential = family.category() == Category::Sequential;
         let golden_src = golden_source(family);
@@ -186,7 +228,7 @@ impl ProblemBench {
             Err(e) => Err(FunctionalVerdict::BuildFailure(format!("golden: {e}"))),
         };
         stats.compile_time += started.elapsed();
-        ProblemBench { mode, sequential, prep, stats }
+        ProblemBench { mode, check, sequential, prep, stats }
     }
 
     /// Checks `candidate_src` against the prepared golden model.
@@ -270,6 +312,30 @@ impl ProblemBench {
         cand: &mut SimInstance,
         cand_iface: &Interface,
     ) -> FunctionalVerdict {
+        // Exhaustive equivalence path: combinational and within the bit cap.
+        // No reset, no clock, no RNG — just every assignment in ascending
+        // order, so the verdict is deterministic by construction.
+        if let CheckStrategy::Equivalence { max_input_bits } = self.check {
+            if !self.sequential {
+                let widths: Vec<u32> = gold_iface.inputs.iter().map(|(_, w)| *w).collect();
+                if let Some(sweep) = exhaustive_assignments(&widths, max_input_bits) {
+                    self.stats.exhaustive_checks += 1;
+                    for (v, values) in sweep.enumerate() {
+                        self.stats.vectors += 1;
+                        if let Some(verdict) =
+                            self.step_and_compare(gold, gold_iface, cand, cand_iface, v, &values)
+                        {
+                            return verdict;
+                        }
+                    }
+                    return FunctionalVerdict::Pass;
+                }
+            }
+            // Over the cap or sequential: same stimulus vectors as
+            // `CheckStrategy::Stimulus`.
+            self.stats.fallback_checks += 1;
+        }
+
         let mut rng = ChaCha8Rng::seed_from_u64(0x57EE7);
         // reset pulse for sequential designs
         if self.sequential {
@@ -307,54 +373,75 @@ impl ProblemBench {
                 .iter()
                 .map(|(_, w)| rng.random::<u64>() & pyranet_verilog::Value::mask(*w))
                 .collect();
-            for ((gn, _), val) in gold_iface.inputs.iter().zip(&values) {
-                self.stats.steps += 1;
-                if let Err(e) = gold.set(gn, *val) {
-                    return FunctionalVerdict::BuildFailure(format!("golden drive: {e}"));
-                }
-            }
-            for ((cn, _), val) in cand_iface.inputs.iter().zip(&values) {
-                self.stats.steps += 1;
-                if let Err(e) = cand.set(cn, *val) {
-                    return FunctionalVerdict::RuntimeFailure(format!("drive `{cn}`: {e}"));
-                }
-            }
-            if self.sequential {
-                if let Some(c) = &gold_iface.clock {
-                    self.stats.steps += 1;
-                    if let Err(e) = gold.clock(c) {
-                        return FunctionalVerdict::BuildFailure(format!("golden clock: {e}"));
-                    }
-                }
-                if let Some(c) = &cand_iface.clock {
-                    self.stats.steps += 1;
-                    if let Err(e) = cand.clock(c) {
-                        return FunctionalVerdict::RuntimeFailure(format!("clock: {e}"));
-                    }
-                }
-            }
-            for (o, (gn, cn)) in gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate() {
-                let gv = match gold.get(gn) {
-                    Ok(v) => v,
-                    Err(e) => return FunctionalVerdict::BuildFailure(format!("golden read: {e}")),
-                };
-                let cv = match cand.get(cn) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        return FunctionalVerdict::RuntimeFailure(format!("read `{cn}`: {e}"))
-                    }
-                };
-                // compare at the golden width (a wider candidate output is
-                // tolerated if the low bits agree and the rest are zero)
-                let w = gv.width();
-                if gv.as_u64() != (cv.as_u64() & pyranet_verilog::Value::mask(w))
-                    || cv.as_u64() >> w.min(63) != 0
-                {
-                    return FunctionalVerdict::Mismatch { vector: v, output: o };
-                }
+            if let Some(verdict) =
+                self.step_and_compare(gold, gold_iface, cand, cand_iface, v, &values)
+            {
+                return verdict;
             }
         }
         FunctionalVerdict::Pass
+    }
+
+    /// Applies one input assignment to both designs (clocking sequential
+    /// ones) and compares outputs positionally. `Some(verdict)` on failure.
+    fn step_and_compare(
+        &mut self,
+        gold: &mut SimInstance,
+        gold_iface: &Interface,
+        cand: &mut SimInstance,
+        cand_iface: &Interface,
+        v: usize,
+        values: &[u64],
+    ) -> Option<FunctionalVerdict> {
+        for ((gn, _), val) in gold_iface.inputs.iter().zip(values) {
+            self.stats.steps += 1;
+            if let Err(e) = gold.set(gn, *val) {
+                return Some(FunctionalVerdict::BuildFailure(format!("golden drive: {e}")));
+            }
+        }
+        for ((cn, _), val) in cand_iface.inputs.iter().zip(values) {
+            self.stats.steps += 1;
+            if let Err(e) = cand.set(cn, *val) {
+                return Some(FunctionalVerdict::RuntimeFailure(format!("drive `{cn}`: {e}")));
+            }
+        }
+        if self.sequential {
+            if let Some(c) = &gold_iface.clock {
+                self.stats.steps += 1;
+                if let Err(e) = gold.clock(c) {
+                    return Some(FunctionalVerdict::BuildFailure(format!("golden clock: {e}")));
+                }
+            }
+            if let Some(c) = &cand_iface.clock {
+                self.stats.steps += 1;
+                if let Err(e) = cand.clock(c) {
+                    return Some(FunctionalVerdict::RuntimeFailure(format!("clock: {e}")));
+                }
+            }
+        }
+        for (o, (gn, cn)) in gold_iface.outputs.iter().zip(&cand_iface.outputs).enumerate() {
+            let gv = match gold.get(gn) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Some(FunctionalVerdict::BuildFailure(format!("golden read: {e}")))
+                }
+            };
+            let cv = match cand.get(cn) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Some(FunctionalVerdict::RuntimeFailure(format!("read `{cn}`: {e}")))
+                }
+            };
+            // compare at the golden width (a wider candidate output is
+            // tolerated if the low bits agree and the rest are zero)
+            let w = gv.width();
+            if gv.as_u64() != (cv.as_u64() & pyranet_verilog::Value::mask(w))
+                || cv.as_u64() >> w.min(63) != 0
+            {
+                return Some(FunctionalVerdict::Mismatch { vector: v, output: o });
+            }
+        }
+        None
     }
 }
 
@@ -509,6 +596,96 @@ mod tests {
         assert_eq!(bench.stats.programs, 4, "one program per candidate check");
         assert_eq!(bench.stats.vectors, 3 * 48);
         assert!(bench.stats.steps > bench.stats.vectors, "steps include drives and clocks");
+    }
+
+    fn eq_bench(family: &DesignFamily) -> ProblemBench {
+        ProblemBench::new_with_check(
+            family,
+            SimMode::Compiled,
+            CheckStrategy::Equivalence { max_input_bits: DEFAULT_MAX_EQ_INPUTS },
+        )
+    }
+
+    #[test]
+    fn equivalence_sweeps_every_assignment_within_cap() {
+        // HalfAdder: 2 input bits -> exactly 4 vectors, exhaustive.
+        let family = DesignFamily::HalfAdder;
+        let mut bench = eq_bench(&family);
+        assert!(bench.check(&golden_source(&family)).is_pass());
+        assert_eq!(bench.stats.exhaustive_checks, 1);
+        assert_eq!(bench.stats.fallback_checks, 0);
+        assert_eq!(bench.stats.vectors, 4);
+    }
+
+    #[test]
+    fn equivalence_falls_back_over_cap_and_for_sequential() {
+        // BehavioralAdder{8}: 8+8+1 = 17 input bits > 12 -> stimulus fallback.
+        let wide = DesignFamily::BehavioralAdder { width: 8 };
+        let mut bench = eq_bench(&wide);
+        assert!(bench.check(&golden_source(&wide)).is_pass());
+        assert_eq!(bench.stats.exhaustive_checks, 0);
+        assert_eq!(bench.stats.fallback_checks, 1);
+        assert_eq!(bench.stats.vectors, 48, "fallback drives the stimulus vectors");
+
+        // Sequential designs always use stimulus, whatever their width.
+        let seq = DesignFamily::Dff;
+        let mut bench = eq_bench(&seq);
+        assert!(bench.check(&golden_source(&seq)).is_pass());
+        assert_eq!(bench.stats.exhaustive_checks, 0);
+        assert_eq!(bench.stats.fallback_checks, 1);
+    }
+
+    /// Builds a parity candidate that is correct everywhere except at one
+    /// 8-bit input value chosen to dodge the 48 fixed stimulus vectors.
+    fn parity_counterexample() -> String {
+        // Replicate the stimulus stream (seed 0x57EE7, one 8-bit input per
+        // vector) and pick the smallest value it never drives.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x57EE7);
+        let driven: std::collections::HashSet<u64> =
+            (0..VECTORS).map(|_| rng.random::<u64>() & 0xFF).collect();
+        let magic = (0..256u64).find(|v| !driven.contains(v)).expect("48 vectors < 256 values");
+        format!(
+            "module even_parity_8(input [7:0] data, output y);\n  \
+             assign y = (^data) ^ (data == 8'd{magic});\nendmodule\n"
+        )
+    }
+
+    #[test]
+    fn equivalence_is_strictly_stronger_than_stimulus() {
+        // The crafted candidate is wrong at exactly one of 256 assignments:
+        // the fixed stimulus vectors miss it, the exhaustive sweep cannot.
+        let family = DesignFamily::Parity { width: 8, even: true };
+        let cand = parity_counterexample();
+        let mut stim = ProblemBench::new(&family, SimMode::Compiled);
+        assert!(stim.check(&cand).is_pass(), "counterexample must sneak past stimulus vectors");
+        let mut eq = eq_bench(&family);
+        let v = eq.check(&cand);
+        assert!(matches!(v, FunctionalVerdict::Mismatch { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn equivalence_verdicts_agree_across_sim_modes() {
+        let family = DesignFamily::Parity { width: 8, even: true };
+        let cand = parity_counterexample();
+        let strategy = CheckStrategy::Equivalence { max_input_bits: DEFAULT_MAX_EQ_INPUTS };
+        let mut compiled = ProblemBench::new_with_check(&family, SimMode::Compiled, strategy);
+        let mut reference = ProblemBench::new_with_check(&family, SimMode::Reference, strategy);
+        assert_eq!(compiled.check(&cand), reference.check(&cand));
+        assert_eq!(
+            compiled.check(&golden_source(&family)),
+            reference.check(&golden_source(&family))
+        );
+    }
+
+    #[test]
+    fn equivalence_mismatch_reports_the_exact_assignment() {
+        // Majority voter: 3 input bits a,b,c (a = LSB of the sweep counter).
+        // A candidate wrong only at a=1,b=1,c=0 (counter value 3) must be
+        // reported at exactly that vector index.
+        let bad = "module majority3(input a, input b, input c, output y);\n  \
+                   assign y = ((a & b) | (a & c) | (b & c)) ^ (a & b & ~c);\nendmodule\n";
+        let mut bench = eq_bench(&DesignFamily::Majority);
+        assert_eq!(bench.check(bad), FunctionalVerdict::Mismatch { vector: 3, output: 0 });
     }
 
     #[test]

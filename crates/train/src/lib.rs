@@ -12,6 +12,10 @@
 //! * [`pyranet`] — the full **PyraNet-Architecture** fine-tuning: layers
 //!   visited apex → base with the 1.0/0.8/0.6/0.4/0.2/0.1 loss weights,
 //!   curriculum Basic → Intermediate → Advanced → Expert inside each layer;
+//! * [`repair`] — defect-injected → clean repair SFT: every curated sample
+//!   is re-broken with a checked `pyranet_corpus::defect` injector
+//!   (guaranteed to actually mutate) and the model learns to restore the
+//!   original;
 //! * [`baselines`] — re-implementations of the comparator recipes:
 //!   MG-Verilog (multi-grained descriptions), RTLCoder (quality-feedback
 //!   filtering), OriGen (code-to-code augmentation, no self-reflection —
@@ -24,11 +28,13 @@ pub mod baselines;
 pub mod data;
 pub mod pretrain;
 pub mod pyranet;
+pub mod repair;
 pub mod report;
 pub mod sft;
 
 pub use data::{build_tokenizer, to_examples, to_examples_cached, ExampleCache};
 pub use pyranet::PyraNetTrainer;
+pub use repair::{export_repair_jsonl, repair_pairs, RepairPair, RepairTrainer};
 pub use report::{PhaseReport, TrainReport};
 pub use sft::SftTrainer;
 

@@ -74,11 +74,13 @@ mod differential;
 mod elab;
 mod engine;
 mod resolve;
+pub mod sweep;
 mod value;
 mod vm;
 
 pub use elab::{elaborate, ElabError, FlatDesign};
 pub use engine::{SimError, Simulator};
+pub use sweep::{exhaustive_assignments, ExhaustiveSweep};
 pub use value::Value;
 pub use vm::CompiledSimulator;
 

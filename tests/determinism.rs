@@ -334,6 +334,43 @@ fn sim_backends_are_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn equivalence_check_eval_is_byte_identical_at_any_thread_count_and_order() {
+    // The acceptance pin for equivalence-mode scoring: the exhaustive
+    // sweep is an ascending counter over the input bits (no RNG at all)
+    // and the fallback path reuses the seeded stimulus stream, so
+    // serialized EvalResults must be *byte-identical* at every thread
+    // count, and shuffled problem arrival must only permute the
+    // per-problem rows.
+    use pyranet::eval::{CheckMode, Problem};
+    let (lm, tk) = tiny_model();
+    let problems: Vec<_> = machine_split().into_iter().take(4).collect();
+    let run = |problems: &[Problem], threads| {
+        let opts = EvalOptions {
+            samples_per_problem: 3,
+            max_new_tokens: 16,
+            threads,
+            check: CheckMode::Equivalence,
+            ..EvalOptions::default()
+        };
+        evaluate(&lm, &tk, problems, &opts)
+    };
+    let reference = run(&problems, 1);
+    let reference_bytes = serde_json::to_string(&reference).expect("serialize EvalResult");
+    for threads in THREAD_COUNTS {
+        let bytes = serde_json::to_string(&run(&problems, threads)).expect("serialize EvalResult");
+        assert_eq!(bytes, reference_bytes, "threads = {threads}");
+    }
+    let mut reversed = problems.clone();
+    reversed.reverse();
+    let backward = run(&reversed, 8);
+    let mut forward_sorted = reference.problems.clone();
+    forward_sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut backward_sorted = backward.problems.clone();
+    backward_sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    assert_eq!(forward_sorted, backward_sorted, "arrival order must only permute rows");
+}
+
+#[test]
 fn eval_is_independent_of_problem_order() {
     // Each problem's sampling stream is keyed by (seed, problem id), so
     // shuffling the split must only permute the per-problem results.
